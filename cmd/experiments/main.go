@@ -1,0 +1,84 @@
+// Command experiments regenerates the paper-reproduction tables recorded in
+// EXPERIMENTS.md. Each experiment ID (e1 … e12) corresponds to one
+// quantitative claim of the paper; see DESIGN.md §5 for the mapping.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run e6
+//	experiments -run all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"plurality/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list  = fs.Bool("list", false, "list all experiments and exit")
+		ids   = fs.String("run", "all", "comma-separated experiment IDs (e1..e12) or 'all'")
+		quick = fs.Bool("quick", false, "use reduced parameter grids")
+		seed  = fs.Uint64("seed", 1, "base random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(out, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		for _, e := range bench.Ablations() {
+			fmt.Fprintf(out, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []bench.Experiment
+	switch *ids {
+	case "all":
+		selected = bench.All()
+	case "ablations":
+		selected = bench.Ablations()
+	case "everything":
+		selected = append(bench.All(), bench.Ablations()...)
+	default:
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	for _, e := range selected {
+		fmt.Fprintf(out, "== %s: %s [%s mode]\n", e.ID, e.Title, mode)
+		fmt.Fprintf(out, "claim: %s\n\n", e.Claim)
+		start := time.Now()
+		if err := e.Run(bench.Config{Out: out, Quick: *quick, Seed: *seed}); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"e1", "e6", "e12", "ab1", "ab3"} {
+		if !strings.Contains(out, id+" ") && !strings.Contains(out, id+"  ") {
+			t.Errorf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "e8", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E8:") || !strings.Contains(out, "shape:") {
+		t.Fatalf("output missing table/shape:\n%s", out)
+	}
+	if !strings.Contains(out, "completed in") {
+		t.Fatalf("missing timing footer:\n%s", out)
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "e3, e8", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== e3") || !strings.Contains(out, "== e8") {
+		t.Fatalf("expected both experiments:\n%s", out)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "e99"}, &buf); err == nil {
+		t.Fatal("unknown ID should fail")
+	}
+}
+
+func TestRunAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep takes seconds")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "ab2", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AB2:") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

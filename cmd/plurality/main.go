@@ -1,0 +1,247 @@
+// Command plurality runs one plurality-consensus protocol instance and
+// reports the outcome as text or JSON.
+//
+// Examples:
+//
+//	plurality -protocol core -n 100000 -k 8 -workload biased -bias 0.5
+//	plurality -protocol two-choices-sync -n 50000 -k 4 -workload gapsqrt -z 1.5
+//	plurality -protocol core -model poisson -delay 1 -trace
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"plurality"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "plurality:", err)
+		os.Exit(1)
+	}
+}
+
+type flags struct {
+	protocol    string
+	model       string
+	workload    string
+	n           int
+	k           int
+	bias        float64
+	z           float64
+	zipfS       float64
+	seed        uint64
+	maxTime     float64
+	delay       float64
+	crash       float64
+	desyncFrac  float64
+	desyncTicks int
+	noGadget    bool
+	traceOn     bool
+	jsonOut     bool
+}
+
+func parseFlags(args []string) (flags, error) {
+	var f flags
+	fs := flag.NewFlagSet("plurality", flag.ContinueOnError)
+	fs.StringVar(&f.protocol, "protocol", "core",
+		"protocol: core | two-choices-sync | two-choices-async | onebit | voter | 3-majority")
+	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson")
+	fs.StringVar(&f.workload, "workload", "biased",
+		"initial distribution: biased | gapsqrt | gapsqrtpolylog | tinygap | uniform | zipf")
+	fs.IntVar(&f.n, "n", 100000, "number of nodes")
+	fs.IntVar(&f.k, "k", 8, "number of opinions")
+	fs.Float64Var(&f.bias, "bias", 0.5, "epsilon for the biased workload: c1 = (1+eps)c2")
+	fs.Float64Var(&f.z, "z", 1, "gap multiplier z for the gap workloads")
+	fs.Float64Var(&f.zipfS, "zipf-s", 1.1, "zipf exponent for the zipf workload")
+	fs.Uint64Var(&f.seed, "seed", 1, "random seed (runs are deterministic per seed)")
+	fs.Float64Var(&f.maxTime, "maxtime", plurality.DefaultMaxTime, "parallel-time budget for async runs")
+	fs.Float64Var(&f.delay, "delay", 0, "response-delay rate theta (>0 enables Exp(theta) delays)")
+	fs.Float64Var(&f.crash, "crash", 0, "fraction of nodes that never act (core protocol only)")
+	fs.Float64Var(&f.desyncFrac, "desync-frac", 0, "fraction of nodes starting desynchronized (core protocol only)")
+	fs.IntVar(&f.desyncTicks, "desync-ticks", 0, "desynchronization spread in ticks (required with -desync-frac)")
+	fs.BoolVar(&f.noGadget, "no-gadget", false, "disable the Sync Gadget (ablation; core protocol only)")
+	fs.BoolVar(&f.traceOn, "trace", false, "print periodic sync/support probes (core protocol only)")
+	fs.BoolVar(&f.jsonOut, "json", false, "emit the result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return flags{}, err
+	}
+	return f, nil
+}
+
+func makeCounts(f flags) ([]int64, error) {
+	switch f.workload {
+	case "biased":
+		return plurality.Biased(f.n, f.k, f.bias)
+	case "gapsqrt":
+		return plurality.GapSqrt(f.n, f.k, f.z)
+	case "gapsqrtpolylog":
+		return plurality.GapSqrtPolylog(f.n, f.k, f.z)
+	case "tinygap":
+		return plurality.TinyGap(f.n, f.k, f.z)
+	case "uniform":
+		return plurality.Uniform(f.n, f.k)
+	case "zipf":
+		return plurality.Zipf(f.n, f.k, f.zipfS)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", f.workload)
+	}
+}
+
+// outcome is the unified, JSON-friendly run report.
+type outcome struct {
+	Protocol      string  `json:"protocol"`
+	N             int     `json:"n"`
+	K             int     `json:"k"`
+	Done          bool    `json:"done"`
+	Winner        int32   `json:"winner"`
+	PluralityWon  bool    `json:"pluralityWon"`
+	Time          float64 `json:"time,omitempty"`
+	Rounds        int     `json:"rounds,omitempty"`
+	Ticks         int64   `json:"ticks,omitempty"`
+	ConsensusTime float64 `json:"consensusTime,omitempty"`
+	EndgameSafe   bool    `json:"endgameSafe,omitempty"`
+	Jumps         int64   `json:"jumps,omitempty"`
+	Phases        int     `json:"phases,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	f, err := parseFlags(args)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	counts, err := makeCounts(f)
+	if err != nil {
+		return err
+	}
+	pop, err := plurality.NewPopulation(counts)
+	if err != nil {
+		return err
+	}
+
+	opts := []plurality.Option{
+		plurality.WithSeed(f.seed),
+		plurality.WithMaxTime(f.maxTime),
+	}
+	switch f.model {
+	case "sequential":
+		opts = append(opts, plurality.WithModel(plurality.Sequential))
+	case "poisson":
+		opts = append(opts, plurality.WithModel(plurality.Poisson))
+	default:
+		return fmt.Errorf("unknown model %q", f.model)
+	}
+	if f.delay > 0 {
+		opts = append(opts, plurality.WithResponseDelay(f.delay))
+	}
+	if f.crash > 0 {
+		opts = append(opts, plurality.WithCrashes(f.crash))
+	}
+	if f.desyncFrac > 0 {
+		opts = append(opts, plurality.WithDesync(f.desyncFrac, f.desyncTicks))
+	}
+	if f.noGadget {
+		opts = append(opts, plurality.WithoutSyncGadget())
+	}
+	if f.traceOn {
+		opts = append(opts, plurality.WithProbe(10, func(p plurality.CoreProbe) {
+			fmt.Fprintf(out, "t=%8.1f plurality=%.3f spread90=%-5d poorly-synced=%d/%d halted=%d\n",
+				p.Time, p.PluralityFraction, p.Spread90, p.PoorlySynced, p.Active, p.Halted)
+		}))
+	}
+
+	o := outcome{Protocol: f.protocol, N: f.n, K: f.k}
+	switch f.protocol {
+	case "core":
+		res, err := plurality.RunCore(pop, opts...)
+		if err != nil {
+			return err
+		}
+		o.Done = res.Done
+		o.Winner = int32(res.Winner)
+		o.Time = res.Time
+		o.Ticks = res.Ticks
+		o.ConsensusTime = res.ConsensusTime
+		o.EndgameSafe = res.EndgameSafe
+		o.Jumps = res.Jumps
+	case "two-choices-sync":
+		res, err := plurality.RunTwoChoicesSync(pop, opts...)
+		if err != nil {
+			return err
+		}
+		o.Done = res.Done
+		o.Winner = int32(res.Winner)
+		o.Rounds = res.Rounds
+	case "two-choices-async":
+		res, err := plurality.RunTwoChoicesAsync(pop, opts...)
+		if err != nil {
+			return err
+		}
+		o.Done = res.Done
+		o.Winner = int32(res.Winner)
+		o.Time = res.Time
+		o.Ticks = res.Ticks
+	case "onebit":
+		res, err := plurality.RunOneExtraBit(pop, opts...)
+		if err != nil {
+			return err
+		}
+		o.Done = res.Done
+		o.Winner = int32(res.Winner)
+		o.Rounds = res.Rounds
+		o.Phases = res.Phases
+	case "voter":
+		res, err := plurality.RunVoterAsync(pop, opts...)
+		if err != nil {
+			return err
+		}
+		o.Done = res.Done
+		o.Winner = int32(res.Winner)
+		o.Time = res.Time
+		o.Ticks = res.Ticks
+	case "3-majority":
+		res, err := plurality.RunThreeMajorityAsync(pop, opts...)
+		if err != nil {
+			return err
+		}
+		o.Done = res.Done
+		o.Winner = int32(res.Winner)
+		o.Time = res.Time
+		o.Ticks = res.Ticks
+	default:
+		return fmt.Errorf("unknown protocol %q", f.protocol)
+	}
+	o.PluralityWon = o.Done && o.Winner == 0
+
+	if f.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(o)
+	}
+	fmt.Fprintf(out, "protocol=%s n=%d k=%d done=%v winner=C%d pluralityWon=%v\n",
+		o.Protocol, o.N, o.K, o.Done, o.Winner, o.PluralityWon)
+	if o.Rounds > 0 {
+		fmt.Fprintf(out, "rounds=%d", o.Rounds)
+		if o.Phases > 0 {
+			fmt.Fprintf(out, " phases=%d", o.Phases)
+		}
+		fmt.Fprintln(out)
+	}
+	if o.Time > 0 {
+		fmt.Fprintf(out, "time=%.1f ticks=%d", o.Time, o.Ticks)
+		if o.ConsensusTime > 0 {
+			fmt.Fprintf(out, " consensusTime=%.1f jumps=%d endgameSafe=%v",
+				o.ConsensusTime, o.Jumps, o.EndgameSafe)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

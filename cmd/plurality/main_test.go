@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunCoreText(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "core", "-n", "2000", "-k", "4",
+		"-workload", "biased", "-bias", "1", "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "done=true") || !strings.Contains(out, "pluralityWon=true") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "consensusTime=") {
+		t.Fatalf("missing core metrics:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "two-choices-sync", "-n", "2000", "-k", "2",
+		"-workload", "gapsqrt", "-z", "2", "-seed", "4", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o outcome
+	if err := json.Unmarshal(buf.Bytes(), &o); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if !o.Done || o.Protocol != "two-choices-sync" || o.Rounds <= 0 {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	protocols := []string{
+		"core", "two-choices-sync", "two-choices-async",
+		"onebit", "voter", "3-majority",
+	}
+	for _, p := range protocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			err := run([]string{
+				"-protocol", p, "-n", "1500", "-k", "3",
+				"-workload", "biased", "-bias", "1", "-seed", "5",
+			}, &buf)
+			if err != nil {
+				t.Fatalf("%s: %v", p, err)
+			}
+			if !strings.Contains(buf.String(), "done=true") {
+				t.Fatalf("%s did not converge:\n%s", p, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	for _, w := range []string{"biased", "gapsqrt", "gapsqrtpolylog", "tinygap", "uniform", "zipf"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-protocol", "voter", "-n", "500", "-k", "3",
+			"-workload", w, "-seed", "6", "-maxtime", "1000000",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("workload %s: %v", w, err)
+		}
+	}
+}
+
+func TestRunPoissonModelAndDelay(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "core", "-n", "1500", "-k", "3", "-workload", "biased",
+		"-bias", "1", "-model", "poisson", "-delay", "1", "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "done=true") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "core", "-n", "1500", "-k", "3", "-workload", "biased",
+		"-bias", "1", "-trace", "-seed", "8",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "plurality=") {
+		t.Fatalf("trace lines missing:\n%s", buf.String())
+	}
+}
+
+func TestRunFailureInjectionFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "core", "-n", "2000", "-k", "3", "-workload", "biased",
+		"-bias", "1", "-seed", "9",
+		"-crash", "0.01", "-desync-frac", "0.02", "-desync-ticks", "200",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "done=true") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	// Desync without spread must be rejected by the library validation.
+	if err := run([]string{
+		"-protocol", "core", "-n", "2000", "-k", "3",
+		"-desync-frac", "0.02",
+	}, &buf); err == nil {
+		t.Error("desync-frac without desync-ticks should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad protocol", args: []string{"-protocol", "nope", "-n", "100"}},
+		{name: "bad workload", args: []string{"-workload", "nope", "-n", "100"}},
+		{name: "bad model", args: []string{"-model", "nope", "-n", "100"}},
+		{name: "tiny n", args: []string{"-n", "1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

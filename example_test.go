@@ -1,0 +1,73 @@
+package plurality_test
+
+import (
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+// The canonical use: build a biased population, run the paper's
+// asynchronous protocol, read off the winner.
+func ExampleRunCore() {
+	counts, err := plurality.Biased(10_000, 8, 0.5) // c1 = 1.5*c2
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := plurality.NewPopulation(counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := plurality.RunCore(pop, plurality.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("winner: color %d\n", res.Winner)
+	fmt.Printf("unanimous: %v\n", pop.ConsensusOn(res.Winner))
+	// Output:
+	// winner: color 0
+	// unanimous: true
+}
+
+// Workload constructors realize the regimes of the paper's theorems.
+func ExampleBiased() {
+	counts, err := plurality.Biased(1000, 4, 1.0) // c1 = 2*c2
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(counts)
+	// Output:
+	// [400 200 200 200]
+}
+
+// The synchronous Two-Choices dynamic of Theorem 1.1.
+func ExampleRunTwoChoicesSync() {
+	counts, err := plurality.GapSqrt(5000, 4, 2) // gap 2*sqrt(n ln n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := plurality.NewPopulation(counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := plurality.RunTwoChoicesSync(pop, plurality.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plurality won: %v\n", res.Winner == 0)
+	// Output:
+	// plurality won: true
+}
+
+// PlanCore inspects the Θ(log n)-sized schedule without running anything.
+func ExamplePlanCore() {
+	spec, err := plurality.PlanCore(100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase length: %d ticks (7 blocks of Delta=%d)\n", spec.PhaseTicks, spec.Delta)
+	fmt.Printf("part 1: %d phases\n", spec.Phases)
+	// Output:
+	// phase length: 336 ticks (7 blocks of Delta=48)
+	// part 1: 8 phases
+}

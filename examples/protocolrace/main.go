@@ -1,0 +1,94 @@
+// Protocolrace: all four asynchronous dynamics race on one workload.
+//
+// Same population, same clocks, four protocols: the paper's core protocol,
+// asynchronous Two-Choices, 3-Majority, and Voter. The table reports
+// parallel consensus time, whether the plurality color actually won, and
+// per-node work — making the trade-offs concrete: Voter is obliviously fast
+// to *a* consensus but elects the wrong color a quarter of the time on this
+// workload; Two-Choices and 3-Majority are quick while k is small; the core
+// protocol pays a constant-factor schedule overhead in exchange for its
+// Θ(log n) guarantee independent of k.
+//
+//	go run ./examples/protocolrace
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+func main() {
+	const (
+		n   = 20_000
+		k   = 32
+		eps = 1.0
+	)
+	counts, err := plurality.Biased(n, k, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: n=%d, k=%d, c1=%d vs runner-ups %d (eps=%.1f)\n\n",
+		n, k, counts[0], counts[1], eps)
+
+	type racer struct {
+		name string
+		run  func(pop *plurality.Population, seed uint64) (time float64, winner plurality.Color, done bool, err error)
+	}
+	racers := []racer{
+		{name: "core (paper)", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
+			res, err := plurality.RunCore(pop, plurality.WithSeed(seed))
+			return res.ConsensusTime, res.Winner, res.Done, err
+		}},
+		{name: "two-choices", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
+			res, err := plurality.RunTwoChoicesAsync(pop, plurality.WithSeed(seed))
+			return res.Time, res.Winner, res.Done, err
+		}},
+		{name: "3-majority", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
+			res, err := plurality.RunThreeMajorityAsync(pop, plurality.WithSeed(seed))
+			return res.Time, res.Winner, res.Done, err
+		}},
+		{name: "voter", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
+			res, err := plurality.RunVoterAsync(pop, plurality.WithSeed(seed), plurality.WithMaxTime(1e6))
+			return res.Time, res.Winner, res.Done, err
+		}},
+	}
+
+	const trials = 3
+	fmt.Printf("%-14s %-12s %-10s %s\n", "protocol", "median time", "plurality", "notes")
+	for _, r := range racers {
+		var times []float64
+		wins := 0
+		for trial := 0; trial < trials; trial++ {
+			pop, err := plurality.NewPopulation(counts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t, winner, done, err := r.run(pop, uint64(100+trial))
+			if err != nil && !errors.Is(err, plurality.ErrTimeLimit) && !errors.Is(err, plurality.ErrNoConsensus) {
+				log.Fatal(err)
+			}
+			if done && winner == 0 {
+				wins++
+			}
+			times = append(times, t)
+		}
+		note := ""
+		if r.name == "voter" {
+			note = "no plurality guarantee"
+		}
+		fmt.Printf("%-14s %-12.0f %d/%-8d %s\n", r.name, medianOf(times), wins, trials, note)
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	// Insertion sort — three elements.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[len(xs)/2]
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryWellFormed(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	seen := make(map[string]bool)
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e6"); !ok {
+		t.Error("e6 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus ID resolved")
+	}
+}
+
+func TestAblationsRegistry(t *testing.T) {
+	for _, e := range Ablations() {
+		if e.ID == "" || e.Run == nil {
+			t.Errorf("incomplete ablation %+v", e)
+		}
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("ablation %s not resolvable via ByID", e.ID)
+		}
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment on its reduced grid: this is
+// the harness's end-to-end smoke test and doubles as the check that every
+// experiment emits at least one table and one shape line.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite still takes tens of seconds")
+	}
+	for _, e := range append(All(), Ablations()...) {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(Config{Out: &buf, Quick: true, Seed: 1}); err != nil {
+				t.Fatalf("%s failed: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, "shape:") {
+				t.Errorf("%s emitted no shape line:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "----") {
+				t.Errorf("%s emitted no table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunTrialsHelpers(t *testing.T) {
+	ts, err := runTrials(5, func(i int) (measurement, error) {
+		return measurement{value: float64(i), win: i%2 == 0, aux: float64(10 - i)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("got %d measurements", len(ts))
+	}
+	// Results must be in trial order despite parallel execution.
+	for i, m := range ts {
+		if m.value != float64(i) {
+			t.Fatalf("trial %d out of order: %v", i, m.value)
+		}
+	}
+	if medianValue(ts) != 2 {
+		t.Errorf("medianValue = %v", medianValue(ts))
+	}
+	if medianAux(ts) != 8 {
+		t.Errorf("medianAux = %v", medianAux(ts))
+	}
+	if countWins(ts) != 3 {
+		t.Errorf("countWins = %d", countWins(ts))
+	}
+}
+
+func TestRunTrialsPropagatesError(t *testing.T) {
+	_, err := runTrials(4, func(i int) (measurement, error) {
+		if i == 2 {
+			return measurement{}, errTest
+		}
+		return measurement{}, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+var errTest = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestPickHelper(t *testing.T) {
+	if got := pick(Config{Quick: true}, 1, 2); got != 1 {
+		t.Fatalf("quick pick = %d", got)
+	}
+	if got := pick(Config{}, 1, 2); got != 2 {
+		t.Fatalf("full pick = %d", got)
+	}
+}

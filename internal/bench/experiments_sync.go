@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/protocols/onebit"
+	"plurality/internal/protocols/twochoices"
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+	"plurality/internal/trace"
+)
+
+// runE1 — Theorem 1.1 upper bound: synchronous Two-Choices converges within
+// O(n/c1 · log n) rounds under bias z·sqrt(n·ln n). We sweep n at fixed k
+// and fit rounds against (n/c1)·ln n.
+func runE1(cfg Config) error {
+	var (
+		ns     = pick(cfg, []int{2000, 8000}, []int{2000, 4000, 8000, 16000, 32000})
+		trials = pick(cfg, 3, 5)
+		k      = 8
+	)
+	tbl := trace.NewTable(
+		fmt.Sprintf("E1: sync Two-Choices rounds, k=%d, bias z*sqrt(n ln n), %d trials", k, trials),
+		"n", "c1", "predictor (n/c1)ln n", "median rounds", "plurality wins")
+	var xs, ys []float64
+	for _, n := range ns {
+		counts, err := population.GapSqrtCounts(n, k, 1)
+		if err != nil {
+			return err
+		}
+		ts, err := runTrials(trials, func(trial int) (measurement, error) {
+			res, err := runSync(twochoices.Rule{}, counts, cfg.Seed+uint64(n*100+trial), 1_000_000)
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{value: float64(res.Rounds), win: res.Winner == 0}, nil
+		})
+		if err != nil {
+			return err
+		}
+		med := medianValue(ts)
+		predictor := float64(n) / float64(counts[0]) * math.Log(float64(n))
+		xs = append(xs, predictor)
+		ys = append(ys, med)
+		tbl.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", counts[0]),
+			fmt.Sprintf("%.1f", predictor),
+			fmt.Sprintf("%.0f", med),
+			fmt.Sprintf("%d/%d", countWins(ts), trials),
+		)
+	}
+	tbl.Fprint(cfg.Out)
+	fit, err := stats.LinearFit(xs, ys)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "shape: rounds ~ %.2f * (n/c1)*ln(n) + %.1f (R^2 = %.3f); theory predicts a linear fit\n\n",
+		fit.Slope, fit.Intercept, fit.R2)
+	return nil
+}
+
+// runE2 — Theorem 1.1 lower bound: on the equal-runner-up instance with
+// gap z·sqrt(n·ln n), Two-Choices needs Ω(n/c1) = Ω(k·(1−o(1))) rounds. We
+// sweep k at fixed n and fit rounds against n/c1 (≈ k for small gaps).
+func runE2(cfg Config) error {
+	var (
+		n      = pick(cfg, 10000, 30000)
+		ks     = pick(cfg, []int{2, 8, 32}, []int{2, 4, 8, 16, 32, 64})
+		trials = pick(cfg, 3, 5)
+	)
+	tbl := trace.NewTable(
+		fmt.Sprintf("E2: sync Two-Choices rounds vs k, n=%d, bias z*sqrt(n ln n), %d trials", n, trials),
+		"k", "n/c1", "median rounds", "rounds/(n/c1)")
+	var xs, ys []float64
+	for _, k := range ks {
+		counts, err := population.GapSqrtCounts(n, k, 1)
+		if err != nil {
+			return err
+		}
+		ts, err := runTrials(trials, func(trial int) (measurement, error) {
+			res, err := runSync(twochoices.Rule{}, counts, cfg.Seed+uint64(k*1000+trial), 2_000_000)
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{value: float64(res.Rounds), win: res.Winner == 0}, nil
+		})
+		if err != nil {
+			return err
+		}
+		med := medianValue(ts)
+		ratio := float64(n) / float64(counts[0])
+		xs = append(xs, ratio)
+		ys = append(ys, med)
+		tbl.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.1f", ratio),
+			fmt.Sprintf("%.0f", med),
+			fmt.Sprintf("%.1f", med/ratio),
+		)
+	}
+	tbl.Fprint(cfg.Out)
+	fit, err := stats.LinearFit(xs, ys)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "shape: rounds ~ %.2f * (n/c1) + %.1f (R^2 = %.3f); theory predicts linear growth in n/c1 ~ k\n\n",
+		fit.Slope, fit.Intercept, fit.R2)
+	return nil
+}
+
+// runE3 — Theorem 1.1's negative result: with gap only z·sqrt(n) a
+// non-plurality color wins with constant probability, while the theorem-
+// level gap z·sqrt(n·ln n) keeps upsets rare.
+func runE3(cfg Config) error {
+	var (
+		n      = pick(cfg, 4000, 10000)
+		trials = pick(cfg, 40, 200)
+		k      = 2
+	)
+	tiny, err := population.TinyGapCounts(n, k, 0.5)
+	if err != nil {
+		return err
+	}
+	strong, err := population.GapSqrtCounts(n, k, 1.5)
+	if err != nil {
+		return err
+	}
+	upsetRate := func(counts []int64, salt uint64) (float64, error) {
+		ts, err := runTrials(trials, func(trial int) (measurement, error) {
+			res, err := runSync(twochoices.Rule{}, counts, cfg.Seed+salt*1_000_000+uint64(trial), 1_000_000)
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{win: res.Winner == 0}, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(trials-countWins(ts)) / float64(trials), nil
+	}
+	tinyRate, err := upsetRate(tiny, 1)
+	if err != nil {
+		return err
+	}
+	strongRate, err := upsetRate(strong, 2)
+	if err != nil {
+		return err
+	}
+	tbl := trace.NewTable(
+		fmt.Sprintf("E3: upset probability of sync Two-Choices, n=%d, k=%d, %d trials", n, k, trials),
+		"initial gap", "gap size", "non-plurality win rate")
+	tbl.AddRow("0.5*sqrt(n)", fmt.Sprintf("%d", tiny[0]-tiny[1]), fmt.Sprintf("%.1f%%", 100*tinyRate))
+	tbl.AddRow("1.5*sqrt(n ln n)", fmt.Sprintf("%d", strong[0]-strong[1]), fmt.Sprintf("%.1f%%", 100*strongRate))
+	tbl.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "shape: upsets are constant-probability at gap O(sqrt n) (%.1f%%) and vanish at z*sqrt(n ln n) (%.1f%%)\n\n",
+		100*tinyRate, 100*strongRate)
+	return nil
+}
+
+// runE4 — Theorem 1.2: OneExtraBit converges in polylogarithmic rounds and
+// overtakes Two-Choices as k grows. Part (a) sweeps n at fixed k; part (b)
+// races both protocols over a k sweep on the same workload.
+func runE4(cfg Config) error {
+	var (
+		nsA     = pick(cfg, []int{4000, 16000}, []int{4000, 16000, 64000})
+		kA      = 16
+		nB      = pick(cfg, 50000, 200000)
+		ksB     = pick(cfg, []int{16, 64}, []int{16, 64, 256})
+		trials  = pick(cfg, 3, 3)
+		maxSync = 2_000_000
+	)
+
+	runOneBit := func(n int, counts []int64, seed uint64) (measurement, error) {
+		pop, err := trialPop(counts)
+		if err != nil {
+			return measurement{}, err
+		}
+		g, err := graph.NewComplete(n)
+		if err != nil {
+			return measurement{}, err
+		}
+		res, err := onebit.Run(pop, onebit.Config{
+			Graph:     g,
+			Rand:      rng.New(seed),
+			MaxPhases: 400,
+		})
+		if err != nil {
+			return measurement{}, err
+		}
+		return measurement{
+			value: float64(res.Rounds),
+			win:   res.Winner == 0,
+			aux:   float64(res.Phases),
+		}, nil
+	}
+
+	tblA := trace.NewTable(
+		fmt.Sprintf("E4a: OneExtraBit rounds vs n, k=%d, bias z*sqrt(n)ln^1.5 n, %d trials", kA, trials),
+		"n", "median rounds", "median phases", "plurality wins")
+	var rawNs, roundsA []float64
+	for _, n := range nsA {
+		counts, err := population.GapSqrtPolylogCounts(n, kA, 0.5)
+		if err != nil {
+			return err
+		}
+		ts, err := runTrials(trials, func(trial int) (measurement, error) {
+			return runOneBit(n, counts, cfg.Seed+uint64(n*10+trial))
+		})
+		if err != nil {
+			return err
+		}
+		med := medianValue(ts)
+		rawNs = append(rawNs, float64(n))
+		roundsA = append(roundsA, med)
+		tblA.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", med),
+			fmt.Sprintf("%.0f", medianAux(ts)),
+			fmt.Sprintf("%d/%d", countWins(ts), trials),
+		)
+	}
+	tblA.Fprint(cfg.Out)
+	if fit, err := stats.PowerFit(rawNs, roundsA); err == nil {
+		fmt.Fprintf(cfg.Out, "shape: OneExtraBit rounds grow ~ n^%.2f (R^2 = %.3f); theory predicts polylog, i.e. exponent near 0\n\n",
+			fit.Slope, fit.R2)
+	}
+
+	tblB := trace.NewTable(
+		fmt.Sprintf("E4b: OneExtraBit vs Two-Choices rounds over k, n=%d, bias sqrt(n ln n), %d trials", nB, trials),
+		"k", "n/c1", "two-choices rounds", "onebit rounds", "speedup")
+	for _, k := range ksB {
+		counts, err := population.GapSqrtCounts(nB, k, 1)
+		if err != nil {
+			return err
+		}
+		tcTrials, err := runTrials(trials, func(trial int) (measurement, error) {
+			res, err := runSync(twochoices.Rule{}, counts, cfg.Seed+uint64(k*7+trial), maxSync)
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{value: float64(res.Rounds), win: res.Winner == 0}, nil
+		})
+		if err != nil {
+			return err
+		}
+		obTrials, err := runTrials(trials, func(trial int) (measurement, error) {
+			return runOneBit(nB, counts, cfg.Seed+uint64(k*13+trial))
+		})
+		if err != nil {
+			return err
+		}
+		tcMed, obMed := medianValue(tcTrials), medianValue(obTrials)
+		tblB.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.0f", float64(nB)/float64(counts[0])),
+			fmt.Sprintf("%.0f", tcMed),
+			fmt.Sprintf("%.0f", obMed),
+			fmt.Sprintf("%.1fx", tcMed/obMed),
+		)
+	}
+	tblB.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "shape: Two-Choices rounds track n/c1 (which grows with k) while OneExtraBit stays polylog-flat; the crossover lands around n/c1 ~ 50\n\n")
+	return nil
+}
+
+// runE5 — §2's amplification claim: across one OneExtraBit phase the ratio
+// c1/cj squares (up to concentration error).
+func runE5(cfg Config) error {
+	var (
+		n   = pick(cfg, 50000, 200000)
+		k   = 4
+		eps = 0.5
+	)
+	counts, err := population.BiasedCounts(n, k, eps)
+	if err != nil {
+		return err
+	}
+	pop, err := trialPop(counts)
+	if err != nil {
+		return err
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		return err
+	}
+	type phaseRatio struct {
+		phase int
+		ratio float64
+	}
+	ratios := []phaseRatio{{phase: -1, ratio: float64(counts[0]) / float64(counts[1])}}
+	_, err = onebit.Run(pop, onebit.Config{
+		Graph:     g,
+		Rand:      rng.At(cfg.Seed, 5),
+		MaxPhases: 50,
+		OnPhase: func(info onebit.PhaseInfo) {
+			var runnerUp int64
+			for _, c := range info.Counts[1:] {
+				if c > runnerUp {
+					runnerUp = c
+				}
+			}
+			if runnerUp == 0 {
+				return
+			}
+			ratios = append(ratios, phaseRatio{
+				phase: info.Phase,
+				ratio: float64(info.Counts[0]) / float64(runnerUp),
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	tbl := trace.NewTable(
+		fmt.Sprintf("E5: per-phase bias amplification of OneExtraBit, n=%d, k=%d, eps=%.1f", n, k, eps),
+		"phase", "c1/c2 after phase", "(previous ratio)^2", "measured/predicted")
+	ok := 0
+	comparisons := 0
+	for i := 1; i < len(ratios); i++ {
+		pred := ratios[i-1].ratio * ratios[i-1].ratio
+		got := ratios[i].ratio
+		rel := got / pred
+		// Quadratic growth is only meaningful while the runner-up still
+		// has non-trivial support.
+		if pred < float64(n)/10 {
+			comparisons++
+			if rel > 0.75 && rel < 1.35 {
+				ok++
+			}
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", ratios[i].phase),
+			fmt.Sprintf("%.2f", got),
+			fmt.Sprintf("%.2f", pred),
+			fmt.Sprintf("%.2f", rel),
+		)
+	}
+	tbl.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "shape: %d/%d phases match the quadratic-growth prediction within 35%%\n\n", ok, comparisons)
+	return nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// measurement is one result of a repeated experiment point.
+type measurement struct {
+	// value is the primary measurement (rounds, parallel time, …).
+	value float64
+	// win reports whether the plurality color won the run.
+	win bool
+	// aux carries an experiment-specific secondary measurement.
+	aux float64
+}
+
+// runTrials executes f(0) … f(trials-1) concurrently on up to GOMAXPROCS
+// workers and returns the results in trial order. Each f must derive its
+// randomness from the trial index so the outcome is independent of
+// scheduling. The first error wins and cancels nothing — remaining trials
+// still finish (they are short) — but the error is returned.
+func runTrials(trials int, f func(trial int) (measurement, error)) ([]measurement, error) {
+	results := make([]measurement, trials)
+	errs := make([]error, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// medianValue returns the median of the trials' primary measurements.
+func medianValue(ts []measurement) float64 {
+	vals := make([]float64, len(ts))
+	for i, t := range ts {
+		vals[i] = t.value
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// medianAux returns the median of the trials' secondary measurements.
+func medianAux(ts []measurement) float64 {
+	vals := make([]float64, len(ts))
+	for i, t := range ts {
+		vals[i] = t.aux
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// countWins returns how many trials the plurality color won.
+func countWins(ts []measurement) int {
+	wins := 0
+	for _, t := range ts {
+		if t.win {
+			wins++
+		}
+	}
+	return wins
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"plurality/internal/population"
+	"plurality/internal/sched"
+)
+
+// Run executes the asynchronous plurality-consensus protocol on pop until
+// all live nodes agree, every node halts, or cfg.MaxTime elapses. The
+// population is mutated in place.
+func Run(pop *population.Population, cfg Config) (Result, error) {
+	if err := validate(pop, cfg); err != nil {
+		return Result{}, err
+	}
+	spec, err := Plan(cfg, pop.N())
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := newState(pop, cfg, spec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	last, _ := sched.RunUntil(cfg.Scheduler, cfg.MaxTime, st.tick)
+	st.res.Time = last.Time
+	st.res.Ticks = last.Seq + 1
+	st.res.EndgameSafe = st.res.Done &&
+		(st.res.FirstHaltTime == 0 || st.res.ConsensusTime <= st.res.FirstHaltTime)
+	if !st.res.Done {
+		// Either the time budget ran out or every live node halted
+		// without agreement; both are protocol failures.
+		st.res.Winner = pop.Plurality()
+		return st.res, fmt.Errorf("core: %w (budget %v)", ErrNoConsensus, cfg.MaxTime)
+	}
+	return st.res, nil
+}
+
+func validate(pop *population.Population, cfg Config) error {
+	switch {
+	case pop == nil:
+		return errors.New("core: nil population")
+	case cfg.Graph == nil:
+		return errors.New("core: nil graph")
+	case cfg.Scheduler == nil:
+		return errors.New("core: nil scheduler")
+	case cfg.Rand == nil:
+		return errors.New("core: nil rand")
+	case cfg.MaxTime <= 0:
+		return fmt.Errorf("core: MaxTime = %v, want > 0", cfg.MaxTime)
+	case cfg.Graph.N() != pop.N():
+		return fmt.Errorf("core: graph has %d nodes, population %d", cfg.Graph.N(), pop.N())
+	case cfg.Scheduler.N() != pop.N():
+		return fmt.Errorf("core: scheduler has %d nodes, population %d", cfg.Scheduler.N(), pop.N())
+	case cfg.CrashFraction < 0 || cfg.CrashFraction >= 1:
+		return fmt.Errorf("core: CrashFraction = %v, want [0, 1)", cfg.CrashFraction)
+	case cfg.DesyncFraction < 0 || cfg.DesyncFraction >= 1:
+		return fmt.Errorf("core: DesyncFraction = %v, want [0, 1)", cfg.DesyncFraction)
+	case cfg.DesyncFraction > 0 && cfg.DesyncSpread <= 0:
+		return fmt.Errorf("core: DesyncFraction set but DesyncSpread = %d", cfg.DesyncSpread)
+	}
+	return nil
+}
+
+// state is the mutable execution state of one run.
+type state struct {
+	cfg  Config
+	spec Spec
+	pop  *population.Population
+	res  Result
+
+	n int
+
+	// Per-node protocol state.
+	working      []int64            // schedule position
+	real         []int64            // total ticks performed
+	intermediate []population.Color // two-choices intermediate color
+	bit          []bool             // the OneExtraBit memory bit
+	halted       []bool             // finished part 2
+	crashed      []bool             // failure injection: never acts
+	busyUntil    []float64          // §4 delays: blocked until this time
+
+	// Sync Gadget sample stores: samples[u*L+i] holds the i-th collected
+	// real-time delta (sampled node's real time minus own real time at
+	// collection), kept current implicitly because both sides advance by
+	// one per own tick.
+	samples     []int64
+	sampleCount []int32
+	medianBuf   []int64
+
+	// Consensus bookkeeping over live (non-crashed) nodes.
+	liveN      int64
+	liveCounts []int64
+
+	haltedCount int
+	delaying    bool
+
+	nextProbe float64
+	probeBuf  []int64
+}
+
+func newState(pop *population.Population, cfg Config, spec Spec) (*state, error) {
+	n := pop.N()
+	st := &state{
+		cfg:          cfg,
+		spec:         spec,
+		pop:          pop,
+		n:            n,
+		working:      make([]int64, n),
+		real:         make([]int64, n),
+		intermediate: make([]population.Color, n),
+		bit:          make([]bool, n),
+		halted:       make([]bool, n),
+		samples:      make([]int64, n*spec.GadgetSamples),
+		sampleCount:  make([]int32, n),
+		medianBuf:    make([]int64, spec.GadgetSamples),
+		liveCounts:   make([]int64, pop.K()),
+	}
+	for u := range st.intermediate {
+		st.intermediate[u] = population.None
+	}
+
+	if _, instant := cfg.Delay.(sched.ZeroDelay); cfg.Delay != nil && !instant {
+		st.delaying = true
+		st.busyUntil = make([]float64, n)
+	}
+
+	if cfg.CrashFraction > 0 {
+		st.crashed = make([]bool, n)
+		// Crash a deterministic random subset of the requested size.
+		target := int(cfg.CrashFraction * float64(n))
+		perm := cfg.Rand.Perm(n)
+		for i := 0; i < target; i++ {
+			st.crashed[perm[i]] = true
+		}
+	}
+	for u := 0; u < n; u++ {
+		if st.crashed != nil && st.crashed[u] {
+			continue
+		}
+		st.liveN++
+		st.liveCounts[pop.ColorOf(u)]++
+	}
+	if st.liveN == 0 {
+		return nil, errors.New("core: all nodes crashed")
+	}
+
+	if cfg.DesyncFraction > 0 {
+		target := int(cfg.DesyncFraction * float64(n))
+		perm := cfg.Rand.Perm(n)
+		for i := 0; i < target; i++ {
+			u := perm[i]
+			w := int64(cfg.Rand.Intn(cfg.DesyncSpread))
+			st.working[u] = w
+			st.real[u] = w
+		}
+	}
+
+	// An initially unanimous (live) population is already done.
+	for c, cnt := range st.liveCounts {
+		if cnt == st.liveN {
+			st.res.Done = true
+			st.res.Winner = population.Color(c)
+		}
+	}
+
+	st.nextProbe = 0
+	if cfg.ProbeInterval < 0 {
+		st.nextProbe = -1
+	}
+	return st, nil
+}
+
+// adopt switches node u to color c, maintaining live-node consensus
+// bookkeeping. u must be live.
+func (st *state) adopt(u int, c population.Color, now float64) {
+	old := st.pop.ColorOf(u)
+	if old == c {
+		return
+	}
+	st.pop.SetColor(u, c)
+	st.liveCounts[old]--
+	st.liveCounts[c]++
+	if st.liveCounts[c] == st.liveN && !st.res.Done {
+		st.res.Done = true
+		st.res.Winner = c
+		st.res.ConsensusTime = now
+	}
+}
+
+// block applies the §4 response-delay extension after a communicating step.
+func (st *state) block(u int, now float64) {
+	if !st.delaying {
+		return
+	}
+	if d := st.cfg.Delay.SampleDelay(st.cfg.Rand); d > 0 {
+		st.busyUntil[u] = now + d
+	}
+}
+
+// tick handles one scheduler activation. It returns false once the run can
+// stop: consensus reached, or every live node has halted.
+func (st *state) tick(t sched.Tick) bool {
+	if st.nextProbe >= 0 && t.Time >= st.nextProbe && st.cfg.OnProbe != nil {
+		st.probe(t.Time)
+	}
+
+	u := t.Node
+	if st.halted[u] || (st.crashed != nil && st.crashed[u]) {
+		return st.keepGoing()
+	}
+	if st.delaying && t.Time < st.busyUntil[u] {
+		// Waiting for a response: the clock ticked but no protocol work
+		// is performed. Real time deliberately does not advance either —
+		// it counts ticks *performed*, so that under the §4 delay
+		// extension real time stays proportional to schedule progress
+		// and the Sync Gadget's real-time median remains a valid jump
+		// target for working time.
+		return st.keepGoing()
+	}
+	st.real[u]++
+
+	w := st.working[u]
+	st.working[u] = w + 1
+
+	if w >= int64(st.spec.Part1Ticks) {
+		st.endgameTick(u, w, t.Time)
+		return st.keepGoing()
+	}
+	st.part1Tick(u, w, t.Time)
+	return st.keepGoing()
+}
+
+func (st *state) keepGoing() bool {
+	if st.res.Done && !st.cfg.RunToHalt {
+		return false
+	}
+	return st.haltedCount < int(st.liveN)
+}
+
+// part1Tick executes the schedule instruction at working time w (< Part1Ticks).
+func (st *state) part1Tick(u int, w int64, now float64) {
+	pos := int(w % int64(st.spec.PhaseTicks))
+	switch {
+	case pos == 0:
+		// Two-Choices step: sample two nodes with replacement.
+		a := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
+		b := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
+		if a == b {
+			st.intermediate[u] = a
+		} else {
+			st.intermediate[u] = population.None
+		}
+		st.block(u, now)
+
+	case pos == st.spec.CommitOffset:
+		// Commit step: adopt the intermediate color; the bit records
+		// whether the node executed the adopt action.
+		if c := st.intermediate[u]; c != population.None {
+			st.adopt(u, c, now)
+			st.bit[u] = true
+		} else {
+			st.bit[u] = false
+		}
+		st.intermediate[u] = population.None
+
+	case pos >= st.spec.BPStart && pos < st.spec.BPEnd:
+		// Bit-Propagation: bitless nodes pull until they hit a bit.
+		if !st.bit[u] {
+			v := st.cfg.Graph.Sample(st.cfg.Rand, u)
+			if st.bit[v] {
+				st.adopt(u, st.pop.ColorOf(v), now)
+				st.bit[u] = true
+			}
+			st.block(u, now)
+		}
+
+	case !st.cfg.DisableSyncGadget && pos >= st.spec.GadgetStart && pos < st.spec.GadgetStart+st.spec.GadgetSamples:
+		// Sync Gadget sampling: collect the neighbor's real time as a
+		// delta against our own; the delta stays current as both real
+		// times advance at rate one per own tick.
+		v := st.cfg.Graph.Sample(st.cfg.Rand, u)
+		if cnt := st.sampleCount[u]; int(cnt) < st.spec.GadgetSamples {
+			st.samples[u*st.spec.GadgetSamples+int(cnt)] = st.real[v] - st.real[u]
+			st.sampleCount[u] = cnt + 1
+		}
+		st.block(u, now)
+
+	case !st.cfg.DisableSyncGadget && pos == st.spec.JumpOffset:
+		st.jump(u, w)
+	}
+	// All other positions are do-nothing padding (tactical waiting).
+}
+
+// jump executes the Sync Gadget jump step: working time becomes the median
+// of the collected real-time samples, brought current by adding the node's
+// own real time.
+func (st *state) jump(u int, w int64) {
+	cnt := int(st.sampleCount[u])
+	if cnt == 0 {
+		return
+	}
+	buf := st.medianBuf[:cnt]
+	copy(buf, st.samples[u*st.spec.GadgetSamples:u*st.spec.GadgetSamples+cnt])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	median := buf[cnt/2]
+	if cnt%2 == 0 {
+		median = (buf[cnt/2-1] + buf[cnt/2]) / 2
+	}
+	target := median + st.real[u]
+	if target < 0 {
+		target = 0
+	}
+	adj := target - (w + 1)
+	if adj < 0 {
+		adj = -adj
+	}
+	if adj > st.res.MaxJumpAdjustment {
+		st.res.MaxJumpAdjustment = adj
+	}
+	st.working[u] = target
+	st.sampleCount[u] = 0
+	st.res.Jumps++
+}
+
+// endgameTick executes part 2: asynchronous Two-Choices with immediate
+// adoption, then halt after the per-node budget.
+func (st *state) endgameTick(u int, w int64, now float64) {
+	e := w - int64(st.spec.Part1Ticks)
+	if e >= int64(st.spec.EndgameTicks) {
+		st.halted[u] = true
+		st.haltedCount++
+		if st.res.FirstHaltTime == 0 {
+			st.res.FirstHaltTime = now
+		}
+		return
+	}
+	a := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
+	b := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
+	if a == b {
+		st.adopt(u, a, now)
+	}
+	st.block(u, now)
+}
+
+// probe emits a synchronization-quality snapshot and schedules the next one.
+func (st *state) probe(now float64) {
+	interval := st.cfg.ProbeInterval
+	if interval == 0 {
+		interval = 1
+	}
+	st.nextProbe = now + interval
+
+	if cap(st.probeBuf) < st.n {
+		st.probeBuf = make([]int64, 0, st.n)
+	}
+	buf := st.probeBuf[:0]
+	halted := 0
+	for u := 0; u < st.n; u++ {
+		if st.crashed != nil && st.crashed[u] {
+			continue
+		}
+		if st.halted[u] {
+			halted++
+			continue
+		}
+		buf = append(buf, st.working[u])
+	}
+	st.probeBuf = buf
+
+	p := Probe{
+		Time:              now,
+		Active:            len(buf),
+		Halted:            halted,
+		PluralityFraction: st.pop.Fraction(st.pop.Plurality()),
+	}
+	if len(buf) > 0 {
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		med := buf[len(buf)/2]
+		q5 := buf[len(buf)*5/100]
+		q95 := buf[len(buf)*95/100]
+		if len(buf)*95/100 >= len(buf) {
+			q95 = buf[len(buf)-1]
+		}
+		p.MedianWorking = med
+		p.Spread90 = q95 - q5
+		maxDev := int64(0)
+		poor := 0
+		for _, w := range buf {
+			d := w - med
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDev {
+				maxDev = d
+			}
+			if d > int64(st.spec.Delta) {
+				poor++
+			}
+		}
+		p.MaxAbsDev = maxDev
+		p.PoorlySynced = poor
+	}
+	st.cfg.OnProbe(p)
+}

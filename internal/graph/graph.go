@@ -1,0 +1,217 @@
+// Package graph provides the communication topologies the protocols sample
+// neighbors from. The paper analyzes the complete graph K_n; the other
+// topologies (cycle, torus, Erdős–Rényi) are extension substrates used by
+// examples and robustness tests.
+//
+// The only operation protocols need is drawing a uniformly random neighbor,
+// so Graph is deliberately minimal and sampling on the clique is O(1)
+// without materializing edges.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/rng"
+)
+
+// Graph is a communication topology over nodes 0 … N()-1.
+type Graph interface {
+	// N returns the number of nodes.
+	N() int
+	// Degree returns the number of neighbors of node u.
+	Degree(u int) int
+	// Sample returns a uniformly random neighbor of node u.
+	Sample(r *rng.RNG, u int) int
+}
+
+// Complete is the complete graph K_n. If WithSelf is true, Sample draws
+// uniformly from all n nodes including u itself, matching protocol variants
+// that sample "nodes" rather than "neighbors"; the paper's asymptotics are
+// identical either way.
+type Complete struct {
+	Nodes    int
+	WithSelf bool
+}
+
+// NewComplete returns K_n without self-sampling.
+func NewComplete(n int) (Complete, error) {
+	if n < 2 {
+		return Complete{}, fmt.Errorf("graph: complete graph needs n >= 2, got %d", n)
+	}
+	return Complete{Nodes: n}, nil
+}
+
+// N implements Graph.
+func (g Complete) N() int { return g.Nodes }
+
+// Degree implements Graph.
+func (g Complete) Degree(int) int {
+	if g.WithSelf {
+		return g.Nodes
+	}
+	return g.Nodes - 1
+}
+
+// Sample implements Graph.
+func (g Complete) Sample(r *rng.RNG, u int) int {
+	if g.WithSelf {
+		return r.Intn(g.Nodes)
+	}
+	return r.IntnExcept(g.Nodes, u)
+}
+
+// Cycle is the n-cycle: node u's neighbors are u±1 mod n.
+type Cycle struct {
+	Nodes int
+}
+
+// NewCycle returns the cycle on n >= 3 nodes.
+func NewCycle(n int) (Cycle, error) {
+	if n < 3 {
+		return Cycle{}, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	return Cycle{Nodes: n}, nil
+}
+
+// N implements Graph.
+func (g Cycle) N() int { return g.Nodes }
+
+// Degree implements Graph.
+func (g Cycle) Degree(int) int { return 2 }
+
+// Sample implements Graph.
+func (g Cycle) Sample(r *rng.RNG, u int) int {
+	if r.Bool() {
+		return (u + 1) % g.Nodes
+	}
+	return (u - 1 + g.Nodes) % g.Nodes
+}
+
+// Torus is the w×h grid with wraparound; each node has 4 neighbors.
+type Torus struct {
+	W, H int
+}
+
+// NewTorus returns the w×h torus; both sides must be at least 3 so the four
+// neighbors are distinct.
+func NewTorus(w, h int) (Torus, error) {
+	if w < 3 || h < 3 {
+		return Torus{}, fmt.Errorf("graph: torus needs sides >= 3, got %dx%d", w, h)
+	}
+	return Torus{W: w, H: h}, nil
+}
+
+// N implements Graph.
+func (g Torus) N() int { return g.W * g.H }
+
+// Degree implements Graph.
+func (g Torus) Degree(int) int { return 4 }
+
+// Sample implements Graph.
+func (g Torus) Sample(r *rng.RNG, u int) int {
+	x, y := u%g.W, u/g.W
+	switch r.Intn(4) {
+	case 0:
+		x = (x + 1) % g.W
+	case 1:
+		x = (x - 1 + g.W) % g.W
+	case 2:
+		y = (y + 1) % g.H
+	default:
+		y = (y - 1 + g.H) % g.H
+	}
+	return y*g.W + x
+}
+
+// Adjacency is an explicit adjacency-list graph, used for G(n,p) and any
+// custom topology.
+type Adjacency struct {
+	adj [][]int32
+}
+
+// NewAdjacency wraps the given adjacency lists. Every node must have at
+// least one neighbor and all entries must be valid node indices.
+func NewAdjacency(adj [][]int32) (*Adjacency, error) {
+	n := len(adj)
+	if n == 0 {
+		return nil, fmt.Errorf("graph: empty adjacency")
+	}
+	for u, nbrs := range adj {
+		if len(nbrs) == 0 {
+			return nil, fmt.Errorf("graph: node %d has no neighbors", u)
+		}
+		for _, v := range nbrs {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
+			}
+		}
+	}
+	return &Adjacency{adj: adj}, nil
+}
+
+// NewGNP samples an Erdős–Rényi graph G(n, p), retrying isolated nodes by
+// attaching them to a random other node so the graph is usable by sampling
+// protocols. The construction is deterministic given r.
+func NewGNP(n int, p float64, r *rng.RNG) (*Adjacency, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: G(n,p) needs n >= 2, got %d", n)
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("graph: G(n,p) needs p in (0,1], got %v", p)
+	}
+	adj := make([][]int32, n)
+	// Batagelj-Brandes geometric skipping over the n(n-1)/2 candidate
+	// edges (v, w) with 0 <= w < v < n.
+	g := geometricSkip{p: p}
+	v, w := 1, -1
+	for v < n {
+		w += 1 + g.next(r)
+		for v < n && w >= v {
+			w -= v
+			v++
+		}
+		if v < n {
+			adj[v] = append(adj[v], int32(w))
+			adj[w] = append(adj[w], int32(v))
+		}
+	}
+	for u := range adj {
+		if len(adj[u]) == 0 {
+			v := r.IntnExcept(n, u)
+			adj[u] = append(adj[u], int32(v))
+			adj[v] = append(adj[v], int32(u))
+		}
+	}
+	return NewAdjacency(adj)
+}
+
+type geometricSkip struct{ p float64 }
+
+func (g geometricSkip) next(r *rng.RNG) int {
+	if g.p >= 1 {
+		return 0
+	}
+	u := 1 - r.Float64()
+	s := int(math.Log(u) / math.Log(1-g.p))
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// N implements Graph.
+func (g *Adjacency) N() int { return len(g.adj) }
+
+// Degree implements Graph.
+func (g *Adjacency) Degree(u int) int { return len(g.adj[u]) }
+
+// Sample implements Graph.
+func (g *Adjacency) Sample(r *rng.RNG, u int) int {
+	nbrs := g.adj[u]
+	return int(nbrs[r.Intn(len(nbrs))])
+}
+
+// Neighbors returns node u's adjacency list (not a copy; callers must not
+// mutate it).
+func (g *Adjacency) Neighbors(u int) []int32 { return g.adj[u] }

@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/rng"
+)
+
+func TestNewCompleteValidation(t *testing.T) {
+	if _, err := NewComplete(1); err == nil {
+		t.Error("NewComplete(1) should fail")
+	}
+	g, err := NewComplete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.Degree(0) != 4 {
+		t.Fatalf("K_5: N=%d Degree=%d", g.N(), g.Degree(0))
+	}
+}
+
+func TestCompleteSampleExcludesSelf(t *testing.T) {
+	g, err := NewComplete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for u := 0; u < 6; u++ {
+		for i := 0; i < 500; i++ {
+			if v := g.Sample(r, u); v == u {
+				t.Fatalf("sampled self for u=%d", u)
+			}
+		}
+	}
+}
+
+func TestCompleteWithSelfCoversAll(t *testing.T) {
+	g := Complete{Nodes: 4, WithSelf: true}
+	if g.Degree(0) != 4 {
+		t.Fatalf("Degree = %d, want 4", g.Degree(0))
+	}
+	r := rng.New(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		seen[g.Sample(r, 0)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("with-self sampling covered %d of 4 nodes", len(seen))
+	}
+}
+
+func TestCompleteSampleUniform(t *testing.T) {
+	g, err := NewComplete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	const draws = 40000
+	counts := make([]int, 5)
+	for i := 0; i < draws; i++ {
+		counts[g.Sample(r, 2)]++
+	}
+	want := float64(draws) / 4
+	for v, c := range counts {
+		if v == 2 {
+			if c != 0 {
+				t.Fatalf("self sampled %d times", c)
+			}
+			continue
+		}
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("neighbor %d: count %d, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestCycle(t *testing.T) {
+	if _, err := NewCycle(2); err == nil {
+		t.Error("NewCycle(2) should fail")
+	}
+	g, err := NewCycle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for u := 0; u < 7; u++ {
+		left := (u - 1 + 7) % 7
+		right := (u + 1) % 7
+		for i := 0; i < 100; i++ {
+			v := g.Sample(r, u)
+			if v != left && v != right {
+				t.Fatalf("cycle neighbor of %d = %d, want %d or %d", u, v, left, right)
+			}
+		}
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("Degree = %d, want 2", g.Degree(0))
+	}
+}
+
+func TestTorus(t *testing.T) {
+	if _, err := NewTorus(2, 5); err == nil {
+		t.Error("NewTorus(2,5) should fail")
+	}
+	g, err := NewTorus(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 || g.Degree(0) != 4 {
+		t.Fatalf("torus: N=%d Degree=%d", g.N(), g.Degree(0))
+	}
+	r := rng.New(5)
+	// Every sample must be one of the four grid neighbors.
+	for u := 0; u < g.N(); u++ {
+		x, y := u%4, u/4
+		valid := map[int]bool{
+			y*4 + (x+1)%4:     true,
+			y*4 + (x+3)%4:     true,
+			((y+1)%3)*4 + x:   true,
+			((y+3-1)%3)*4 + x: true,
+		}
+		for i := 0; i < 200; i++ {
+			if v := g.Sample(r, u); !valid[v] {
+				t.Fatalf("torus neighbor of %d = %d not adjacent", u, v)
+			}
+		}
+	}
+}
+
+func TestNewAdjacencyValidation(t *testing.T) {
+	if _, err := NewAdjacency(nil); err == nil {
+		t.Error("empty adjacency should fail")
+	}
+	if _, err := NewAdjacency([][]int32{{1}, nil}); err == nil {
+		t.Error("isolated node should fail")
+	}
+	if _, err := NewAdjacency([][]int32{{5}, {0}}); err == nil {
+		t.Error("out-of-range neighbor should fail")
+	}
+}
+
+func TestAdjacencySample(t *testing.T) {
+	g, err := NewAdjacency([][]int32{{1, 2}, {0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	for i := 0; i < 200; i++ {
+		if v := g.Sample(r, 0); v != 1 && v != 2 {
+			t.Fatalf("neighbor of 0 = %d", v)
+		}
+		if v := g.Sample(r, 1); v != 0 {
+			t.Fatalf("neighbor of 1 = %d", v)
+		}
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 {
+		t.Fatal("wrong degrees")
+	}
+}
+
+func TestNewGNPValidation(t *testing.T) {
+	r := rng.New(7)
+	if _, err := NewGNP(1, 0.5, r); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := NewGNP(10, 0, r); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := NewGNP(10, 1.5, r); err == nil {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestNewGNPProperties(t *testing.T) {
+	r := rng.New(8)
+	const n = 400
+	const p = 0.05
+	g, err := NewGNP(n, p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	var edges int
+	for u := 0; u < n; u++ {
+		if g.Degree(u) == 0 {
+			t.Fatalf("node %d isolated", u)
+		}
+		edges += g.Degree(u)
+	}
+	edges /= 2
+	want := p * n * (n - 1) / 2
+	if math.Abs(float64(edges)-want)/want > 0.15 {
+		t.Fatalf("edges = %d, want ~%.0f", edges, want)
+	}
+	// Symmetry: every edge appears in both adjacency lists.
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			found := false
+			for _, w := range g.Neighbors(int(v)) {
+				if int(w) == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a, err := NewGNP(100, 0.1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGNP(100, 0.1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 100; u++ {
+		if a.Degree(u) != b.Degree(u) {
+			t.Fatalf("node %d degree differs between identically seeded graphs", u)
+		}
+	}
+}
+
+func TestSampleAlwaysValidNode(t *testing.T) {
+	// Property: for any topology and node, samples are in range and adjacent
+	// (for the clique: not self).
+	g, err := NewComplete(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	check := func(seedByte uint8) bool {
+		u := int(seedByte) % g.N()
+		v := g.Sample(r, u)
+		return v >= 0 && v < g.N() && v != u
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

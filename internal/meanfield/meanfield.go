@@ -1,0 +1,195 @@
+// Package meanfield implements the deterministic mean-field (expected
+// one-step) recurrences of the dynamics in this repository. They are the
+// "theory side" the simulations are compared against in tests:
+//
+//   - Two-Choices: a node resamples its color to j with probability
+//     (c_j/n)², so E[c'_j] = c_j·(1 − S₂) + n·(c_j/n)², with
+//     S₂ = Σ_i (c_i/n)².
+//   - 3-Majority: a node adopts color j with the probability that j wins a
+//     majority among three uniform samples.
+//   - OneExtraBit phase map: after one Two-Choices round plus full
+//     Bit-Propagation, supports redistribute proportionally to c_j², i.e.
+//     c'_j = n·c_j²/Σ_i c_i² — the quadratic amplification of §2.
+//   - Endgame drift: with two colors and minority fraction m, asynchronous
+//     Two-Choices gives dm/dt = −m(1−m)(1−2m), whose solution bounds the
+//     §3.2 endgame time.
+//
+// All maps work on float64 fraction vectors and are exact in the n → ∞
+// limit; finite-n simulations track them up to O(1/√n) sampling noise.
+package meanfield
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadFractions reports a vector that is not a probability distribution.
+var ErrBadFractions = errors.New("meanfield: fractions must be non-negative and sum to ~1")
+
+// checkFractions validates that fracs is a probability vector.
+func checkFractions(fracs []float64) error {
+	if len(fracs) == 0 {
+		return ErrBadFractions
+	}
+	var sum float64
+	for _, f := range fracs {
+		if f < 0 || math.IsNaN(f) {
+			return ErrBadFractions
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("%w (sum = %v)", ErrBadFractions, sum)
+	}
+	return nil
+}
+
+// TwoChoicesStep applies one synchronous Two-Choices round to the color
+// fraction vector: every node samples two colors from the current
+// distribution and adopts on a match.
+func TwoChoicesStep(fracs []float64) ([]float64, error) {
+	if err := checkFractions(fracs); err != nil {
+		return nil, err
+	}
+	var s2 float64
+	for _, f := range fracs {
+		s2 += f * f
+	}
+	out := make([]float64, len(fracs))
+	for j, f := range fracs {
+		out[j] = f*(1-s2) + f*f
+	}
+	return out, nil
+}
+
+// TwoChoicesRounds iterates TwoChoicesStep until the leading fraction
+// reaches target (e.g. 0.999) and returns the number of rounds, or an error
+// after maxRounds.
+func TwoChoicesRounds(fracs []float64, target float64, maxRounds int) (int, error) {
+	cur := append([]float64(nil), fracs...)
+	for r := 0; r < maxRounds; r++ {
+		if maxOf(cur) >= target {
+			return r, nil
+		}
+		next, err := TwoChoicesStep(cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return 0, fmt.Errorf("meanfield: two-choices did not reach %v in %d rounds", target, maxRounds)
+}
+
+// ThreeMajorityStep applies one synchronous 3-Majority round: a node adopts
+// color j if at least two of three uniform samples are j; with three
+// distinct samples it adopts the first, which is j with probability f_j.
+func ThreeMajorityStep(fracs []float64) ([]float64, error) {
+	if err := checkFractions(fracs); err != nil {
+		return nil, err
+	}
+	// P(adopt j) = P(≥2 of 3 samples are j)
+	//            + P(first sample is j AND all three colors distinct).
+	// P(≥2 samples j) = 3 f_j²(1−f_j) + f_j³.
+	// P(s0=j, all distinct) = f_j · Σ_{b≠j} Σ_{c∉{j,b}} f_b f_c
+	//                       = f_j · [(1−f_j)² − (S₂ − f_j²)].
+	var s2 float64
+	for _, f := range fracs {
+		s2 += f * f
+	}
+	out := make([]float64, len(fracs))
+	for j, f := range fracs {
+		distinctFirst := f * ((1-f)*(1-f) - (s2 - f*f))
+		out[j] = 3*f*f*(1-f) + f*f*f + distinctFirst
+	}
+	return out, nil
+}
+
+// OneExtraBitPhase applies the §2 phase map: supports redistribute
+// proportionally to their squares (one Two-Choices round concentrated into
+// bit-set nodes, then Bit-Propagation spreads exactly that distribution).
+func OneExtraBitPhase(fracs []float64) ([]float64, error) {
+	if err := checkFractions(fracs); err != nil {
+		return nil, err
+	}
+	var s2 float64
+	for _, f := range fracs {
+		s2 += f * f
+	}
+	if s2 == 0 {
+		return nil, ErrBadFractions
+	}
+	out := make([]float64, len(fracs))
+	for j, f := range fracs {
+		out[j] = f * f / s2
+	}
+	return out, nil
+}
+
+// OneExtraBitPhases iterates the phase map until the leading fraction
+// reaches target and returns the phase count.
+func OneExtraBitPhases(fracs []float64, target float64, maxPhases int) (int, error) {
+	cur := append([]float64(nil), fracs...)
+	for p := 0; p < maxPhases; p++ {
+		if maxOf(cur) >= target {
+			return p, nil
+		}
+		next, err := OneExtraBitPhase(cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return 0, fmt.Errorf("meanfield: onebit did not reach %v in %d phases", target, maxPhases)
+}
+
+// EndgameDrift is the two-color asynchronous Two-Choices drift: with
+// minority fraction m, dm/dt = −m(1−m)(1−2m).
+func EndgameDrift(m float64) float64 {
+	return -m * (1 - m) * (1 - 2*m)
+}
+
+// EndgameTime integrates the endgame drift from minority fraction m0 down
+// to mTarget with step dt, returning the elapsed (parallel) time. m0 must
+// be below 1/2 — above it the plurality loses the drift race.
+func EndgameTime(m0, mTarget, dt float64) (float64, error) {
+	if m0 <= 0 || m0 >= 0.5 {
+		return 0, fmt.Errorf("meanfield: endgame needs m0 in (0, 0.5), got %v", m0)
+	}
+	if mTarget <= 0 || mTarget >= m0 {
+		return 0, fmt.Errorf("meanfield: need 0 < mTarget < m0, got %v", mTarget)
+	}
+	if dt <= 0 {
+		return 0, fmt.Errorf("meanfield: dt = %v, want > 0", dt)
+	}
+	m, t := m0, 0.0
+	for m > mTarget {
+		m += dt * EndgameDrift(m)
+		t += dt
+		if t > 1e7 {
+			return 0, errors.New("meanfield: endgame integration diverged")
+		}
+	}
+	return t, nil
+}
+
+// VoterWinProbability is the classical voter-model martingale result: each
+// color wins with probability equal to its initial fraction.
+func VoterWinProbability(fracs []float64) ([]float64, error) {
+	if err := checkFractions(fracs); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(fracs))
+	copy(out, fracs)
+	return out, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

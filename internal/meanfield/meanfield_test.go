@@ -1,0 +1,360 @@
+package meanfield
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/protocols/dynamics"
+	"plurality/internal/protocols/threemajority"
+	"plurality/internal/protocols/twochoices"
+	"plurality/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCheckFractions(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{0.5, 0.6},
+		{-0.1, 1.1},
+		{math.NaN(), 1},
+	}
+	for _, fracs := range bad {
+		if _, err := TwoChoicesStep(fracs); !errors.Is(err, ErrBadFractions) {
+			t.Errorf("fractions %v: err = %v, want ErrBadFractions", fracs, err)
+		}
+	}
+}
+
+func TestTwoChoicesStepPreservesMass(t *testing.T) {
+	check := func(a, b, c uint8) bool {
+		total := float64(a) + float64(b) + float64(c) + 3
+		fracs := []float64{(float64(a) + 1) / total, (float64(b) + 1) / total, (float64(c) + 1) / total}
+		next, err := TwoChoicesStep(fracs)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, f := range next {
+			if f < 0 {
+				return false
+			}
+			sum += f
+		}
+		return almost(sum, 1, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoChoicesStepAmplifiesLeader(t *testing.T) {
+	fracs := []float64{0.4, 0.3, 0.3}
+	next, err := TwoChoicesStep(fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[0] <= fracs[0] {
+		t.Fatalf("leader did not grow: %v -> %v", fracs[0], next[0])
+	}
+	if next[1] >= fracs[1] {
+		t.Fatalf("trailer did not shrink: %v -> %v", fracs[1], next[1])
+	}
+	// Ratio of leader to trailer must increase.
+	if next[0]/next[1] <= fracs[0]/fracs[1] {
+		t.Fatal("relative advantage did not grow")
+	}
+}
+
+func TestTwoChoicesFixedPoints(t *testing.T) {
+	// Unanimity is a fixed point.
+	next, err := TwoChoicesStep([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(next[0], 1, 1e-12) {
+		t.Fatalf("unanimity not fixed: %v", next)
+	}
+	// The symmetric point is a fixed point too (unstable).
+	sym := []float64{0.5, 0.5}
+	next, err = TwoChoicesStep(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(next[0], 0.5, 1e-12) {
+		t.Fatalf("symmetric point not fixed: %v", next)
+	}
+}
+
+// TestTwoChoicesMapMatchesSimulation: the mean-field map must track a real
+// synchronous Two-Choices run at large n, round by round.
+func TestTwoChoicesMapMatchesSimulation(t *testing.T) {
+	const n = 200000
+	counts, err := population.BiasedCounts(n, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := make([]float64, 3)
+	for j := range fracs {
+		fracs[j] = float64(counts[j]) / n
+	}
+	var worst float64
+	_, err = dynamics.RunSync(pop, twochoices.Rule{}, dynamics.SyncConfig{
+		Graph:     g,
+		Rand:      rng.New(1),
+		MaxRounds: 100000,
+		OnRound: func(round int, p *population.Population) {
+			next, stepErr := TwoChoicesStep(fracs)
+			if stepErr != nil {
+				t.Error(stepErr)
+				return
+			}
+			fracs = next
+			for j := 0; j < 3; j++ {
+				d := math.Abs(p.Fraction(population.Color(j)) - fracs[j])
+				if d > worst {
+					worst = d
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(1/sqrt(n)) sampling noise accumulates over ~20 rounds; stay well
+	// within a generous band.
+	if worst > 0.02 {
+		t.Fatalf("mean-field prediction deviated by %.4f from simulation", worst)
+	}
+}
+
+// TestTwoChoicesRoundsPredictsE1Scale: the round counts the map predicts
+// match the magnitudes measured in experiment E1.
+func TestTwoChoicesRoundsPredictsE1Scale(t *testing.T) {
+	const n = 8000
+	counts, err := population.GapSqrtCounts(n, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := make([]float64, len(counts))
+	for j, c := range counts {
+		fracs[j] = float64(c) / n
+	}
+	rounds, err := TwoChoicesRounds(fracs, 0.999, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E1 measured a median of 20 rounds at n=8000; the deterministic map
+	// should land in the same ballpark.
+	if rounds < 10 || rounds > 40 {
+		t.Fatalf("mean-field rounds = %d, measured ~20", rounds)
+	}
+}
+
+func TestTwoChoicesRoundsBudget(t *testing.T) {
+	if _, err := TwoChoicesRounds([]float64{0.5, 0.5}, 0.999, 50); err == nil {
+		t.Fatal("symmetric start cannot converge deterministically")
+	}
+}
+
+func TestThreeMajorityStepPreservesMass(t *testing.T) {
+	fracs := []float64{0.5, 0.3, 0.2}
+	next, err := ThreeMajorityStep(fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range next {
+		sum += f
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Fatalf("mass not preserved: %v (sum %v)", next, sum)
+	}
+	if next[0] <= fracs[0] {
+		t.Fatal("3-majority leader did not grow")
+	}
+}
+
+func TestThreeMajorityTwoColorClosedForm(t *testing.T) {
+	// With two colors the map reduces to the classical
+	// f' = 3f² − 2f³ + P(distinct)·f with P(distinct) = 0, i.e.
+	// f' = f²(3 − 2f).
+	for _, f := range []float64{0.1, 0.4, 0.6, 0.9} {
+		next, err := ThreeMajorityStep([]float64{f, 1 - f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f * f * (3 - 2*f)
+		if !almost(next[0], want, 1e-12) {
+			t.Fatalf("f=%v: got %v, want %v", f, next[0], want)
+		}
+	}
+}
+
+// TestThreeMajorityMapMatchesSimulation mirrors the Two-Choices check.
+func TestThreeMajorityMapMatchesSimulation(t *testing.T) {
+	const n = 200000
+	counts, err := population.BiasedCounts(n, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := make([]float64, 4)
+	for j := range fracs {
+		fracs[j] = float64(counts[j]) / n
+	}
+	var worst float64
+	_, err = dynamics.RunSync(pop, threemajority.Rule{}, dynamics.SyncConfig{
+		Graph:     g,
+		Rand:      rng.New(2),
+		MaxRounds: 100000,
+		OnRound: func(round int, p *population.Population) {
+			next, stepErr := ThreeMajorityStep(fracs)
+			if stepErr != nil {
+				t.Error(stepErr)
+				return
+			}
+			fracs = next
+			for j := 0; j < 4; j++ {
+				d := math.Abs(p.Fraction(population.Color(j)) - fracs[j])
+				if d > worst {
+					worst = d
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.02 {
+		t.Fatalf("mean-field prediction deviated by %.4f from simulation", worst)
+	}
+}
+
+func TestOneExtraBitPhaseSquaresRatios(t *testing.T) {
+	fracs := []float64{0.3, 0.2, 0.5}
+	next, err := OneExtraBitPhase(fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratios square exactly under the map.
+	gotRatio := next[2] / next[0]
+	wantRatio := (fracs[2] / fracs[0]) * (fracs[2] / fracs[0])
+	if !almost(gotRatio, wantRatio, 1e-12) {
+		t.Fatalf("ratio %v, want %v", gotRatio, wantRatio)
+	}
+	var sum float64
+	for _, f := range next {
+		sum += f
+	}
+	if !almost(sum, 1, 1e-12) {
+		t.Fatalf("mass not preserved: %v", next)
+	}
+}
+
+func TestOneExtraBitPhasesLogLog(t *testing.T) {
+	// Phase counts must grow doubly-logarithmically: going from
+	// target-ratio r to r² costs one phase.
+	mk := func(k int) []float64 {
+		fracs := make([]float64, k)
+		lead := 1.5 / (1.5 + float64(k-1))
+		rest := 1.0 / (1.5 + float64(k-1))
+		fracs[0] = lead
+		for i := 1; i < k; i++ {
+			fracs[i] = rest
+		}
+		// normalize exactly
+		var sum float64
+		for _, f := range fracs {
+			sum += f
+		}
+		for i := range fracs {
+			fracs[i] /= sum
+		}
+		return fracs
+	}
+	p4, err := OneExtraBitPhases(mk(4), 0.999, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p256, err := OneExtraBitPhases(mk(256), 0.999, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p256 > p4+4 {
+		t.Fatalf("phases grew too fast with k: %d -> %d", p4, p256)
+	}
+	// Doubly-logarithmic growth: 64x more colors may cost zero or very few
+	// extra phases (ln k only enters under a log2), but never fewer.
+	if p256 < p4 {
+		t.Fatalf("more colors cannot need fewer phases: %d -> %d", p4, p256)
+	}
+}
+
+func TestEndgameDriftSigns(t *testing.T) {
+	if EndgameDrift(0.1) >= 0 {
+		t.Error("small minority must shrink")
+	}
+	if EndgameDrift(0.5) != 0 {
+		t.Error("symmetric point must be stationary")
+	}
+	if EndgameDrift(0.9) <= 0 {
+		t.Error("above 1/2 the 'minority' label flips; drift must be positive")
+	}
+}
+
+func TestEndgameTimeMatchesE9Scale(t *testing.T) {
+	// E9 measured consensus ~8.7-10.4 time units from m0 = 0.10 at
+	// n = 1e4…1.6e5; the ODE to m = 1/n should land in the same ballpark.
+	tm, err := EndgameTime(0.10, 1.0/40000, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 5 || tm > 25 {
+		t.Fatalf("ODE endgame time = %.1f, measured ~10", tm)
+	}
+}
+
+func TestEndgameTimeValidation(t *testing.T) {
+	if _, err := EndgameTime(0.6, 0.01, 1e-3); err == nil {
+		t.Error("m0 >= 0.5 should fail")
+	}
+	if _, err := EndgameTime(0.1, 0.2, 1e-3); err == nil {
+		t.Error("mTarget >= m0 should fail")
+	}
+	if _, err := EndgameTime(0.1, 0.01, 0); err == nil {
+		t.Error("dt = 0 should fail")
+	}
+}
+
+func TestVoterWinProbability(t *testing.T) {
+	fracs := []float64{0.25, 0.75}
+	probs, err := VoterWinProbability(fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 0.25 || probs[1] != 0.75 {
+		t.Fatalf("probs = %v", probs)
+	}
+	// This is exactly what the voter simulation measured in its own test
+	// (TestVoterWinProbabilityProportional): ~25% wins for 25% support.
+}

@@ -1,0 +1,274 @@
+// Package dynamics is the shared execution engine for memoryless sampling
+// dynamics: protocols where a node's next opinion is a function of its own
+// opinion and a fixed number of uniformly sampled neighbor opinions.
+// Two-Choices, Voter and 3-Majority are all rules in this family.
+//
+// The engine runs a rule under either communication model of the paper:
+//
+//   - RunSync: the synchronous model — discrete rounds, all nodes sample the
+//     frozen current configuration and update simultaneously (Theorem 1.1's
+//     setting).
+//   - RunAsync: the asynchronous model — a sched.Scheduler delivers ticks
+//     and the ticking node updates immediately, optionally with exponential
+//     response delays (§4 extension).
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+	"plurality/internal/syncsim"
+)
+
+// ErrTimeLimit reports an asynchronous run that did not reach consensus
+// within its time budget.
+var ErrTimeLimit = errors.New("dynamics: time limit exceeded")
+
+// Rule is one sampling dynamic. Implementations must be stateless: the
+// engine may call Next concurrently for distinct trials.
+type Rule interface {
+	// Name identifies the rule in traces and tables.
+	Name() string
+	// SampleCount is the number of neighbor samples the rule consumes per
+	// activation.
+	SampleCount() int
+	// Next returns the node's next color given its own color and the
+	// sampled colors (len == SampleCount()). Returning own keeps the
+	// opinion. r is available for randomized tie-breaking.
+	Next(r *rng.RNG, own population.Color, sampled []population.Color) population.Color
+}
+
+// SyncConfig configures a synchronous run.
+type SyncConfig struct {
+	// Graph is the communication topology. Required.
+	Graph graph.Graph
+	// Rand drives all sampling. Required.
+	Rand *rng.RNG
+	// MaxRounds bounds the run. Required (> 0).
+	MaxRounds int
+	// OnRound, if set, observes the population after each committed round.
+	OnRound func(round int, pop *population.Population)
+}
+
+// SyncResult describes a completed synchronous run.
+type SyncResult struct {
+	// Rounds executed (including the final one).
+	Rounds int
+	// Done reports whether consensus was reached within MaxRounds.
+	Done bool
+	// Winner is the consensus color if Done, else the current plurality.
+	Winner population.Color
+}
+
+// RunSync executes the rule in the synchronous model until consensus or
+// MaxRounds. On round exhaustion it returns the partial result together
+// with ErrTimeLimit-compatible syncsim.ErrRoundLimit.
+func RunSync(pop *population.Population, rule Rule, cfg SyncConfig) (SyncResult, error) {
+	if err := validateSync(pop, rule, cfg); err != nil {
+		return SyncResult{}, err
+	}
+	if pop.IsUnanimous() {
+		return SyncResult{Done: true, Winner: pop.Plurality()}, nil
+	}
+	var (
+		n       = pop.N()
+		s       = rule.SampleCount()
+		buf     = syncsim.NewBuffer(pop)
+		sampled = make([]population.Color, s)
+	)
+	res, err := syncsim.Run(cfg.MaxRounds, func(round int) (bool, error) {
+		for u := 0; u < n; u++ {
+			for i := 0; i < s; i++ {
+				sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
+			}
+			next := rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
+			if next == population.None {
+				next = pop.ColorOf(u)
+			}
+			buf.Stage(u, next)
+		}
+		buf.Commit(pop)
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, pop)
+		}
+		return pop.IsUnanimous(), nil
+	})
+	out := SyncResult{
+		Rounds: res.Rounds,
+		Done:   res.Done,
+		Winner: pop.Plurality(),
+	}
+	if errors.Is(err, syncsim.ErrRoundLimit) {
+		return out, fmt.Errorf("dynamics: %s did not converge in %d rounds: %w", rule.Name(), cfg.MaxRounds, ErrTimeLimit)
+	}
+	return out, err
+}
+
+func validateSync(pop *population.Population, rule Rule, cfg SyncConfig) error {
+	switch {
+	case pop == nil:
+		return errors.New("dynamics: nil population")
+	case rule == nil:
+		return errors.New("dynamics: nil rule")
+	case cfg.Graph == nil:
+		return errors.New("dynamics: nil graph")
+	case cfg.Rand == nil:
+		return errors.New("dynamics: nil rand")
+	case cfg.MaxRounds <= 0:
+		return fmt.Errorf("dynamics: MaxRounds = %d, want > 0", cfg.MaxRounds)
+	case cfg.Graph.N() != pop.N():
+		return fmt.Errorf("dynamics: graph has %d nodes, population %d", cfg.Graph.N(), pop.N())
+	case rule.SampleCount() <= 0:
+		return fmt.Errorf("dynamics: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
+	}
+	return nil
+}
+
+// AsyncConfig configures an asynchronous run.
+type AsyncConfig struct {
+	// Graph is the communication topology. Required.
+	Graph graph.Graph
+	// Scheduler delivers node activations. Required; its node count must
+	// match the population.
+	Scheduler sched.Scheduler
+	// Rand drives neighbor sampling (it may be the same generator that
+	// drives the scheduler). Required.
+	Rand *rng.RNG
+	// MaxTime bounds the run in parallel time. Required (> 0).
+	MaxTime float64
+	// Delay models response latency; nil means the paper's base model
+	// (instant responses).
+	Delay sched.DelayModel
+	// OnTick, if set, observes every delivered tick (after the node's
+	// action).
+	OnTick func(t sched.Tick, pop *population.Population)
+}
+
+// AsyncResult describes a completed asynchronous run.
+type AsyncResult struct {
+	// Time is the parallel time of the tick that completed consensus (or
+	// of the last tick before the budget ran out).
+	Time float64
+	// Ticks is the number of activations delivered.
+	Ticks int64
+	// Done reports whether consensus was reached within MaxTime.
+	Done bool
+	// Winner is the consensus color if Done, else the current plurality.
+	Winner population.Color
+}
+
+// pendingUpdate is a decided but not yet applied opinion change, waiting for
+// its response delay to elapse.
+type pendingUpdate struct {
+	readyAt float64
+	next    population.Color
+	waiting bool
+}
+
+// RunAsync executes the rule in the asynchronous model until consensus or
+// MaxTime of parallel time. With a non-nil Delay, a tick either issues a
+// request (sampling neighbor states at request time) or — once the response
+// has arrived — applies the decided update; ticks that land while a response
+// is in flight are spent waiting, exactly the "node blocks for its response"
+// reading of the paper's §4 extension.
+func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
+	if err := validateAsync(pop, rule, cfg); err != nil {
+		return AsyncResult{}, err
+	}
+	if pop.IsUnanimous() {
+		return AsyncResult{Done: true, Winner: pop.Plurality()}, nil
+	}
+	var (
+		n        = pop.N()
+		s        = rule.SampleCount()
+		sampled  = make([]population.Color, s)
+		pending  []pendingUpdate
+		delaying = cfg.Delay != nil
+	)
+	if delaying {
+		if _, instant := cfg.Delay.(sched.ZeroDelay); instant {
+			delaying = false
+		}
+	}
+	if delaying {
+		pending = make([]pendingUpdate, n)
+	}
+
+	var res AsyncResult
+	apply := func(u int, next population.Color) {
+		if next == population.None || next == pop.ColorOf(u) {
+			return
+		}
+		pop.SetColor(u, next)
+		if pop.Count(next) == int64(n) {
+			res.Done = true
+		}
+	}
+
+	last, stopped := sched.RunUntil(cfg.Scheduler, cfg.MaxTime, func(t sched.Tick) bool {
+		u := t.Node
+		switch {
+		case delaying && pending[u].waiting && t.Time >= pending[u].readyAt:
+			// Response has arrived: apply the decided update.
+			apply(u, pending[u].next)
+			pending[u].waiting = false
+		case delaying && pending[u].waiting:
+			// Still waiting for the response; the tick is spent idle.
+		default:
+			for i := 0; i < s; i++ {
+				sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
+			}
+			next := rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
+			if !delaying {
+				apply(u, next)
+				break
+			}
+			d := cfg.Delay.SampleDelay(cfg.Rand)
+			if d <= 0 {
+				apply(u, next)
+				break
+			}
+			pending[u] = pendingUpdate{readyAt: t.Time + d, next: next, waiting: true}
+		}
+		if cfg.OnTick != nil {
+			cfg.OnTick(t, pop)
+		}
+		return !res.Done
+	})
+
+	res.Time = last.Time
+	res.Ticks = last.Seq + 1
+	res.Winner = pop.Plurality()
+	if !stopped {
+		return res, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), cfg.MaxTime, ErrTimeLimit)
+	}
+	return res, nil
+}
+
+func validateAsync(pop *population.Population, rule Rule, cfg AsyncConfig) error {
+	switch {
+	case pop == nil:
+		return errors.New("dynamics: nil population")
+	case rule == nil:
+		return errors.New("dynamics: nil rule")
+	case cfg.Graph == nil:
+		return errors.New("dynamics: nil graph")
+	case cfg.Scheduler == nil:
+		return errors.New("dynamics: nil scheduler")
+	case cfg.Rand == nil:
+		return errors.New("dynamics: nil rand")
+	case cfg.MaxTime <= 0:
+		return fmt.Errorf("dynamics: MaxTime = %v, want > 0", cfg.MaxTime)
+	case cfg.Graph.N() != pop.N():
+		return fmt.Errorf("dynamics: graph has %d nodes, population %d", cfg.Graph.N(), pop.N())
+	case cfg.Scheduler.N() != pop.N():
+		return fmt.Errorf("dynamics: scheduler has %d nodes, population %d", cfg.Scheduler.N(), pop.N())
+	case rule.SampleCount() <= 0:
+		return fmt.Errorf("dynamics: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
+	}
+	return nil
+}

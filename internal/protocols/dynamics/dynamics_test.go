@@ -1,0 +1,370 @@
+package dynamics
+
+import (
+	"errors"
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// adoptFirst is a trivial rule for engine testing: always adopt the sample.
+type adoptFirst struct{}
+
+func (adoptFirst) Name() string     { return "adopt-first" }
+func (adoptFirst) SampleCount() int { return 1 }
+func (adoptFirst) Next(_ *rng.RNG, _ population.Color, s []population.Color) population.Color {
+	return s[0]
+}
+
+// keepOwn never changes opinion; runs can never converge from a split start.
+type keepOwn struct{}
+
+func (keepOwn) Name() string     { return "keep-own" }
+func (keepOwn) SampleCount() int { return 1 }
+func (keepOwn) Next(_ *rng.RNG, own population.Color, _ []population.Color) population.Color {
+	return own
+}
+
+func completeGraph(t *testing.T, n int) graph.Graph {
+	t.Helper()
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustPop(t *testing.T, counts ...int64) *population.Population {
+	t.Helper()
+	p, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunSyncValidation(t *testing.T) {
+	pop := mustPop(t, 5, 5)
+	g := completeGraph(t, 10)
+	r := rng.New(1)
+	tests := []struct {
+		name string
+		pop  *population.Population
+		rule Rule
+		cfg  SyncConfig
+	}{
+		{name: "nil population", rule: adoptFirst{}, cfg: SyncConfig{Graph: g, Rand: r, MaxRounds: 1}},
+		{name: "nil rule", pop: pop, cfg: SyncConfig{Graph: g, Rand: r, MaxRounds: 1}},
+		{name: "nil graph", pop: pop, rule: adoptFirst{}, cfg: SyncConfig{Rand: r, MaxRounds: 1}},
+		{name: "nil rand", pop: pop, rule: adoptFirst{}, cfg: SyncConfig{Graph: g, MaxRounds: 1}},
+		{name: "zero rounds", pop: pop, rule: adoptFirst{}, cfg: SyncConfig{Graph: g, Rand: r}},
+		{
+			name: "size mismatch",
+			pop:  mustPop(t, 3, 3),
+			rule: adoptFirst{},
+			cfg:  SyncConfig{Graph: g, Rand: r, MaxRounds: 1},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := RunSync(tt.pop, tt.rule, tt.cfg); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestRunSyncAlreadyUnanimous(t *testing.T) {
+	pop := mustPop(t, 10)
+	res, err := RunSync(pop, adoptFirst{}, SyncConfig{
+		Graph:     completeGraph(t, 10),
+		Rand:      rng.New(2),
+		MaxRounds: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Rounds != 0 || res.Winner != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunSyncConverges(t *testing.T) {
+	// adopt-first is the synchronous Voter dynamic; on a small clique it
+	// converges quickly.
+	pop := mustPop(t, 20, 20)
+	res, err := RunSync(pop, adoptFirst{}, SyncConfig{
+		Graph:     completeGraph(t, 40),
+		Rand:      rng.New(3),
+		MaxRounds: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if !pop.ConsensusOn(res.Winner) {
+		t.Fatalf("winner %d is not the consensus color; counts %v", res.Winner, pop.Counts())
+	}
+}
+
+func TestRunSyncRoundLimit(t *testing.T) {
+	pop := mustPop(t, 5, 5)
+	res, err := RunSync(pop, keepOwn{}, SyncConfig{
+		Graph:     completeGraph(t, 10),
+		Rand:      rng.New(4),
+		MaxRounds: 7,
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+	if res.Done || res.Rounds != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunSyncOnRoundObserves(t *testing.T) {
+	pop := mustPop(t, 5, 5)
+	var rounds []int
+	_, err := RunSync(pop, keepOwn{}, SyncConfig{
+		Graph:     completeGraph(t, 10),
+		Rand:      rng.New(5),
+		MaxRounds: 3,
+		OnRound: func(r int, p *population.Population) {
+			rounds = append(rounds, r)
+			if p.N() != 10 {
+				t.Errorf("observer got wrong population")
+			}
+		},
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 || rounds[0] != 0 || rounds[2] != 2 {
+		t.Fatalf("observed rounds %v", rounds)
+	}
+}
+
+func TestRunSyncSimultaneousSemantics(t *testing.T) {
+	// With the keep-own rule nothing may ever change, regardless of
+	// sampling — a regression guard for buffer handling.
+	pop := mustPop(t, 3, 7)
+	_, err := RunSync(pop, keepOwn{}, SyncConfig{
+		Graph:     completeGraph(t, 10),
+		Rand:      rng.New(6),
+		MaxRounds: 5,
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatal(err)
+	}
+	if pop.Count(0) != 3 || pop.Count(1) != 7 {
+		t.Fatalf("keep-own changed counts: %v", pop.Counts())
+	}
+}
+
+func newSeqScheduler(t *testing.T, n int, seed uint64) sched.Scheduler {
+	t.Helper()
+	s, err := sched.NewSequential(n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	pop := mustPop(t, 5, 5)
+	g := completeGraph(t, 10)
+	s := newSeqScheduler(t, 10, 1)
+	r := rng.New(1)
+	tests := []struct {
+		name string
+		pop  *population.Population
+		rule Rule
+		cfg  AsyncConfig
+	}{
+		{name: "nil population", rule: adoptFirst{}, cfg: AsyncConfig{Graph: g, Scheduler: s, Rand: r, MaxTime: 1}},
+		{name: "nil rule", pop: pop, cfg: AsyncConfig{Graph: g, Scheduler: s, Rand: r, MaxTime: 1}},
+		{name: "nil graph", pop: pop, rule: adoptFirst{}, cfg: AsyncConfig{Scheduler: s, Rand: r, MaxTime: 1}},
+		{name: "nil scheduler", pop: pop, rule: adoptFirst{}, cfg: AsyncConfig{Graph: g, Rand: r, MaxTime: 1}},
+		{name: "nil rand", pop: pop, rule: adoptFirst{}, cfg: AsyncConfig{Graph: g, Scheduler: s, MaxTime: 1}},
+		{name: "zero time", pop: pop, rule: adoptFirst{}, cfg: AsyncConfig{Graph: g, Scheduler: s, Rand: r}},
+		{
+			name: "scheduler mismatch",
+			pop:  mustPop(t, 3, 3),
+			rule: adoptFirst{},
+			cfg: AsyncConfig{
+				Graph: completeGraph(t, 6), Scheduler: s, Rand: r, MaxTime: 1,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := RunAsync(tt.pop, tt.rule, tt.cfg); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestRunAsyncConverges(t *testing.T) {
+	pop := mustPop(t, 30, 30)
+	res, err := RunAsync(pop, adoptFirst{}, AsyncConfig{
+		Graph:     completeGraph(t, 60),
+		Scheduler: newSeqScheduler(t, 60, 7),
+		Rand:      rng.New(8),
+		MaxTime:   1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if !pop.ConsensusOn(res.Winner) {
+		t.Fatalf("winner %d not consensus; counts %v", res.Winner, pop.Counts())
+	}
+	if res.Ticks <= 0 || res.Time < 0 {
+		t.Fatalf("bogus accounting: %+v", res)
+	}
+}
+
+func TestRunAsyncTimeLimit(t *testing.T) {
+	pop := mustPop(t, 5, 5)
+	res, err := RunAsync(pop, keepOwn{}, AsyncConfig{
+		Graph:     completeGraph(t, 10),
+		Scheduler: newSeqScheduler(t, 10, 9),
+		Rand:      rng.New(10),
+		MaxTime:   3,
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+	if res.Done {
+		t.Fatal("keep-own cannot converge")
+	}
+	if res.Time > 3 {
+		t.Fatalf("res.Time = %v beyond budget", res.Time)
+	}
+}
+
+func TestRunAsyncAlreadyUnanimous(t *testing.T) {
+	pop := mustPop(t, 10)
+	res, err := RunAsync(pop, adoptFirst{}, AsyncConfig{
+		Graph:     completeGraph(t, 10),
+		Scheduler: newSeqScheduler(t, 10, 11),
+		Rand:      rng.New(11),
+		MaxTime:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Winner != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunAsyncWithDelaysStillConverges(t *testing.T) {
+	pop := mustPop(t, 30, 30)
+	res, err := RunAsync(pop, adoptFirst{}, AsyncConfig{
+		Graph:     completeGraph(t, 60),
+		Scheduler: newSeqScheduler(t, 60, 12),
+		Rand:      rng.New(13),
+		MaxTime:   1e6,
+		Delay:     sched.ExpDelay{Rate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || !pop.ConsensusOn(res.Winner) {
+		t.Fatalf("delayed run failed: %+v, counts %v", res, pop.Counts())
+	}
+}
+
+func TestRunAsyncDelaysSlowConvergence(t *testing.T) {
+	// With Exp(0.2) delays (mean 5) every opinion change costs extra
+	// waiting ticks, so convergence takes strictly more parallel time than
+	// the instant-response run on the same seeds.
+	run := func(delay sched.DelayModel) float64 {
+		pop := mustPop(t, 50, 50)
+		res, err := RunAsync(pop, adoptFirst{}, AsyncConfig{
+			Graph:     completeGraph(t, 100),
+			Scheduler: newSeqScheduler(t, 100, 14),
+			Rand:      rng.New(15),
+			MaxTime:   1e6,
+			Delay:     delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	instant := run(nil)
+	delayed := run(sched.ExpDelay{Rate: 0.2})
+	if delayed <= instant {
+		t.Fatalf("delayed run (%.2f) not slower than instant (%.2f)", delayed, instant)
+	}
+}
+
+func TestRunAsyncZeroDelayMatchesNil(t *testing.T) {
+	run := func(delay sched.DelayModel) (float64, population.Color) {
+		pop := mustPop(t, 20, 20)
+		res, err := RunAsync(pop, adoptFirst{}, AsyncConfig{
+			Graph:     completeGraph(t, 40),
+			Scheduler: newSeqScheduler(t, 40, 16),
+			Rand:      rng.New(17),
+			MaxTime:   1e6,
+			Delay:     delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time, res.Winner
+	}
+	t1, w1 := run(nil)
+	t2, w2 := run(sched.ZeroDelay{})
+	if t1 != t2 || w1 != w2 {
+		t.Fatalf("ZeroDelay diverged from nil delay: (%v,%v) vs (%v,%v)", t1, w1, t2, w2)
+	}
+}
+
+func TestRunAsyncDeterministic(t *testing.T) {
+	run := func() AsyncResult {
+		pop := mustPop(t, 25, 25)
+		res, err := RunAsync(pop, adoptFirst{}, AsyncConfig{
+			Graph:     completeGraph(t, 50),
+			Scheduler: newSeqScheduler(t, 50, 18),
+			Rand:      rng.New(19),
+			MaxTime:   1e6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunAsyncOnTickObserves(t *testing.T) {
+	pop := mustPop(t, 5, 5)
+	var ticks int
+	_, err := RunAsync(pop, keepOwn{}, AsyncConfig{
+		Graph:     completeGraph(t, 10),
+		Scheduler: newSeqScheduler(t, 10, 20),
+		Rand:      rng.New(21),
+		MaxTime:   1,
+		OnTick:    func(sched.Tick, *population.Population) { ticks++ },
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatal(err)
+	}
+	if ticks != 11 { // times 0, 0.1, …, 1.0
+		t.Fatalf("observed %d ticks, want 11", ticks)
+	}
+}

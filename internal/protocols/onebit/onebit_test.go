@@ -1,0 +1,292 @@
+package onebit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+func mustComplete(t *testing.T, n int) graph.Graph {
+	t.Helper()
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidation(t *testing.T) {
+	pop, err := population.FromCounts([]int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustComplete(t, 10)
+	r := rng.New(1)
+	tests := []struct {
+		name string
+		pop  *population.Population
+		cfg  Config
+	}{
+		{name: "nil population", cfg: Config{Graph: g, Rand: r, MaxPhases: 1}},
+		{name: "nil graph", pop: pop, cfg: Config{Rand: r, MaxPhases: 1}},
+		{name: "nil rand", pop: pop, cfg: Config{Graph: g, MaxPhases: 1}},
+		{name: "zero phases", pop: pop, cfg: Config{Graph: g, Rand: r}},
+		{name: "negative propagation", pop: pop, cfg: Config{Graph: g, Rand: r, MaxPhases: 1, PropagationRounds: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(tt.pop, tt.cfg); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestDefaultPropagationRounds(t *testing.T) {
+	tests := []struct {
+		n, k    int
+		atLeast int
+		atMost  int
+	}{
+		{n: 1000, k: 2, atLeast: 5, atMost: 12},
+		{n: 1 << 20, k: 64, atLeast: 10, atMost: 18},
+		{n: 1, k: 1, atLeast: 1, atMost: 1},
+	}
+	for _, tt := range tests {
+		got := DefaultPropagationRounds(tt.n, tt.k)
+		if got < tt.atLeast || got > tt.atMost {
+			t.Errorf("DefaultPropagationRounds(%d, %d) = %d, want in [%d, %d]",
+				tt.n, tt.k, got, tt.atLeast, tt.atMost)
+		}
+	}
+	// Monotone-ish in k: more colors need more propagation.
+	if DefaultPropagationRounds(1<<20, 256) <= DefaultPropagationRounds(1<<20, 2) {
+		t.Error("propagation rounds should grow with k")
+	}
+}
+
+func TestAlreadyUnanimous(t *testing.T) {
+	pop, err := population.FromCounts([]int64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pop, Config{Graph: mustComplete(t, 10), Rand: rng.New(2), MaxPhases: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Phases != 0 || res.Winner != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestConvergesWithTheoremBias is the unit-scale version of experiment E4:
+// with bias z·sqrt(n)·log^{3/2} n, OneExtraBit elects the plurality color in
+// few phases even with many colors.
+func TestConvergesWithTheoremBias(t *testing.T) {
+	const n, k = 20000, 16
+	counts, err := population.GapSqrtPolylogCounts(n, k, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		pop, err := population.FromCounts(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(pop, Config{
+			Graph:     mustComplete(t, n),
+			Rand:      rng.At(30, trial),
+			MaxPhases: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("trial %d did not converge: %+v", trial, res)
+		}
+		if res.Winner == 0 {
+			wins++
+		}
+	}
+	if wins < trials-1 {
+		t.Fatalf("plurality won %d/%d trials", wins, trials)
+	}
+}
+
+// TestBeatsLinearPhaseGrowthInK: the phase count must stay polylogarithmic
+// as k grows — the whole point of the extra bit (Theorem 1.2 vs the Ω(k)
+// lower bound of Theorem 1.1).
+func TestBeatsLinearPhaseGrowthInK(t *testing.T) {
+	const n = 30000
+	phasesAt := func(k int) int {
+		counts, err := population.GapSqrtPolylogCounts(n, k, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop, err := population.FromCounts(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(pop, Config{
+			Graph:     mustComplete(t, n),
+			Rand:      rng.New(uint64(40 + k)),
+			MaxPhases: 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Phases
+	}
+	p4 := phasesAt(4)
+	p64 := phasesAt(64)
+	// 16x more colors must cost far less than 16x more phases.
+	if p64 > 4*p4+4 {
+		t.Fatalf("phases grew too fast with k: k=4 -> %d, k=64 -> %d", p4, p64)
+	}
+}
+
+// TestQuadraticBiasAmplification is the unit-scale version of experiment E5:
+// across one phase, c'_1/c'_2 should be roughly (c_1/c_2)² (up to
+// concentration slack), as claimed in §2 of the paper.
+func TestQuadraticBiasAmplification(t *testing.T) {
+	const n, k = 200000, 4
+	counts, err := population.BiasedCounts(n, k, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startRatio := float64(counts[0]) / float64(counts[1])
+
+	var firstPhase *PhaseInfo
+	_, err = Run(pop, Config{
+		Graph:     mustComplete(t, n),
+		Rand:      rng.New(50),
+		MaxPhases: 1,
+		OnPhase: func(info PhaseInfo) {
+			if info.Phase == 0 {
+				cp := info
+				firstPhase = &cp
+			}
+		},
+	})
+	// One phase cannot reach consensus; only the phase budget error is
+	// acceptable here.
+	if err != nil && !errors.Is(err, ErrPhaseLimit) {
+		t.Fatal(err)
+	}
+	if firstPhase == nil {
+		t.Fatal("phase observer never fired")
+	}
+
+	var endRunnerUp int64
+	for _, c := range firstPhase.Counts[1:] {
+		if c > endRunnerUp {
+			endRunnerUp = c
+		}
+	}
+	endRatio := float64(firstPhase.Counts[0]) / float64(endRunnerUp)
+	wantRatio := startRatio * startRatio
+	if endRatio < wantRatio*0.8 || endRatio > wantRatio*1.3 {
+		t.Fatalf("one-phase amplification %.3f -> %.3f, want ~%.3f (quadratic)",
+			startRatio, endRatio, wantRatio)
+	}
+}
+
+// TestBitCountsMatchTheory checks the §2 claim that right after the
+// Two-Choices round the number of bit-set nodes concentrates around
+// Σ c_j²/n, and that propagation then sets (almost) all bits.
+func TestBitCountsMatchTheory(t *testing.T) {
+	const n, k = 100000, 8
+	counts, err := population.UniformCounts(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []PhaseInfo
+	_, err = Run(pop, Config{
+		Graph:     mustComplete(t, n),
+		Rand:      rng.New(60),
+		MaxPhases: 1,
+		OnPhase:   func(info PhaseInfo) { infos = append(infos, info) },
+	})
+	if err != nil && !errors.Is(err, ErrPhaseLimit) {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("got %d phase infos", len(infos))
+	}
+	var wantBits float64
+	for _, c := range counts {
+		wantBits += float64(c) * float64(c) / float64(n)
+	}
+	got := float64(infos[0].BitsAfterTwoChoices)
+	if math.Abs(got-wantBits)/wantBits > 0.10 {
+		t.Errorf("bits after two-choices = %.0f, want ~%.0f", got, wantBits)
+	}
+	if frac := float64(infos[0].BitsAfterPropagation) / n; frac < 0.99 {
+		t.Errorf("bits after propagation cover only %.2f%% of nodes", 100*frac)
+	}
+}
+
+func TestPhaseLimit(t *testing.T) {
+	// One phase with zero propagation rounds cannot finish a 50/50 split
+	// of 1000 nodes.
+	pop, err := population.FromCounts([]int64{500, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pop, Config{
+		Graph:             mustComplete(t, 1000),
+		Rand:              rng.New(70),
+		MaxPhases:         1,
+		PropagationRounds: 1,
+	})
+	if !errors.Is(err, ErrPhaseLimit) {
+		t.Fatalf("err = %v, want ErrPhaseLimit", err)
+	}
+	if res.Done {
+		t.Fatal("cannot be done after one starved phase")
+	}
+	if res.Phases != 1 || res.Rounds != 2 {
+		t.Fatalf("res = %+v, want 1 phase / 2 rounds", res)
+	}
+}
+
+func TestRoundsAccounting(t *testing.T) {
+	const n = 2000
+	counts, err := population.BiasedCounts(n, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const propRounds = 6
+	res, err := Run(pop, Config{
+		Graph:             mustComplete(t, n),
+		Rand:              rng.New(80),
+		MaxPhases:         100,
+		PropagationRounds: propRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRounds := res.Phases * (1 + propRounds)
+	minRounds := (res.Phases - 1) * (1 + propRounds)
+	if res.Rounds > maxRounds || res.Rounds <= minRounds {
+		t.Fatalf("rounds = %d outside (%d, %d] for %d phases", res.Rounds, minRounds, maxRounds, res.Phases)
+	}
+}

@@ -1,0 +1,73 @@
+package threemajority
+
+import (
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/protocols/dynamics"
+	"plurality/internal/rng"
+)
+
+func TestRuleBasics(t *testing.T) {
+	r := Rule{}
+	if r.Name() != "3-majority" || r.SampleCount() != 3 {
+		t.Fatalf("Name=%q SampleCount=%d", r.Name(), r.SampleCount())
+	}
+}
+
+func TestNext(t *testing.T) {
+	r := Rule{}
+	tests := []struct {
+		name    string
+		sampled []population.Color
+		want    population.Color
+	}{
+		{name: "all equal", sampled: []population.Color{4, 4, 4}, want: 4},
+		{name: "first pair", sampled: []population.Color{2, 2, 5}, want: 2},
+		{name: "outer pair", sampled: []population.Color{2, 5, 2}, want: 2},
+		{name: "last pair", sampled: []population.Color{5, 2, 2}, want: 2},
+		{name: "all distinct takes first", sampled: []population.Color{7, 8, 9}, want: 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Next(nil, 0, tt.sampled); got != tt.want {
+				t.Fatalf("Next(%v) = %d, want %d", tt.sampled, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSyncThreeMajorityConvergesToPlurality(t *testing.T) {
+	const n, k = 3000, 5
+	counts, err := population.BiasedCounts(n, k, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		pop, err := population.FromCounts(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.NewComplete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dynamics.RunSync(pop, Rule{}, dynamics.SyncConfig{
+			Graph:     g,
+			Rand:      rng.At(20, trial),
+			MaxRounds: 100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner == 0 {
+			wins++
+		}
+	}
+	if wins < trials-1 {
+		t.Fatalf("plurality won only %d/%d trials", wins, trials)
+	}
+}

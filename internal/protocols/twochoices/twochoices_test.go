@@ -1,0 +1,136 @@
+package twochoices
+
+import (
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/protocols/dynamics"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+func TestRuleBasics(t *testing.T) {
+	r := Rule{}
+	if r.Name() != "two-choices" || r.SampleCount() != 2 {
+		t.Fatalf("Name=%q SampleCount=%d", r.Name(), r.SampleCount())
+	}
+}
+
+func TestNext(t *testing.T) {
+	r := Rule{}
+	tests := []struct {
+		name    string
+		own     population.Color
+		sampled []population.Color
+		want    population.Color
+	}{
+		{name: "agree adopt", own: 0, sampled: []population.Color{2, 2}, want: 2},
+		{name: "agree own color", own: 1, sampled: []population.Color{1, 1}, want: 1},
+		{name: "disagree keep", own: 0, sampled: []population.Color{1, 2}, want: 0},
+		{name: "half agree keep", own: 3, sampled: []population.Color{3, 2}, want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Next(nil, tt.own, tt.sampled); got != tt.want {
+				t.Fatalf("Next(%d, %v) = %d, want %d", tt.own, tt.sampled, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestSyncConvergesToPluralityWithTheoremBias is the unit-scale version of
+// experiment E1: with bias c_1 − c_2 = z·sqrt(n·ln n), synchronous
+// Two-Choices converges to the plurality color.
+func TestSyncConvergesToPluralityWithTheoremBias(t *testing.T) {
+	const n, k = 4000, 4
+	counts, err := population.GapSqrtCounts(n, k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		pop, err := population.FromCounts(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.NewComplete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dynamics.RunSync(pop, Rule{}, dynamics.SyncConfig{
+			Graph:     g,
+			Rand:      rng.At(100, trial),
+			MaxRounds: 100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner == 0 {
+			wins++
+		}
+	}
+	if wins < trials-1 {
+		t.Fatalf("plurality won only %d/%d trials with theorem-level bias", wins, trials)
+	}
+}
+
+// TestAsyncConverges checks the asynchronous (sequential-model) variant
+// reaches consensus on the plurality color under a strong bias.
+func TestAsyncConverges(t *testing.T) {
+	const n = 3000
+	counts, err := population.BiasedCounts(n, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.NewSequential(n, rng.New(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynamics.RunAsync(pop, Rule{}, dynamics.AsyncConfig{
+		Graph:     g,
+		Scheduler: s,
+		Rand:      rng.New(201),
+		MaxTime:   1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Winner != 0 {
+		t.Fatalf("async two-choices failed: %+v", res)
+	}
+}
+
+// TestTwoColorsNoBiasStillConverges: with k=2 and an even split the dynamic
+// must still reach *some* consensus (symmetry broken by randomness).
+func TestTwoColorsNoBiasStillConverges(t *testing.T) {
+	const n = 1000
+	pop, err := population.FromCounts([]int64{n / 2, n / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynamics.RunSync(pop, Rule{}, dynamics.SyncConfig{
+		Graph:     g,
+		Rand:      rng.New(300),
+		MaxRounds: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pop.ConsensusOn(res.Winner) {
+		t.Fatalf("no consensus: %v", pop.Counts())
+	}
+}

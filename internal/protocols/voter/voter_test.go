@@ -1,0 +1,91 @@
+package voter
+
+import (
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/protocols/dynamics"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+func TestRuleBasics(t *testing.T) {
+	r := Rule{}
+	if r.Name() != "voter" || r.SampleCount() != 1 {
+		t.Fatalf("Name=%q SampleCount=%d", r.Name(), r.SampleCount())
+	}
+	if got := r.Next(nil, 5, []population.Color{2}); got != 2 {
+		t.Fatalf("Next = %d, want 2", got)
+	}
+}
+
+func TestAsyncVoterConverges(t *testing.T) {
+	const n = 400
+	pop, err := population.FromCounts([]int64{n / 2, n / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.NewSequential(n, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynamics.RunAsync(pop, Rule{}, dynamics.AsyncConfig{
+		Graph:     g,
+		Scheduler: s,
+		Rand:      rng.New(2),
+		MaxTime:   1e7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || !pop.ConsensusOn(res.Winner) {
+		t.Fatalf("voter failed to converge: %+v", res)
+	}
+}
+
+// TestVoterWinProbabilityProportional verifies the classic property that
+// voter elects each color with probability ~ its initial fraction — which
+// is exactly why it is *not* a plurality-consensus protocol under weak bias.
+func TestVoterWinProbabilityProportional(t *testing.T) {
+	const (
+		n      = 120
+		trials = 400
+	)
+	winsZero := 0
+	for trial := 0; trial < trials; trial++ {
+		pop, err := population.FromCounts([]int64{n / 4, 3 * n / 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.NewComplete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.NewSequential(n, rng.At(10, trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dynamics.RunAsync(pop, Rule{}, dynamics.AsyncConfig{
+			Graph:     g,
+			Scheduler: s,
+			Rand:      rng.At(11, trial),
+			MaxTime:   1e7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner == 0 {
+			winsZero++
+		}
+	}
+	rate := float64(winsZero) / trials
+	// True win probability is 1/4; allow a generous statistical band.
+	if rate < 0.15 || rate > 0.35 {
+		t.Fatalf("color 0 (25%% support) won %.1f%% of runs, want ~25%%", 100*rate)
+	}
+}

@@ -1,0 +1,215 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by every simulator in this repository.
+//
+// The generator is xoshiro256** (Blackman & Vigna) seeded through SplitMix64,
+// the combination recommended by the xoshiro authors. It is deterministic
+// across platforms and Go versions, which the experiment harness relies on:
+// every experiment table in EXPERIMENTS.md is regenerated from fixed seeds.
+//
+// RNG values are not safe for concurrent use; simulators that run trials in
+// parallel derive one independent stream per trial via At or Jump.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct instances with New.
+type RNG struct {
+	s [4]uint64
+
+	// spare holds a cached second output of the Box-Muller transform
+	// for NormFloat64.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator deterministically seeded from seed.
+// Distinct seeds yield (for all practical purposes) independent streams.
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	// xoshiro256** must not be seeded with the all-zero state. SplitMix64
+	// cannot produce four zero outputs in a row, but guard regardless.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// At returns the i-th derived stream of the generator family identified by
+// seed. It is the canonical way to give each trial (or each node) its own
+// independent generator: At(seed, i) and At(seed, j) are decorrelated for
+// i != j because the pair is mixed through SplitMix64 before seeding.
+func At(seed uint64, i int) *RNG {
+	sm := seed ^ 0x632be59bd9b4e019
+	sm, a := splitMix64(sm + uint64(i)*0x9e3779b97f4a7c15)
+	_, b := splitMix64(sm)
+	return New(a ^ (b << 1))
+}
+
+// splitMix64 advances a SplitMix64 state and returns (nextState, output).
+func splitMix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value and advances the state.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire: multiply a 64-bit uniform by n and keep the high word,
+	// rejecting the small biased region of the low word.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// IntnExcept returns a uniform int in [0, n) \ {except}. n must be at least 2
+// and except must lie in [0, n). It is the "sample a neighbor on the clique"
+// primitive: one draw from [0, n-1) remapped around the excluded index.
+func (r *RNG) IntnExcept(n, except int) int {
+	if n < 2 {
+		panic("rng: IntnExcept with n < 2")
+	}
+	v := int(r.Uint64n(uint64(n - 1)))
+	if v >= except {
+		v++
+	}
+	return v
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Bool returns true with probability 1/2.
+func (r *RNG) Bool() bool { return r.Uint64()>>63 == 1 }
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// ExpFloat64 returns an exponentially distributed value with rate 1
+// (mean 1), via inversion of the CDF.
+func (r *RNG) ExpFloat64() float64 {
+	// 1 - Float64() is in (0, 1], so Log never sees zero.
+	return -math.Log(1 - r.Float64())
+}
+
+// NormFloat64 returns a standard normal value using the Box-Muller
+// transform with caching of the second variate.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.spare = mag * math.Sin(2*math.Pi*v)
+	r.hasSpare = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls to
+// Uint64. Repeated Jump calls partition one seed's sequence into long
+// non-overlapping sub-streams, an alternative to At for deriving per-node
+// generators.
+func (r *RNG) Jump() {
+	jump := [4]uint64{
+		0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+		0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+	}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s = [4]uint64{s0, s1, s2, s3}
+	r.hasSpare = false
+}
+
+// Clone returns an independent copy of the generator in its current state.
+// The copy and the original produce identical subsequent streams.
+func (r *RNG) Clone() *RNG {
+	cp := *r
+	return &cp
+}
+
+// State returns the current 256-bit generator state, for test determinism
+// assertions.
+func (r *RNG) State() [4]uint64 { return r.s }

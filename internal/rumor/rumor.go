@@ -1,0 +1,210 @@
+// Package rumor implements randomized rumor spreading (push, pull, and
+// push-pull) on an arbitrary topology — the information-dissemination
+// process the paper's §2 combines with Two-Choices: "we combine the
+// two-choices process with the speed of broadcasting".
+//
+// The Bit-Propagation sub-phase of OneExtraBit and of the asynchronous core
+// protocol is exactly the *pull* variant: uninformed (bitless) nodes sample
+// until they hit an informed (bit-set) node. This package provides the
+// standalone processes with both synchronous and asynchronous engines, and
+// its tests pin down the growth behaviour the paper's phase lengths rely
+// on: push and pull both inform all n nodes in Θ(log n) rounds, with pull's
+// tail shrinking quadratically ((1−f)' = (1−f)², the log log n endgame).
+package rumor
+
+import (
+	"errors"
+	"fmt"
+
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// Strategy selects who initiates the exchange.
+type Strategy int
+
+const (
+	// Push: informed nodes sample a neighbor and inform it.
+	Push Strategy = iota + 1
+	// Pull: uninformed nodes sample a neighbor and become informed if it
+	// is.
+	Pull
+	// PushPull: both.
+	PushPull
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case PushPull:
+		return "push-pull"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ErrBudget reports a run that did not inform every node in budget.
+var ErrBudget = errors.New("rumor: budget exceeded before full dissemination")
+
+// State is the informed/uninformed status of all nodes.
+type State struct {
+	informed []bool
+	count    int
+}
+
+// NewState returns a state with exactly the given source nodes informed.
+func NewState(n int, sources ...int) (*State, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rumor: n = %d, want > 0", n)
+	}
+	if len(sources) == 0 {
+		return nil, errors.New("rumor: need at least one source")
+	}
+	s := &State{informed: make([]bool, n)}
+	for _, src := range sources {
+		if src < 0 || src >= n {
+			return nil, fmt.Errorf("rumor: source %d out of range", src)
+		}
+		if !s.informed[src] {
+			s.informed[src] = true
+			s.count++
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of nodes.
+func (s *State) N() int { return len(s.informed) }
+
+// Informed returns the number of informed nodes.
+func (s *State) Informed() int { return s.count }
+
+// IsInformed reports whether node u is informed.
+func (s *State) IsInformed(u int) bool { return s.informed[u] }
+
+// inform marks u informed.
+func (s *State) inform(u int) {
+	if !s.informed[u] {
+		s.informed[u] = true
+		s.count++
+	}
+}
+
+// SyncResult describes a synchronous dissemination run.
+type SyncResult struct {
+	// Rounds until every node was informed.
+	Rounds int
+	// History[r] is the informed count after round r (History[0] is the
+	// initial count).
+	History []int
+}
+
+// RunSync spreads the rumor in synchronous rounds until everyone is
+// informed or maxRounds elapse. Exchanges within a round all read the
+// round-start state (simultaneous semantics).
+func RunSync(st *State, strategy Strategy, g graph.Graph, r *rng.RNG, maxRounds int) (SyncResult, error) {
+	if err := validate(st, strategy, g, r); err != nil {
+		return SyncResult{}, err
+	}
+	if maxRounds <= 0 {
+		return SyncResult{}, fmt.Errorf("rumor: maxRounds = %d, want > 0", maxRounds)
+	}
+	n := st.N()
+	res := SyncResult{History: []int{st.Informed()}}
+	frozen := make([]bool, n)
+	newly := make([]int, 0, n)
+	for round := 1; round <= maxRounds; round++ {
+		copy(frozen, st.informed)
+		newly = newly[:0]
+		for u := 0; u < n; u++ {
+			switch {
+			case frozen[u] && (strategy == Push || strategy == PushPull):
+				v := g.Sample(r, u)
+				if !frozen[v] {
+					newly = append(newly, v)
+				}
+			}
+			if !frozen[u] && (strategy == Pull || strategy == PushPull) {
+				v := g.Sample(r, u)
+				if frozen[v] {
+					newly = append(newly, u)
+				}
+			}
+		}
+		for _, u := range newly {
+			st.inform(u)
+		}
+		res.History = append(res.History, st.Informed())
+		if st.Informed() == n {
+			res.Rounds = round
+			return res, nil
+		}
+	}
+	res.Rounds = maxRounds
+	return res, fmt.Errorf("rumor: %d/%d informed after %d rounds: %w", st.Informed(), n, maxRounds, ErrBudget)
+}
+
+// AsyncResult describes an asynchronous dissemination run.
+type AsyncResult struct {
+	// Time is the parallel time at which the last node was informed.
+	Time float64
+	// Ticks is the number of activations consumed.
+	Ticks int64
+}
+
+// RunAsync spreads the rumor under the given scheduler until everyone is
+// informed or maxTime elapses. On each tick the activated node pushes
+// and/or pulls once, per the strategy.
+func RunAsync(st *State, strategy Strategy, g graph.Graph, s sched.Scheduler, r *rng.RNG, maxTime float64) (AsyncResult, error) {
+	if err := validate(st, strategy, g, r); err != nil {
+		return AsyncResult{}, err
+	}
+	if s == nil {
+		return AsyncResult{}, errors.New("rumor: nil scheduler")
+	}
+	if s.N() != st.N() {
+		return AsyncResult{}, fmt.Errorf("rumor: scheduler has %d nodes, state %d", s.N(), st.N())
+	}
+	if maxTime <= 0 {
+		return AsyncResult{}, fmt.Errorf("rumor: maxTime = %v, want > 0", maxTime)
+	}
+	n := st.N()
+	last, stopped := sched.RunUntil(s, maxTime, func(t sched.Tick) bool {
+		u := t.Node
+		if st.informed[u] && (strategy == Push || strategy == PushPull) {
+			st.inform(g.Sample(r, u))
+		}
+		if !st.informed[u] && (strategy == Pull || strategy == PushPull) {
+			if v := g.Sample(r, u); st.informed[v] {
+				st.inform(u)
+			}
+		}
+		return st.Informed() < n
+	})
+	res := AsyncResult{Time: last.Time, Ticks: last.Seq + 1}
+	if !stopped {
+		return res, fmt.Errorf("rumor: %d/%d informed by time %v: %w", st.Informed(), n, maxTime, ErrBudget)
+	}
+	return res, nil
+}
+
+func validate(st *State, strategy Strategy, g graph.Graph, r *rng.RNG) error {
+	switch {
+	case st == nil:
+		return errors.New("rumor: nil state")
+	case g == nil:
+		return errors.New("rumor: nil graph")
+	case r == nil:
+		return errors.New("rumor: nil rand")
+	case g.N() != st.N():
+		return fmt.Errorf("rumor: graph has %d nodes, state %d", g.N(), st.N())
+	case strategy != Push && strategy != Pull && strategy != PushPull:
+		return fmt.Errorf("rumor: unknown strategy %d", strategy)
+	}
+	return nil
+}

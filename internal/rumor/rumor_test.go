@@ -1,0 +1,295 @@
+package rumor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+func completeGraph(t *testing.T, n int) graph.Graph {
+	t.Helper()
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewStateValidation(t *testing.T) {
+	if _, err := NewState(0, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewState(5); err == nil {
+		t.Error("no sources should fail")
+	}
+	if _, err := NewState(5, 7); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+	st, err := NewState(5, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Informed() != 2 || !st.IsInformed(1) || !st.IsInformed(3) || st.IsInformed(0) {
+		t.Fatalf("state wrong: informed=%d", st.Informed())
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Push.String() != "push" || Pull.String() != "pull" || PushPull.String() != "push-pull" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() != "strategy(9)" {
+		t.Error("unknown strategy string wrong")
+	}
+}
+
+func TestRunSyncInformsEveryone(t *testing.T) {
+	tests := []struct {
+		name     string
+		strategy Strategy
+	}{
+		{name: "push", strategy: Push},
+		{name: "pull", strategy: Pull},
+		{name: "push-pull", strategy: PushPull},
+	}
+	const n = 2000
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			st, err := NewState(n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunSync(st, tt.strategy, completeGraph(t, n), rng.New(1), 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Informed() != n {
+				t.Fatalf("informed %d/%d", st.Informed(), n)
+			}
+			// Θ(log n) rounds with a modest constant.
+			ln2 := math.Log2(float64(n))
+			if float64(res.Rounds) < ln2/2 || float64(res.Rounds) > 6*ln2 {
+				t.Fatalf("%s took %d rounds, want Θ(log2 n) ~ %.0f", tt.strategy, res.Rounds, ln2)
+			}
+			if len(res.History) != res.Rounds+1 {
+				t.Fatalf("history length %d for %d rounds", len(res.History), res.Rounds)
+			}
+			for i := 1; i < len(res.History); i++ {
+				if res.History[i] < res.History[i-1] {
+					t.Fatal("informed count decreased")
+				}
+			}
+		})
+	}
+}
+
+func TestPushDoublesEarly(t *testing.T) {
+	// In the exponential-growth phase, push grows the informed set by
+	// ~2x per round (every informed node informs one other, few
+	// collisions while the set is small).
+	const n = 100000
+	st, err := NewState(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSync(st, Push, completeGraph(t, n), rng.New(2), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check growth factors while below n/8.
+	for i := 1; i < len(res.History); i++ {
+		prev, cur := res.History[i-1], res.History[i]
+		if cur > n/8 || prev < 32 {
+			continue
+		}
+		factor := float64(cur) / float64(prev)
+		if factor < 1.6 || factor > 2.05 {
+			t.Fatalf("round %d: growth factor %.2f, want ~2 (history %v)", i, factor, res.History[:i+1])
+		}
+	}
+}
+
+func TestPullTailShrinksQuadratically(t *testing.T) {
+	// Once a majority is informed, the uninformed fraction u satisfies
+	// u' ≈ u² per pull round — the log log n endgame the paper's
+	// Bit-Propagation length relies on.
+	const n = 200000
+	st, err := NewState(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSync(st, Pull, completeGraph(t, n), rng.New(3), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i := 1; i < len(res.History); i++ {
+		uPrev := 1 - float64(res.History[i-1])/n
+		uCur := 1 - float64(res.History[i])/n
+		if uPrev > 0.3 || uPrev < 0.001 {
+			continue
+		}
+		pred := uPrev * uPrev
+		if uCur > 3*pred+1e-9 || uCur < pred/3 {
+			t.Fatalf("round %d: uninformed %.5f -> %.5f, predicted ~%.5f", i, uPrev, uCur, pred)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no rounds in the quadratic-shrink regime")
+	}
+}
+
+func TestRunSyncBudget(t *testing.T) {
+	st, err := NewState(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunSync(st, Push, completeGraph(t, 1000), rng.New(4), 2)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestRunSyncValidation(t *testing.T) {
+	st, err := NewState(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := completeGraph(t, 10)
+	if _, err := RunSync(nil, Push, g, rng.New(1), 10); err == nil {
+		t.Error("nil state should fail")
+	}
+	if _, err := RunSync(st, Strategy(0), g, rng.New(1), 10); err == nil {
+		t.Error("bad strategy should fail")
+	}
+	if _, err := RunSync(st, Push, completeGraph(t, 5), rng.New(1), 10); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, err := RunSync(st, Push, g, rng.New(1), 0); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if _, err := RunSync(st, Push, g, nil, 10); err == nil {
+		t.Error("nil rand should fail")
+	}
+}
+
+func TestRunAsyncInformsEveryone(t *testing.T) {
+	const n = 5000
+	for _, strategy := range []Strategy{Push, Pull, PushPull} {
+		st, err := NewState(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.NewSequential(n, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunAsync(st, strategy, completeGraph(t, n), s, rng.New(6), 1e5)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if st.Informed() != n {
+			t.Fatalf("%s informed %d/%d", strategy, st.Informed(), n)
+		}
+		ln := math.Log(float64(n))
+		if res.Time < ln/2 || res.Time > 10*ln {
+			t.Fatalf("%s took %.1f time, want Θ(ln n) ~ %.1f", strategy, res.Time, ln)
+		}
+	}
+}
+
+func TestRunAsyncPushPullFasterThanEither(t *testing.T) {
+	const n = 20000
+	run := func(strategy Strategy) float64 {
+		st, err := NewState(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.NewSequential(n, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunAsync(st, strategy, completeGraph(t, n), s, rng.New(8), 1e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	pp := run(PushPull)
+	if push := run(Push); pp >= push {
+		t.Fatalf("push-pull (%.1f) not faster than push (%.1f)", pp, push)
+	}
+	if pull := run(Pull); pp >= pull {
+		t.Fatalf("push-pull (%.1f) not faster than pull (%.1f)", pp, pull)
+	}
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	st, err := NewState(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := completeGraph(t, 10)
+	s, err := sched.NewSequential(10, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAsync(st, Push, g, nil, rng.New(1), 10); err == nil {
+		t.Error("nil scheduler should fail")
+	}
+	if _, err := RunAsync(st, Push, g, s, rng.New(1), 0); err == nil {
+		t.Error("zero budget should fail")
+	}
+	s5, err := sched.NewSequential(5, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAsync(st, Push, g, s5, rng.New(1), 10); err == nil {
+		t.Error("scheduler size mismatch should fail")
+	}
+}
+
+func TestRumorOnRingIsSlow(t *testing.T) {
+	// On the cycle, rumor spreading is Θ(n), not Θ(log n) — a sanity
+	// check that the topology abstraction actually matters.
+	const n = 200
+	g, err := graph.NewCycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSync(st, PushPull, g, rng.New(11), 10*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < n/8 {
+		t.Fatalf("cycle spread in %d rounds, expected Ω(n/8) = %d", res.Rounds, n/8)
+	}
+}
+
+func BenchmarkPushPullSyncRound(b *testing.B) {
+	const n = 100000
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := NewState(n, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunSync(st, PushPull, g, r, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

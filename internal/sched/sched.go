@@ -1,0 +1,176 @@
+// Package sched implements the two asynchronous execution models of the
+// paper plus the §4 response-delay extension.
+//
+// In the *continuous* model every node carries an independent Poisson clock
+// with rate λ = 1 and acts whenever its clock ticks. In the *sequential*
+// model a discrete step selects one node uniformly at random, and parallel
+// time advances by 1/n per step. The paper (citing Mosk-Aoyama & Shah 2008)
+// treats the two as run-time equivalent; experiment E11 verifies this on
+// the actual protocol.
+//
+// Both engines produce the same Tick stream abstraction so protocols are
+// written once and run under either model.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"plurality/internal/rng"
+)
+
+// Tick is one activation of a node.
+type Tick struct {
+	// Node is the index of the activated node.
+	Node int
+	// Time is the parallel time at which the activation occurs:
+	// steps/n for the sequential engine, the Poisson event time for the
+	// continuous engine.
+	Time float64
+	// Seq is the global activation sequence number, starting at 0.
+	Seq int64
+}
+
+// Scheduler produces an infinite stream of node activations.
+type Scheduler interface {
+	// Next returns the next activation. Time and Seq are non-decreasing.
+	Next() Tick
+	// N returns the number of nodes being scheduled.
+	N() int
+}
+
+// Sequential is the paper's sequential asynchronous model: each step
+// activates a node chosen uniformly at random and advances parallel time by
+// 1/n.
+type Sequential struct {
+	n   int
+	r   *rng.RNG
+	seq int64
+}
+
+// NewSequential returns a sequential scheduler over n nodes driven by r.
+func NewSequential(n int, r *rng.RNG) (*Sequential, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: sequential scheduler needs n > 0, got %d", n)
+	}
+	return &Sequential{n: n, r: r}, nil
+}
+
+// N implements Scheduler.
+func (s *Sequential) N() int { return s.n }
+
+// Next implements Scheduler.
+func (s *Sequential) Next() Tick {
+	t := Tick{
+		Node: s.r.Intn(s.n),
+		Time: float64(s.seq) / float64(s.n),
+		Seq:  s.seq,
+	}
+	s.seq++
+	return t
+}
+
+// Poisson is the continuous asynchronous model: every node ticks according
+// to an independent Poisson process with the configured rate; events are
+// delivered in time order.
+type Poisson struct {
+	n    int
+	rate float64
+	r    *rng.RNG
+	pq   eventHeap
+	seq  int64
+}
+
+// NewPoisson returns a continuous-time scheduler over n nodes with
+// per-node Poisson clocks of the given rate (the paper uses rate 1).
+func NewPoisson(n int, rate float64, r *rng.RNG) (*Poisson, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: poisson scheduler needs n > 0, got %d", n)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("sched: poisson scheduler needs rate > 0, got %v", rate)
+	}
+	p := &Poisson{
+		n:    n,
+		rate: rate,
+		r:    r,
+		pq:   make(eventHeap, 0, n),
+	}
+	for u := 0; u < n; u++ {
+		p.pq = append(p.pq, event{time: r.ExpFloat64() / rate, node: u})
+	}
+	heap.Init(&p.pq)
+	return p, nil
+}
+
+// N implements Scheduler.
+func (p *Poisson) N() int { return p.n }
+
+// Next implements Scheduler.
+func (p *Poisson) Next() Tick {
+	ev := p.pq[0]
+	t := Tick{Node: ev.node, Time: ev.time, Seq: p.seq}
+	p.seq++
+	p.pq[0].time = ev.time + p.r.ExpFloat64()/p.rate
+	heap.Fix(&p.pq, 0)
+	return t
+}
+
+type event struct {
+	time float64
+	node int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunUntil drives s, invoking step for every tick, until either step
+// returns false (the protocol reports completion) or Time exceeds maxTime.
+// It returns the last tick delivered and whether the run stopped because
+// step returned false.
+func RunUntil(s Scheduler, maxTime float64, step func(Tick) bool) (last Tick, stopped bool) {
+	for {
+		t := s.Next()
+		if t.Time > maxTime {
+			return last, false
+		}
+		last = t
+		if !step(t) {
+			return last, true
+		}
+	}
+}
+
+// DelayModel samples the network transit delay of one request/response
+// exchange, implementing the §4 extension. The paper's base model has zero
+// delay; the extension draws delays from an exponential distribution with a
+// constant (n-independent) parameter.
+type DelayModel interface {
+	// SampleDelay returns a non-negative delay.
+	SampleDelay(r *rng.RNG) float64
+}
+
+// ZeroDelay is the paper's base model: responses arrive instantly.
+type ZeroDelay struct{}
+
+// SampleDelay implements DelayModel.
+func (ZeroDelay) SampleDelay(*rng.RNG) float64 { return 0 }
+
+// ExpDelay draws Exp(Rate) delays.
+type ExpDelay struct {
+	Rate float64
+}
+
+// SampleDelay implements DelayModel.
+func (d ExpDelay) SampleDelay(r *rng.RNG) float64 { return r.ExpFloat64() / d.Rate }

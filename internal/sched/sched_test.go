@@ -1,0 +1,297 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestNewSequentialValidation(t *testing.T) {
+	if _, err := NewSequential(0, rng.New(1)); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestSequentialTimeAdvances(t *testing.T) {
+	s, err := NewSequential(10, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 10 {
+		t.Fatalf("N = %d", s.N())
+	}
+	for i := 0; i < 100; i++ {
+		tick := s.Next()
+		if tick.Seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", tick.Seq, i)
+		}
+		if want := float64(i) / 10; tick.Time != want {
+			t.Fatalf("time = %v, want %v", tick.Time, want)
+		}
+		if tick.Node < 0 || tick.Node >= 10 {
+			t.Fatalf("node = %d out of range", tick.Node)
+		}
+	}
+}
+
+func TestSequentialUniformSelection(t *testing.T) {
+	const n = 8
+	s, err := NewSequential(n, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Next().Node]++
+	}
+	want := float64(draws) / n
+	for u, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("node %d activated %d times, want ~%.0f", u, c, want)
+		}
+	}
+}
+
+func TestNewPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0, 1, rng.New(1)); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewPoisson(5, 0, rng.New(1)); err == nil {
+		t.Error("rate=0 should fail")
+	}
+}
+
+func TestPoissonTimeMonotone(t *testing.T) {
+	p, err := NewPoisson(50, 1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i := 0; i < 5000; i++ {
+		tick := p.Next()
+		if tick.Time < prev {
+			t.Fatalf("time went backwards: %v after %v", tick.Time, prev)
+		}
+		prev = tick.Time
+		if tick.Seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", tick.Seq, i)
+		}
+	}
+}
+
+func TestPoissonPerNodeRate(t *testing.T) {
+	// Over horizon T, each node should tick ~Poisson(rate*T) times.
+	const (
+		n       = 200
+		rate    = 1.0
+		horizon = 50.0
+	)
+	p, err := NewPoisson(n, rate, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for {
+		tick := p.Next()
+		if tick.Time > horizon {
+			break
+		}
+		counts[tick.Node]++
+	}
+	var sum, sumSq float64
+	for _, c := range counts {
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-horizon)/horizon > 0.1 {
+		t.Errorf("mean ticks = %.2f, want ~%.0f", mean, horizon)
+	}
+	// Poisson: variance ~ mean.
+	if variance < horizon*0.6 || variance > horizon*1.6 {
+		t.Errorf("tick variance = %.2f, want ~%.0f", variance, horizon)
+	}
+}
+
+func TestPoissonRateScaling(t *testing.T) {
+	const n, horizon = 100, 20.0
+	p, err := NewPoisson(n, 3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks int
+	for {
+		if p.Next().Time > horizon {
+			break
+		}
+		ticks++
+	}
+	want := float64(n) * 3 * horizon
+	if math.Abs(float64(ticks)-want)/want > 0.05 {
+		t.Errorf("ticks = %d, want ~%.0f", ticks, want)
+	}
+}
+
+func TestSequentialPoissonSameMeanThroughput(t *testing.T) {
+	// Over a fixed parallel-time horizon, both engines deliver ~n·T ticks.
+	const n, horizon = 300, 30.0
+	seq, err := NewSequential(n, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poi, err := NewPoisson(n, 1, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(s Scheduler) int {
+		c := 0
+		for {
+			if s.Next().Time > horizon {
+				return c
+			}
+			c++
+		}
+	}
+	a, b := count(seq), count(poi)
+	want := float64(n * horizon)
+	if math.Abs(float64(a)-want)/want > 0.02 {
+		t.Errorf("sequential ticks = %d, want ~%.0f", a, want)
+	}
+	if math.Abs(float64(b)-want)/want > 0.05 {
+		t.Errorf("poisson ticks = %d, want ~%.0f", b, want)
+	}
+}
+
+func TestRunUntilStopsOnTime(t *testing.T) {
+	s, err := NewSequential(10, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks int
+	last, stopped := RunUntil(s, 5.0, func(Tick) bool {
+		ticks++
+		return true
+	})
+	if stopped {
+		t.Error("should have stopped on time, not on step")
+	}
+	// Ticks occur at times 0, 0.1, …; the tick at exactly t = 5.0 is
+	// still delivered (RunUntil stops strictly beyond maxTime), so 51.
+	if ticks != 51 {
+		t.Errorf("delivered %d ticks through time 5 on n=10, want 51", ticks)
+	}
+	if last.Time > 5.0 {
+		t.Errorf("last delivered tick at %v > maxTime", last.Time)
+	}
+}
+
+func TestRunUntilStopsOnStep(t *testing.T) {
+	s, err := NewSequential(10, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks int
+	_, stopped := RunUntil(s, 1e9, func(Tick) bool {
+		ticks++
+		return ticks < 7
+	})
+	if !stopped {
+		t.Error("should have stopped on step")
+	}
+	if ticks != 7 {
+		t.Errorf("ticks = %d, want 7", ticks)
+	}
+}
+
+func TestCouponCollectorTime(t *testing.T) {
+	// The time until every node has ticked at least once concentrates
+	// around ln n — this is the heart of the paper's Ω(log n) lower bound
+	// on any asynchronous protocol. Generous tolerance band.
+	for _, n := range []int{1000, 10000} {
+		s, err := NewSequential(n, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		remaining := n
+		var when float64
+		for remaining > 0 {
+			tick := s.Next()
+			if !seen[tick.Node] {
+				seen[tick.Node] = true
+				remaining--
+				when = tick.Time
+			}
+		}
+		ln := math.Log(float64(n))
+		if when < 0.5*ln || when > 3*ln {
+			t.Errorf("n=%d: all-ticked time %.2f outside [%.2f, %.2f]", n, when, 0.5*ln, 3*ln)
+		}
+	}
+}
+
+func TestDelayModels(t *testing.T) {
+	r := rng.New(10)
+	if d := (ZeroDelay{}).SampleDelay(r); d != 0 {
+		t.Fatalf("ZeroDelay sampled %v", d)
+	}
+	ed := ExpDelay{Rate: 2}
+	const draws = 50000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		v := ed.SampleDelay(r)
+		if v < 0 {
+			t.Fatalf("negative delay %v", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("ExpDelay(2) mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestSchedulersDeterministic(t *testing.T) {
+	mk := func() []int {
+		s, err := NewPoisson(20, 1, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nodes []int
+		for i := 0; i < 200; i++ {
+			nodes = append(nodes, s.Next().Node)
+		}
+		return nodes
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tick %d: %d != %d with identical seed", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkSequentialNext(b *testing.B) {
+	s, err := NewSequential(1_000_000, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}
+
+func BenchmarkPoissonNext(b *testing.B) {
+	s, err := NewPoisson(1_000_000, 1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

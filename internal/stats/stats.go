@@ -1,0 +1,240 @@
+// Package stats provides the summary statistics and curve-fitting helpers
+// the experiment harness uses to turn raw simulation measurements into the
+// growth-shape checks recorded in EXPERIMENTS.md: means with confidence
+// intervals, quantiles, and least-squares fits against linear, logarithmic
+// and power-law models.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData reports a computation that needs more samples than it
+// was given.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Summary holds the first and second moments plus extremes of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrInsufficientData for an
+// empty sample; variance is reported as 0 for singletons.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrInsufficientData
+	}
+	s := Summary{
+		N:   len(xs),
+		Min: xs[0],
+		Max: xs[0],
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Var)
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// Quantile returns the q-quantile of xs (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics. It copies and sorts internally.
+// Quantile of an empty slice is NaN.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns the quantiles of xs at each q in qs, sharing one sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanCI95 returns the sample mean and the half-width of its normal-theory
+// 95% confidence interval.
+func MeanCI95(xs []float64) (mean, half float64, err error) {
+	s, err := Summarize(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s.N < 2 {
+		return s.Mean, math.Inf(1), nil
+	}
+	return s.Mean, 1.96 * s.Std / math.Sqrt(float64(s.N)), nil
+}
+
+// Fit is the result of a least-squares regression y ≈ Slope·f(x) + Intercept,
+// where f is the identity for LinearFit, log for LogFit, and the whole fit is
+// performed in log-log space for PowerFit (where Slope is the exponent).
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit performs ordinary least squares of y against x.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		return Fit{}, ErrInsufficientData
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, errors.New("stats: LinearFit degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	// Coefficient of determination.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// LogFit fits y ≈ Slope·ln(x) + Intercept. All x must be positive.
+func LogFit(x, y []float64) (Fit, error) {
+	lx := make([]float64, len(x))
+	for i, v := range x {
+		if v <= 0 {
+			return Fit{}, errors.New("stats: LogFit needs positive x")
+		}
+		lx[i] = math.Log(v)
+	}
+	return LinearFit(lx, y)
+}
+
+// PowerFit fits y ≈ C·x^Slope by regressing ln(y) on ln(x); the returned
+// Intercept is ln(C). All x and y must be positive.
+func PowerFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, errors.New("stats: PowerFit length mismatch")
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return Fit{}, errors.New("stats: PowerFit needs positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected counts. Entries with expected ≤ 0 are skipped.
+func ChiSquare(observed []int, expected []float64) float64 {
+	var stat float64
+	for i := range observed {
+		if i >= len(expected) || expected[i] <= 0 {
+			continue
+		}
+		d := float64(observed[i]) - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat
+}
+
+// ChiSquareCritical95 approximates the 95th percentile of the chi-square
+// distribution with df degrees of freedom, using the Wilson-Hilferty cube
+// approximation. Accurate to a few percent for df ≥ 2, which suffices for
+// the generous statistical gates used in tests.
+func ChiSquareCritical95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	const z95 = 1.6448536269514722
+	d := float64(df)
+	t := 1 - 2/(9*d) + z95*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}

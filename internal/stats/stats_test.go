@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	tests := []struct {
+		name       string
+		give       []float64
+		wantMean   float64
+		wantVar    float64
+		wantMin    float64
+		wantMax    float64
+		wantMedian float64
+	}{
+		{
+			name:       "simple",
+			give:       []float64{1, 2, 3, 4, 5},
+			wantMean:   3,
+			wantVar:    2.5,
+			wantMin:    1,
+			wantMax:    5,
+			wantMedian: 3,
+		},
+		{
+			name:       "singleton",
+			give:       []float64{7},
+			wantMean:   7,
+			wantVar:    0,
+			wantMin:    7,
+			wantMax:    7,
+			wantMedian: 7,
+		},
+		{
+			name:       "negative values",
+			give:       []float64{-2, 0, 2},
+			wantMean:   0,
+			wantVar:    4,
+			wantMin:    -2,
+			wantMax:    2,
+			wantMedian: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := Summarize(tt.give)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(s.Mean, tt.wantMean, 1e-12) {
+				t.Errorf("Mean = %v, want %v", s.Mean, tt.wantMean)
+			}
+			if !almostEqual(s.Var, tt.wantVar, 1e-12) {
+				t.Errorf("Var = %v, want %v", s.Var, tt.wantVar)
+			}
+			if s.Min != tt.wantMin || s.Max != tt.wantMax {
+				t.Errorf("Min/Max = %v/%v, want %v/%v", s.Min, s.Max, tt.wantMin, tt.wantMax)
+			}
+			if !almostEqual(s.Median, tt.wantMedian, 1e-12) {
+				t.Errorf("Median = %v, want %v", s.Median, tt.wantMedian)
+			}
+		})
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 1, want: 4},
+		{q: 0.5, want: 2.5},
+		{q: 0.25, want: 1.75},
+		{q: -0.5, want: 1},
+		{q: 2, want: 4},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestQuantilesConsistentWithQuantile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5}
+	qs := []float64{0.1, 0.5, 0.9}
+	got := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if want := Quantile(xs, q); !almostEqual(got[i], want, 1e-12) {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileWithinBounds(t *testing.T) {
+	check := func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qq := math.Abs(math.Mod(q, 1))
+		v := Quantile(raw, qq)
+		lo, hi := raw[0], raw[0]
+		for _, x := range raw {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // mean 0.5, std ~0.5
+	}
+	mean, half, err := MeanCI95(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mean, 0.5, 1e-12) {
+		t.Errorf("mean = %v", mean)
+	}
+	wantHalf := 1.96 * 0.50251890762960605 / 10 // std of alternating 0/1 sample
+	if !almostEqual(half, wantHalf, 1e-9) {
+		t.Errorf("half = %v, want %v", half, wantHalf)
+	}
+}
+
+func TestMeanCI95Singleton(t *testing.T) {
+	_, half, err := MeanCI95([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(half, 1) {
+		t.Fatalf("singleton CI half-width = %v, want +Inf", half)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-9) || !almostEqual(fit.Intercept, 3, 1e-9) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("single point: err = %v, want ErrInsufficientData", err)
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+}
+
+func TestLogFitRecoversLogCurve(t *testing.T) {
+	// y = 4·ln(x) + 1
+	var x, y []float64
+	for _, v := range []float64{2, 4, 8, 16, 32, 64} {
+		x = append(x, v)
+		y = append(y, 4*math.Log(v)+1)
+	}
+	fit, err := LogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 4, 1e-9) || !almostEqual(fit.Intercept, 1, 1e-9) {
+		t.Fatalf("fit = %+v, want slope 4 intercept 1", fit)
+	}
+}
+
+func TestLogFitRejectsNonPositive(t *testing.T) {
+	if _, err := LogFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("LogFit with x=0 should fail")
+	}
+}
+
+func TestPowerFitRecoversExponent(t *testing.T) {
+	// y = 3·x^1.5
+	var x, y []float64
+	for _, v := range []float64{1, 2, 4, 8, 16} {
+		x = append(x, v)
+		y = append(y, 3*math.Pow(v, 1.5))
+	}
+	fit, err := PowerFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 1.5, 1e-9) {
+		t.Fatalf("exponent = %v, want 1.5", fit.Slope)
+	}
+	if !almostEqual(math.Exp(fit.Intercept), 3, 1e-6) {
+		t.Fatalf("constant = %v, want 3", math.Exp(fit.Intercept))
+	}
+}
+
+func TestPowerFitRejectsNonPositive(t *testing.T) {
+	if _, err := PowerFit([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("PowerFit with y=0 should fail")
+	}
+	if _, err := PowerFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	obs := []int{10, 20, 30}
+	exp := []float64{20, 20, 20}
+	// (100 + 0 + 100) / 20 = 10
+	if got := ChiSquare(obs, exp); !almostEqual(got, 10, 1e-12) {
+		t.Fatalf("ChiSquare = %v, want 10", got)
+	}
+	// Expected zero entries are skipped.
+	if got := ChiSquare([]int{5}, []float64{0}); got != 0 {
+		t.Fatalf("ChiSquare with zero expected = %v, want 0", got)
+	}
+}
+
+func TestChiSquareCritical95KnownValues(t *testing.T) {
+	// Reference values of the chi-square 95th percentile.
+	tests := []struct {
+		df   int
+		want float64
+	}{
+		{df: 1, want: 3.841},
+		{df: 5, want: 11.070},
+		{df: 10, want: 18.307},
+		{df: 50, want: 67.505},
+	}
+	for _, tt := range tests {
+		got := ChiSquareCritical95(tt.df)
+		if math.Abs(got-tt.want)/tt.want > 0.05 {
+			t.Errorf("df=%d: got %.3f, want ~%.3f", tt.df, got, tt.want)
+		}
+	}
+	if ChiSquareCritical95(0) != 0 {
+		t.Error("df=0 should give 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestMedianMatchesQuantile(t *testing.T) {
+	xs := []float64{1, 9, 4}
+	if Median(xs) != Quantile(xs, 0.5) {
+		t.Error("Median disagrees with Quantile(0.5)")
+	}
+}

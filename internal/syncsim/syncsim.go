@@ -1,0 +1,93 @@
+// Package syncsim is the substrate for the paper's synchronous model
+// (Theorems 1.1 and 1.2): protocols operate in discrete rounds, every node
+// samples the *current* configuration, and all updates are applied
+// simultaneously at the round boundary.
+//
+// The package provides the round loop and the double-buffered commit that
+// guarantees simultaneity; protocols supply the per-node update rule.
+package syncsim
+
+import (
+	"errors"
+	"fmt"
+
+	"plurality/internal/population"
+)
+
+// ErrRoundLimit reports that a protocol did not finish within the round
+// budget.
+var ErrRoundLimit = errors.New("syncsim: round limit exceeded")
+
+// Result describes a completed synchronous run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Done reports whether the protocol signalled completion (as opposed
+	// to exhausting the round budget).
+	Done bool
+}
+
+// Run executes round(r) for r = 0, 1, … until it reports done or maxRounds
+// is reached. A run that exhausts the budget returns ErrRoundLimit alongside
+// the partial result so callers can still inspect progress.
+func Run(maxRounds int, round func(r int) (done bool, err error)) (Result, error) {
+	if maxRounds <= 0 {
+		return Result{}, fmt.Errorf("syncsim: maxRounds = %d, want > 0", maxRounds)
+	}
+	for r := 0; r < maxRounds; r++ {
+		done, err := round(r)
+		if err != nil {
+			return Result{Rounds: r + 1}, err
+		}
+		if done {
+			return Result{Rounds: r + 1, Done: true}, nil
+		}
+	}
+	return Result{Rounds: maxRounds}, ErrRoundLimit
+}
+
+// Buffer is a reusable next-color buffer implementing the simultaneous
+// update of the synchronous model: a round computes every node's next color
+// against the frozen current population, then Commit applies them all.
+type Buffer struct {
+	next []population.Color
+}
+
+// NewBuffer returns a Buffer sized for pop with every node staged as
+// unchanged.
+func NewBuffer(pop *population.Population) *Buffer {
+	b := &Buffer{next: make([]population.Color, pop.N())}
+	b.Reset()
+	return b
+}
+
+// Stage records node u's next color. Staging population.None means
+// "keep the current color".
+func (b *Buffer) Stage(u int, c population.Color) { b.next[u] = c }
+
+// StageKeep marks node u as unchanged this round.
+func (b *Buffer) StageKeep(u int) { b.next[u] = population.None }
+
+// Commit applies all staged colors to pop and resets the buffer for the
+// next round. It returns the number of nodes that changed color.
+func (b *Buffer) Commit(pop *population.Population) int {
+	changed := 0
+	for u, c := range b.next {
+		if c == population.None {
+			continue
+		}
+		if pop.ColorOf(u) != c {
+			pop.SetColor(u, c)
+			changed++
+		}
+		b.next[u] = population.None
+	}
+	return changed
+}
+
+// Reset clears all staged updates without applying them.
+func (b *Buffer) Reset() {
+	for i := range b.next {
+		b.next[i] = population.None
+	}
+}

@@ -1,0 +1,137 @@
+package syncsim
+
+import (
+	"errors"
+	"testing"
+
+	"plurality/internal/population"
+)
+
+func TestRunStopsWhenDone(t *testing.T) {
+	res, err := Run(100, func(r int) (bool, error) {
+		return r == 4, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Rounds != 5 {
+		t.Fatalf("res = %+v, want done after 5 rounds", res)
+	}
+}
+
+func TestRunRoundLimit(t *testing.T) {
+	res, err := Run(3, func(int) (bool, error) { return false, nil })
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+	if res.Done || res.Rounds != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Run(10, func(r int) (bool, error) {
+		if r == 2 {
+			return false, boom
+		}
+		return false, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(0, func(int) (bool, error) { return true, nil }); err == nil {
+		t.Error("maxRounds=0 should fail")
+	}
+}
+
+func TestBufferFreshCommitIsNoop(t *testing.T) {
+	pop, err := population.FromCounts([]int64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(pop)
+	if changed := b.Commit(pop); changed != 0 {
+		t.Fatalf("fresh buffer commit changed %d nodes", changed)
+	}
+	if pop.Count(0) != 3 || pop.Count(1) != 2 {
+		t.Fatalf("counts disturbed: %v", pop.Counts())
+	}
+}
+
+func TestBufferStageAndCommit(t *testing.T) {
+	pop, err := population.FromCounts([]int64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(pop)
+	b.Stage(0, 1)  // change
+	b.Stage(3, 1)  // already color 1 (nodes 3,4 hold color 1)
+	b.StageKeep(1) // explicit keep
+	changed := b.Commit(pop)
+	if changed != 1 {
+		t.Fatalf("changed = %d, want 1", changed)
+	}
+	if pop.Count(0) != 2 || pop.Count(1) != 3 {
+		t.Fatalf("counts = %v", pop.Counts())
+	}
+}
+
+func TestBufferSimultaneity(t *testing.T) {
+	// A "swap all colors" round must read the frozen configuration: stage
+	// everything first, commit once.
+	pop, err := population.FromCounts([]int64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(pop)
+	for u := 0; u < pop.N(); u++ {
+		if pop.ColorOf(u) == 0 {
+			b.Stage(u, 1)
+		} else {
+			b.Stage(u, 0)
+		}
+	}
+	if changed := b.Commit(pop); changed != 4 {
+		t.Fatalf("changed = %d, want 4", changed)
+	}
+	if pop.Count(0) != 2 || pop.Count(1) != 2 {
+		t.Fatalf("swap distorted counts: %v", pop.Counts())
+	}
+}
+
+func TestBufferResetDropsStagedUpdates(t *testing.T) {
+	pop, err := population.FromCounts([]int64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(pop)
+	b.Stage(0, 1)
+	b.Reset()
+	if changed := b.Commit(pop); changed != 0 {
+		t.Fatalf("reset did not drop staged update: changed = %d", changed)
+	}
+}
+
+func TestBufferReusableAcrossRounds(t *testing.T) {
+	pop, err := population.FromCounts([]int64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(pop)
+	for round := 0; round < 4; round++ {
+		b.Stage(round, 1)
+		if changed := b.Commit(pop); changed != 1 {
+			t.Fatalf("round %d: changed = %d, want 1", round, changed)
+		}
+	}
+	if !pop.ConsensusOn(1) {
+		t.Fatalf("counts = %v, want consensus on 1", pop.Counts())
+	}
+}

@@ -1,0 +1,191 @@
+// Package trace records simulation time series (support fractions,
+// synchronization spreads) and renders them as compact ASCII artifacts for
+// the CLI tools and examples: sparklines and aligned tables.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named time series.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Last returns the most recent y value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Recorder collects named series in insertion order.
+type Recorder struct {
+	order  []string
+	series map[string]*Series
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Record appends a point to the named series, creating it on first use.
+func (r *Recorder) Record(name string, x, y float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	s.Append(x, y)
+}
+
+// Series returns the named series, or nil if it was never recorded.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns the series names in insertion order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders ys as a fixed-width unicode sparkline, downsampling by
+// bucket means. An empty input yields an empty string.
+func Sparkline(ys []float64, width int) string {
+	if len(ys) == 0 || width <= 0 {
+		return ""
+	}
+	buckets := resample(ys, width)
+	lo, hi := buckets[0], buckets[0]
+	for _, v := range buckets {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// resample reduces ys to exactly width bucket means (or pads by repetition
+// when ys is shorter than width).
+func resample(ys []float64, width int) []float64 {
+	out := make([]float64, width)
+	n := len(ys)
+	for i := 0; i < width; i++ {
+		lo := i * n / width
+		hi := (i + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		var sum float64
+		for _, v := range ys[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Table accumulates rows and prints them with aligned columns — the
+// rendering used for every experiment table in EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are kept and simply
+// widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Rows returns the accumulated rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if l := runeLen(c); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	printRow(w, t.Headers, widths)
+	sep := make([]string, len(widths))
+	for i, width := range widths {
+		sep[i] = strings.Repeat("-", width)
+	}
+	printRow(w, sep, widths)
+	for _, row := range t.rows {
+		printRow(w, row, widths)
+	}
+}
+
+func printRow(w io.Writer, cells []string, widths []int) {
+	parts := make([]string, 0, len(widths))
+	for i, width := range widths {
+		c := ""
+		if i < len(cells) {
+			c = cells[i]
+		}
+		parts = append(parts, pad(c, width))
+	}
+	fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+}
+
+func pad(s string, width int) string {
+	if d := width - runeLen(s); d > 0 {
+		return s + strings.Repeat(" ", d)
+	}
+	return s
+}
+
+func runeLen(s string) int { return len([]rune(s)) }

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	r.Record("b", 0, 2)
+	r.Record("a", 1, 3)
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+	a := r.Series("a")
+	if a == nil || a.Len() != 2 || a.Last() != 3 {
+		t.Fatalf("series a = %+v", a)
+	}
+	if r.Series("missing") != nil {
+		t.Fatal("missing series should be nil")
+	}
+	var empty Series
+	if empty.Last() != 0 {
+		t.Fatal("empty Last should be 0")
+	}
+}
+
+func TestRecorderNamesCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	names := r.Names()
+	names[0] = "mutated"
+	if r.Names()[0] != "a" {
+		t.Fatal("Names leaked internal slice")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	tests := []struct {
+		name  string
+		ys    []float64
+		width int
+		want  string
+	}{
+		{name: "empty", ys: nil, width: 10, want: ""},
+		{name: "zero width", ys: []float64{1}, width: 0, want: ""},
+		{name: "flat", ys: []float64{5, 5, 5}, width: 3, want: "▁▁▁"},
+		{name: "ramp", ys: []float64{0, 1, 2, 3, 4, 5, 6, 7}, width: 8, want: "▁▂▃▄▅▆▇█"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Sparkline(tt.ys, tt.width); got != tt.want {
+				t.Fatalf("Sparkline = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	ys := make([]float64, 1000)
+	for i := range ys {
+		ys[i] = float64(i)
+	}
+	got := Sparkline(ys, 10)
+	if len([]rune(got)) != 10 {
+		t.Fatalf("width = %d, want 10", len([]rune(got)))
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[9] != '█' {
+		t.Fatalf("ramp endpoints wrong: %q", got)
+	}
+}
+
+func TestSparklineShortInputPads(t *testing.T) {
+	got := Sparkline([]float64{1, 2}, 6)
+	if len([]rune(got)) != 6 {
+		t.Fatalf("width = %d, want 6", len([]rune(got)))
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := NewTable("My Title", "name", "value")
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer-name", "22")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "My Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[4], "longer-name") {
+		t.Errorf("row line = %q", lines[4])
+	}
+	// Columns aligned: "value" column starts at the same offset in header
+	// and rows.
+	hIdx := strings.Index(lines[1], "value")
+	rIdx := strings.Index(lines[3], "1")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("1")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Fatal("empty title should not emit a blank line")
+	}
+	if len(tbl.Rows()) != 1 {
+		t.Fatal("Rows() lost data")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("1")
+	tbl.AddRow("1", "2", "3")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf) // must not panic
+	if !strings.Contains(buf.String(), "3") {
+		t.Fatal("extra cell dropped")
+	}
+}

@@ -1,0 +1,140 @@
+// Package urn implements the Pólya urn process the paper uses to analyze
+// the Bit-Propagation sub-phase (§3.1): balls of k colors, each draw picks a
+// ball with probability proportional to its color's count and returns it
+// together with a fixed number of additional balls of the same color.
+//
+// The key property — the one the paper's martingale argument rests on — is
+// that the vector of color *fractions* is a martingale: its expectation is
+// preserved by every step, so the color distribution among bit-set nodes at
+// the end of Bit-Propagation matches (in expectation, and tightly
+// concentrated) the distribution right after the Two-Choices step.
+// Experiment E10 checks both the pure urn and the embedded protocol
+// sub-phase against this property.
+package urn
+
+import (
+	"fmt"
+
+	"plurality/internal/rng"
+)
+
+// Urn is a k-color Pólya urn.
+type Urn struct {
+	counts []int64
+	total  int64
+}
+
+// New creates an urn with the given initial ball counts. At least one count
+// must be positive and none may be negative.
+func New(counts []int64) (*Urn, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("urn: empty counts")
+	}
+	u := &Urn{counts: make([]int64, len(counts))}
+	for c, v := range counts {
+		if v < 0 {
+			return nil, fmt.Errorf("urn: negative count %d for color %d", v, c)
+		}
+		u.counts[c] = v
+		u.total += v
+	}
+	if u.total == 0 {
+		return nil, fmt.Errorf("urn: urn must start non-empty")
+	}
+	return u, nil
+}
+
+// K returns the number of colors.
+func (u *Urn) K() int { return len(u.counts) }
+
+// Total returns the current number of balls.
+func (u *Urn) Total() int64 { return u.total }
+
+// Count returns the number of balls of color c.
+func (u *Urn) Count(c int) int64 { return u.counts[c] }
+
+// Counts returns a copy of the per-color ball counts.
+func (u *Urn) Counts() []int64 {
+	out := make([]int64, len(u.counts))
+	copy(out, u.counts)
+	return out
+}
+
+// Fractions returns the per-color fractions of the urn contents.
+func (u *Urn) Fractions() []float64 {
+	out := make([]float64, len(u.counts))
+	for c, v := range u.counts {
+		out[c] = float64(v) / float64(u.total)
+	}
+	return out
+}
+
+// Draw samples a color with probability proportional to its count, without
+// modifying the urn.
+func (u *Urn) Draw(r *rng.RNG) int {
+	target := int64(r.Uint64n(uint64(u.total)))
+	for c, v := range u.counts {
+		if target < v {
+			return c
+		}
+		target -= v
+	}
+	// Unreachable while the invariant total == sum(counts) holds.
+	return len(u.counts) - 1
+}
+
+// Step performs one Pólya reinforcement step: draw a color and add
+// reinforcement extra balls of that color. It returns the drawn color.
+// reinforcement must be non-negative.
+func (u *Urn) Step(r *rng.RNG, reinforcement int64) (int, error) {
+	if reinforcement < 0 {
+		return 0, fmt.Errorf("urn: negative reinforcement %d", reinforcement)
+	}
+	c := u.Draw(r)
+	u.counts[c] += reinforcement
+	u.total += reinforcement
+	return c, nil
+}
+
+// Run performs steps reinforcement steps and returns the number of draws of
+// each color.
+func (u *Urn) Run(r *rng.RNG, steps int, reinforcement int64) ([]int64, error) {
+	drawn := make([]int64, len(u.counts))
+	for i := 0; i < steps; i++ {
+		c, err := u.Step(r, reinforcement)
+		if err != nil {
+			return nil, err
+		}
+		drawn[c]++
+	}
+	return drawn, nil
+}
+
+// Clone returns an independent copy of the urn.
+func (u *Urn) Clone() *Urn {
+	cp := &Urn{
+		counts: make([]int64, len(u.counts)),
+		total:  u.total,
+	}
+	copy(cp.counts, u.counts)
+	return cp
+}
+
+// MartingaleDrift measures how far the urn's color-fraction vector moves
+// over a run: it returns the maximum over colors of |endFrac − startFrac|.
+// For a Pólya urn the fractions form a martingale, so over repeated trials
+// the *average* drift per color is near zero even though individual runs
+// wander; tests aggregate this statistic over trials.
+func MartingaleDrift(start, end []float64) float64 {
+	var worst float64
+	for c := range start {
+		d := end[c] - start[c]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,213 @@
+package urn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty counts should fail")
+	}
+	if _, err := New([]int64{1, -1}); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := New([]int64{0, 0}); err == nil {
+		t.Error("empty urn should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	u, err := New([]int64{2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.K() != 3 || u.Total() != 10 || u.Count(2) != 5 {
+		t.Fatalf("K=%d Total=%d Count(2)=%d", u.K(), u.Total(), u.Count(2))
+	}
+	fr := u.Fractions()
+	if math.Abs(fr[0]-0.2) > 1e-12 || math.Abs(fr[2]-0.5) > 1e-12 {
+		t.Fatalf("fractions = %v", fr)
+	}
+	counts := u.Counts()
+	counts[0] = 99
+	if u.Count(0) != 2 {
+		t.Fatal("Counts aliases internal state")
+	}
+}
+
+func TestDrawProportional(t *testing.T) {
+	u, err := New([]int64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const draws = 40000
+	var ones int
+	for i := 0; i < draws; i++ {
+		if u.Draw(r) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / draws
+	if math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("P(color 1) = %.4f, want ~0.75", got)
+	}
+}
+
+func TestDrawNeverPicksEmptyColor(t *testing.T) {
+	u, err := New([]int64{5, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		if u.Draw(r) == 1 {
+			t.Fatal("drew a color with zero balls")
+		}
+	}
+}
+
+func TestStepReinforces(t *testing.T) {
+	u, err := New([]int64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	c, err := u.Step(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Total() != 6 {
+		t.Fatalf("total = %d, want 6", u.Total())
+	}
+	if u.Count(c) != 5 {
+		t.Fatalf("drawn color count = %d, want 5", u.Count(c))
+	}
+	if _, err := u.Step(r, -1); err == nil {
+		t.Error("negative reinforcement should fail")
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	// Property: after any run, total == initial + steps·reinforcement and
+	// counts stay non-negative.
+	check := func(a, b uint8, steps uint8) bool {
+		counts := []int64{int64(a) + 1, int64(b)}
+		u, err := New(counts)
+		if err != nil {
+			return false
+		}
+		start := u.Total()
+		r := rng.New(uint64(a)<<16 | uint64(b)<<8 | uint64(steps))
+		drawn, err := u.Run(r, int(steps), 2)
+		if err != nil {
+			return false
+		}
+		var totalDrawn int64
+		for _, d := range drawn {
+			totalDrawn += d
+		}
+		if totalDrawn != int64(steps) {
+			return false
+		}
+		return u.Total() == start+2*int64(steps) && u.Count(0) >= 0 && u.Count(1) >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionMartingale(t *testing.T) {
+	// The expected fraction of each color is invariant: averaging the final
+	// fraction over many trials recovers the initial fraction.
+	const (
+		trials = 2000
+		steps  = 200
+	)
+	initial := []int64{30, 10, 60}
+	var sumFinal [3]float64
+	for trial := 0; trial < trials; trial++ {
+		u, err := New(initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.At(42, trial)
+		if _, err := u.Run(r, steps, 1); err != nil {
+			t.Fatal(err)
+		}
+		for c, f := range u.Fractions() {
+			sumFinal[c] += f
+		}
+	}
+	for c, want := range []float64{0.3, 0.1, 0.6} {
+		got := sumFinal[c] / trials
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("color %d: mean final fraction %.4f, want ~%.2f", c, got, want)
+		}
+	}
+}
+
+func TestLargeUrnFractionsConcentrate(t *testing.T) {
+	// With a large initial urn the fraction drift over a short run is small
+	// in every single trial — this is the concentration the paper leans on
+	// when Bit-Propagation grows the bit-set node count from ~n/k to n.
+	initial := []int64{60000, 30000, 10000}
+	u, err := New(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := u.Fractions()
+	r := rng.New(7)
+	if _, err := u.Run(r, 5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if drift := MartingaleDrift(start, u.Fractions()); drift > 0.01 {
+		t.Fatalf("fraction drift %.4f > 0.01 on large urn", drift)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	u, err := New([]int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := u.Clone()
+	r := rng.New(8)
+	if _, err := cp.Step(r, 3); err != nil {
+		t.Fatal(err)
+	}
+	if u.Total() != 10 {
+		t.Fatal("clone mutated original")
+	}
+	if cp.Total() != 13 {
+		t.Fatal("clone step had no effect")
+	}
+}
+
+func TestMartingaleDrift(t *testing.T) {
+	got := MartingaleDrift([]float64{0.5, 0.3, 0.2}, []float64{0.45, 0.38, 0.17})
+	if math.Abs(got-0.08) > 1e-12 {
+		t.Fatalf("drift = %v, want 0.08", got)
+	}
+	if MartingaleDrift(nil, nil) != 0 {
+		t.Error("empty drift should be 0")
+	}
+}
+
+func BenchmarkUrnStep(b *testing.B) {
+	u, err := New([]int64{1000, 2000, 3000, 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Step(r, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

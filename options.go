@@ -1,0 +1,205 @@
+package plurality
+
+import (
+	"plurality/internal/core"
+	"plurality/internal/graph"
+	"plurality/internal/sched"
+)
+
+// Model selects the asynchronous execution model.
+type Model int
+
+const (
+	// Sequential is the paper's sequential model: each discrete step
+	// activates one node chosen uniformly at random, and parallel time
+	// advances by 1/n. This is the default.
+	Sequential Model = iota + 1
+	// Poisson is the continuous model: every node ticks according to an
+	// independent unit-rate Poisson clock.
+	Poisson
+)
+
+// Default budgets applied when no override is given.
+const (
+	// DefaultMaxTime bounds asynchronous runs in parallel time.
+	DefaultMaxTime = 1e5
+	// DefaultMaxRounds bounds synchronous runs.
+	DefaultMaxRounds = 1_000_000
+)
+
+// Option configures a protocol run.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+type options struct {
+	seed          uint64
+	model         Model
+	maxTime       float64
+	maxRounds     int
+	delayRate     float64
+	graph         Graph
+	probeInterval float64
+	onProbe       func(CoreProbe)
+	onPhase       func(PhaseInfo)
+
+	delta, phases, gadgetSamples, endgameTicks int
+	propagationRounds                          int
+
+	disableGadget, endgameOnly, runToHalt bool
+	crashFraction                         float64
+	desyncFraction                        float64
+	desyncSpread                          int
+}
+
+func newOptions(opts []Option) *options {
+	o := &options{
+		seed:      1,
+		model:     Sequential,
+		maxTime:   DefaultMaxTime,
+		maxRounds: DefaultMaxRounds,
+	}
+	for _, opt := range opts {
+		opt.apply(o)
+	}
+	return o
+}
+
+// WithSeed fixes the random seed; runs with equal seeds are identical.
+// The default seed is 1.
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(o *options) { o.seed = seed })
+}
+
+// WithModel selects the asynchronous execution model (default Sequential).
+// Synchronous runners ignore it.
+func WithModel(m Model) Option {
+	return optionFunc(func(o *options) { o.model = m })
+}
+
+// WithMaxTime bounds asynchronous runs in parallel time (default
+// DefaultMaxTime).
+func WithMaxTime(t float64) Option {
+	return optionFunc(func(o *options) { o.maxTime = t })
+}
+
+// WithMaxRounds bounds synchronous runs (default DefaultMaxRounds).
+func WithMaxRounds(r int) Option {
+	return optionFunc(func(o *options) { o.maxRounds = r })
+}
+
+// WithResponseDelay enables the §4 extension: every request/response
+// exchange incurs an Exp(rate) delay during which the node blocks (mean
+// delay 1/rate). Applies to asynchronous runners.
+func WithResponseDelay(rate float64) Option {
+	return optionFunc(func(o *options) { o.delayRate = rate })
+}
+
+// WithGraph overrides the communication topology (default: the complete
+// graph on pop.N() nodes, the paper's setting).
+func WithGraph(g Graph) Option {
+	return optionFunc(func(o *options) { o.graph = g })
+}
+
+// WithProbe registers a periodic synchronization-quality observer on core
+// runs, invoked every interval units of parallel time.
+func WithProbe(interval float64, fn func(CoreProbe)) Option {
+	return optionFunc(func(o *options) {
+		o.probeInterval = interval
+		o.onProbe = fn
+	})
+}
+
+// WithPhaseObserver registers a per-phase observer on OneExtraBit runs.
+func WithPhaseObserver(fn func(PhaseInfo)) Option {
+	return optionFunc(func(o *options) { o.onPhase = fn })
+}
+
+// WithDelta overrides the core protocol's block length ∆.
+func WithDelta(delta int) Option {
+	return optionFunc(func(o *options) { o.delta = delta })
+}
+
+// WithPhases overrides the core protocol's part-1 phase count.
+func WithPhases(phases int) Option {
+	return optionFunc(func(o *options) { o.phases = phases })
+}
+
+// WithGadgetSamples overrides the Sync Gadget sampling length.
+func WithGadgetSamples(samples int) Option {
+	return optionFunc(func(o *options) { o.gadgetSamples = samples })
+}
+
+// WithEndgameTicks overrides the per-node part-2 budget.
+func WithEndgameTicks(ticks int) Option {
+	return optionFunc(func(o *options) { o.endgameTicks = ticks })
+}
+
+// WithPropagationRounds overrides OneExtraBit's Bit-Propagation sub-phase
+// length.
+func WithPropagationRounds(rounds int) Option {
+	return optionFunc(func(o *options) { o.propagationRounds = rounds })
+}
+
+// WithoutSyncGadget disables the Sync Gadget — the ablation of experiment
+// E7. The protocol then relies on raw Poisson-clock concentration only.
+func WithoutSyncGadget() Option {
+	return optionFunc(func(o *options) { o.disableGadget = true })
+}
+
+// WithEndgameOnly starts every node directly in part 2 (used to study the
+// §3.2 endgame in isolation from a c1 ≥ (1−ε)n start).
+func WithEndgameOnly() Option {
+	return optionFunc(func(o *options) { o.endgameOnly = true })
+}
+
+// WithRunToHalt keeps a core run going after consensus until every live
+// node halts, making Result.FirstHaltTime and EndgameSafe meaningful.
+func WithRunToHalt() Option {
+	return optionFunc(func(o *options) { o.runToHalt = true })
+}
+
+// WithCrashes marks a fraction of nodes as crashed: they never act but
+// remain visible to sampling; consensus is evaluated over live nodes.
+func WithCrashes(fraction float64) Option {
+	return optionFunc(func(o *options) { o.crashFraction = fraction })
+}
+
+// WithDesync starts the given fraction of nodes with working/real times
+// drawn uniformly from [0, spread) — adversarially poorly synchronized
+// nodes for the Sync Gadget to repair.
+func WithDesync(fraction float64, spread int) Option {
+	return optionFunc(func(o *options) {
+		o.desyncFraction = fraction
+		o.desyncSpread = spread
+	})
+}
+
+// coreConfig assembles the internal core configuration. The scheduler is
+// filled in by the runner (it depends on pop.N()).
+func (o *options) coreConfig(g graph.Graph) core.Config {
+	cfg := core.Config{
+		Graph:             g,
+		MaxTime:           o.maxTime,
+		Delta:             o.delta,
+		Phases:            o.phases,
+		GadgetSamples:     o.gadgetSamples,
+		EndgameTicks:      o.endgameTicks,
+		DisableSyncGadget: o.disableGadget,
+		SkipPart1:         o.endgameOnly,
+		RunToHalt:         o.runToHalt,
+		CrashFraction:     o.crashFraction,
+		DesyncFraction:    o.desyncFraction,
+		DesyncSpread:      o.desyncSpread,
+		ProbeInterval:     o.probeInterval,
+		OnProbe:           o.onProbe,
+	}
+	if o.delayRate > 0 {
+		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
+	}
+	return cfg
+}

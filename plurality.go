@@ -1,0 +1,147 @@
+// Package plurality is a library for distributed plurality consensus on the
+// complete graph, reproducing "Brief Announcement: Rapid Asynchronous
+// Plurality Consensus" (Elsässer, Friedetzky, Kaaser, Mallmann-Trenn,
+// Trinker; PODC 2017).
+//
+// n nodes each hold one of k opinions (colors); the goal is for every node
+// to adopt the *plurality* color — the initially most frequent one — using
+// only tiny local samples. The package implements:
+//
+//   - RunCore: the paper's main contribution (Theorem 1.3), an asynchronous
+//     protocol under unit-rate Poisson clocks that converges in Θ(log n)
+//     parallel time given a (1+ε)-multiplicative bias, built from
+//     Two-Choices steps, Bit-Propagation, and a Sync Gadget that maintains
+//     weak synchronicity.
+//   - RunOneExtraBit: the synchronous phase protocol of Theorem 1.2.
+//   - RunTwoChoicesSync / RunTwoChoicesAsync: the Two-Choices dynamic of
+//     Theorem 1.1, plus Voter and 3-Majority baselines.
+//
+// # Quick start
+//
+//	counts, _ := plurality.Biased(100_000, 8, 0.5) // c1 = 1.5·c2
+//	pop, _ := plurality.NewPopulation(counts)
+//	res, err := plurality.RunCore(pop, plurality.WithSeed(42))
+//	if err != nil { ... }
+//	fmt.Println(res.Winner, res.ConsensusTime) // 0, Θ(log n)
+//
+// All runs are deterministic given WithSeed. See DESIGN.md for the paper
+// mapping and EXPERIMENTS.md for the reproduced results.
+package plurality
+
+import (
+	"plurality/internal/core"
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/protocols/dynamics"
+	"plurality/internal/protocols/onebit"
+	"plurality/internal/rng"
+)
+
+// Re-exported core types. The aliases expose the full method sets of the
+// underlying implementations without requiring users to import internal
+// packages.
+type (
+	// Color identifies an opinion (0 … k-1); None marks its absence.
+	Color = population.Color
+	// Population is the mutable opinion state of n nodes over k colors.
+	Population = population.Population
+	// Graph is a communication topology; the default is the complete
+	// graph the paper analyzes.
+	Graph = graph.Graph
+
+	// CoreResult describes a run of the asynchronous core protocol.
+	CoreResult = core.Result
+	// CoreProbe is a periodic synchronization-quality snapshot.
+	CoreProbe = core.Probe
+	// CoreSpec is the resolved working-time schedule of a core run.
+	CoreSpec = core.Spec
+	// SyncResult describes a synchronous sampling-dynamics run.
+	SyncResult = dynamics.SyncResult
+	// AsyncResult describes an asynchronous sampling-dynamics run.
+	AsyncResult = dynamics.AsyncResult
+	// OneExtraBitResult describes a OneExtraBit run.
+	OneExtraBitResult = onebit.Result
+	// PhaseInfo is delivered per OneExtraBit phase.
+	PhaseInfo = onebit.PhaseInfo
+)
+
+// None is the absence of a color.
+const None = population.None
+
+// Sentinel errors surfaced by the runners; match with errors.Is.
+var (
+	// ErrNoConsensus reports a core run that ended without agreement.
+	ErrNoConsensus = core.ErrNoConsensus
+	// ErrTimeLimit reports a dynamics run that exhausted its budget.
+	ErrTimeLimit = dynamics.ErrTimeLimit
+	// ErrPhaseLimit reports a OneExtraBit run that exhausted its phases.
+	ErrPhaseLimit = onebit.ErrPhaseLimit
+)
+
+// NewPopulation creates a population whose color histogram equals counts;
+// color j starts with counts[j] supporters.
+func NewPopulation(counts []int64) (*Population, error) {
+	return population.FromCounts(counts)
+}
+
+// Workload constructors: initial color histograms for the regimes the
+// paper's theorems address.
+
+// Biased is Theorem 1.3's regime: c1 = (1+eps)·c2 with the remaining nodes
+// split evenly over colors 1 … k-1.
+func Biased(n, k int, eps float64) ([]int64, error) {
+	return population.BiasedCounts(n, k, eps)
+}
+
+// GapSqrt is Theorem 1.1's tight regime: c1 − c2 = z·sqrt(n·ln n) with
+// c2 = … = ck.
+func GapSqrt(n, k int, z float64) ([]int64, error) {
+	return population.GapSqrtCounts(n, k, z)
+}
+
+// GapSqrtPolylog is Theorem 1.2's regime: c1 − c2 = z·sqrt(n)·ln^1.5 n.
+func GapSqrtPolylog(n, k int, z float64) ([]int64, error) {
+	return population.GapSqrtPolylogCounts(n, k, z)
+}
+
+// TinyGap is the negative-result regime: c1 − c2 = z·sqrt(n), where a
+// non-plurality color wins Two-Choices with constant probability.
+func TinyGap(n, k int, z float64) ([]int64, error) {
+	return population.TinyGapCounts(n, k, z)
+}
+
+// Uniform splits n nodes evenly over k colors.
+func Uniform(n, k int) ([]int64, error) {
+	return population.UniformCounts(n, k)
+}
+
+// Zipf assigns supports proportional to 1/(rank+1)^s.
+func Zipf(n, k int, s float64) ([]int64, error) {
+	return population.ZipfCounts(n, k, s)
+}
+
+// Topology constructors beyond the default complete graph (extensions; the
+// paper's results are for the clique).
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) (Graph, error) { return graph.NewComplete(n) }
+
+// CycleGraph returns the n-cycle.
+func CycleGraph(n int) (Graph, error) { return graph.NewCycle(n) }
+
+// TorusGraph returns the w×h torus.
+func TorusGraph(w, h int) (Graph, error) { return graph.NewTorus(w, h) }
+
+// RandomGraph returns a deterministic Erdős–Rényi G(n, p) sampled from
+// seed.
+func RandomGraph(n int, p float64, seed uint64) (Graph, error) {
+	return graph.NewGNP(n, p, rng.New(seed))
+}
+
+// PlanCore resolves the core protocol's working-time schedule (block length
+// ∆, phase count, gadget length, endgame budget) for n nodes under the
+// given options, without running anything.
+func PlanCore(n int, opts ...Option) (CoreSpec, error) {
+	o := newOptions(opts)
+	return core.Plan(o.coreConfig(nil), n)
+}

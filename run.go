@@ -1,0 +1,148 @@
+package plurality
+
+import (
+	"fmt"
+
+	"plurality/internal/core"
+	"plurality/internal/protocols/dynamics"
+	"plurality/internal/protocols/onebit"
+	"plurality/internal/protocols/threemajority"
+	"plurality/internal/protocols/twochoices"
+	"plurality/internal/protocols/voter"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// RunCore executes the paper's asynchronous plurality-consensus protocol
+// (Theorem 1.3) on pop, mutating it in place. With the default options it
+// runs the sequential model on the complete graph until all (live) nodes
+// agree, every node halts, or the time budget elapses.
+func RunCore(pop *Population, opts ...Option) (CoreResult, error) {
+	o := newOptions(opts)
+	g, err := o.topology(pop)
+	if err != nil {
+		return CoreResult{}, err
+	}
+	s, err := o.scheduler(pop.N())
+	if err != nil {
+		return CoreResult{}, err
+	}
+	cfg := o.coreConfig(g)
+	cfg.Scheduler = s
+	cfg.Rand = rng.At(o.seed, 1)
+	return core.Run(pop, cfg)
+}
+
+// RunTwoChoicesSync executes the synchronous Two-Choices dynamic
+// (Theorem 1.1) until consensus or the round budget.
+func RunTwoChoicesSync(pop *Population, opts ...Option) (SyncResult, error) {
+	return runSyncRule(pop, twochoices.Rule{}, opts)
+}
+
+// RunTwoChoicesAsync executes Two-Choices in the asynchronous model.
+func RunTwoChoicesAsync(pop *Population, opts ...Option) (AsyncResult, error) {
+	return runAsyncRule(pop, twochoices.Rule{}, opts)
+}
+
+// RunVoterSync executes the Voter baseline in the synchronous model.
+func RunVoterSync(pop *Population, opts ...Option) (SyncResult, error) {
+	return runSyncRule(pop, voter.Rule{}, opts)
+}
+
+// RunVoterAsync executes the Voter baseline in the asynchronous model.
+func RunVoterAsync(pop *Population, opts ...Option) (AsyncResult, error) {
+	return runAsyncRule(pop, voter.Rule{}, opts)
+}
+
+// RunThreeMajoritySync executes the 3-Majority baseline in the synchronous
+// model.
+func RunThreeMajoritySync(pop *Population, opts ...Option) (SyncResult, error) {
+	return runSyncRule(pop, threemajority.Rule{}, opts)
+}
+
+// RunThreeMajorityAsync executes the 3-Majority baseline in the
+// asynchronous model.
+func RunThreeMajorityAsync(pop *Population, opts ...Option) (AsyncResult, error) {
+	return runAsyncRule(pop, threemajority.Rule{}, opts)
+}
+
+// RunOneExtraBit executes the synchronous OneExtraBit protocol
+// (Theorem 1.2) until consensus or the phase budget (MaxRounds/10 phases by
+// default ordering of magnitude; override with WithMaxRounds).
+func RunOneExtraBit(pop *Population, opts ...Option) (OneExtraBitResult, error) {
+	o := newOptions(opts)
+	g, err := o.topology(pop)
+	if err != nil {
+		return OneExtraBitResult{}, err
+	}
+	maxPhases := o.maxRounds / 10
+	if maxPhases < 1 {
+		maxPhases = 1
+	}
+	return onebit.Run(pop, onebit.Config{
+		Graph:             g,
+		Rand:              rng.At(o.seed, 0),
+		MaxPhases:         maxPhases,
+		PropagationRounds: o.propagationRounds,
+		OnPhase:           o.onPhase,
+	})
+}
+
+func runSyncRule(pop *Population, rule dynamics.Rule, opts []Option) (SyncResult, error) {
+	o := newOptions(opts)
+	g, err := o.topology(pop)
+	if err != nil {
+		return SyncResult{}, err
+	}
+	return dynamics.RunSync(pop, rule, dynamics.SyncConfig{
+		Graph:     g,
+		Rand:      rng.At(o.seed, 0),
+		MaxRounds: o.maxRounds,
+	})
+}
+
+func runAsyncRule(pop *Population, rule dynamics.Rule, opts []Option) (AsyncResult, error) {
+	o := newOptions(opts)
+	g, err := o.topology(pop)
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	s, err := o.scheduler(pop.N())
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	cfg := dynamics.AsyncConfig{
+		Graph:     g,
+		Scheduler: s,
+		Rand:      rng.At(o.seed, 1),
+		MaxTime:   o.maxTime,
+	}
+	if o.delayRate > 0 {
+		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
+	}
+	return dynamics.RunAsync(pop, rule, cfg)
+}
+
+// topology returns the configured graph or the default complete graph
+// sized to the population.
+func (o *options) topology(pop *Population) (Graph, error) {
+	if pop == nil {
+		return nil, fmt.Errorf("plurality: nil population")
+	}
+	if o.graph != nil {
+		return o.graph, nil
+	}
+	return CompleteGraph(pop.N())
+}
+
+// scheduler builds the configured asynchronous engine.
+func (o *options) scheduler(n int) (sched.Scheduler, error) {
+	switch o.model {
+	case Sequential:
+		return sched.NewSequential(n, rng.At(o.seed, 0))
+	case Poisson:
+		return sched.NewPoisson(n, 1, rng.At(o.seed, 0))
+	default:
+		return nil, fmt.Errorf("plurality: unknown model %d", o.model)
+	}
+}

@@ -1,0 +1,384 @@
+package weaksync
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+func harness(t *testing.T, n int, seed uint64) Config {
+	t.Helper()
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.NewSequential(n, rng.At(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Graph:     g,
+		Scheduler: s,
+		Rand:      rng.At(seed, 1),
+		MaxTime:   1e6,
+	}
+}
+
+func noop(*Env) {}
+
+func TestValidate(t *testing.T) {
+	base := harness(t, 100, 1)
+	prog := Program{Phases: []Phase{{Steps: []Step{{Name: "x", Do: noop}}}}}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "nil graph", mutate: func(c *Config) { c.Graph = nil }},
+		{name: "nil scheduler", mutate: func(c *Config) { c.Scheduler = nil }},
+		{name: "nil rand", mutate: func(c *Config) { c.Rand = nil }},
+		{name: "zero time", mutate: func(c *Config) { c.MaxTime = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Run(prog, cfg); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cfg := harness(t, 100, 2)
+	if _, err := Run(Program{}, cfg); err == nil {
+		t.Error("empty program should fail")
+	}
+	if _, err := Run(Program{Phases: []Phase{{}}}, cfg); err == nil {
+		t.Error("empty phase should fail")
+	}
+	if _, err := Run(Program{Phases: []Phase{{Steps: []Step{{Name: "no-op"}}}}}, cfg); err == nil {
+		t.Error("nil step action should fail")
+	}
+	bad := harness(t, 100, 3)
+	bad.Delta = 1
+	if _, err := Run(Program{Phases: []Phase{{Steps: []Step{{Name: "x", Do: noop}}}}}, bad); err == nil {
+		t.Error("Delta=1 should fail")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	p := Phase{Steps: []Step{{Name: "a", Do: noop}}}
+	phases := Repeat(3, p)
+	if len(phases) != 3 {
+		t.Fatalf("len = %d", len(phases))
+	}
+}
+
+func TestAllNodesExecuteEveryStep(t *testing.T) {
+	const n = 500
+	cfg := harness(t, n, 4)
+	var hitsA, hitsB []int
+	prog := Program{
+		Phases: []Phase{{
+			Steps: []Step{
+				{Name: "a", Do: func(e *Env) { hitsA = append(hitsA, e.Node) }},
+				{Name: "b", Do: func(e *Env) { hitsB = append(hitsB, e.Node) }},
+			},
+		}},
+	}
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted != n {
+		t.Fatalf("halted %d/%d", res.Halted, n)
+	}
+	// Window defaults to 1, so each node executes each step exactly once.
+	if len(hitsA) != n || len(hitsB) != n {
+		t.Fatalf("step executions a=%d b=%d, want %d each", len(hitsA), len(hitsB), n)
+	}
+	seen := make([]bool, n)
+	for _, u := range hitsA {
+		if seen[u] {
+			t.Fatalf("node %d executed step a twice", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestTacticalWaitingOrdersSteps(t *testing.T) {
+	// The padding blocks must make (almost) every node finish step a
+	// before (almost) any node runs step b: we count b-executions that
+	// happen before 90% of a-executions are done.
+	const n = 2000
+	cfg := harness(t, n, 5)
+	var doneA int
+	early := 0
+	prog := Program{
+		Phases: []Phase{{
+			Steps: []Step{
+				{Name: "a", Do: func(e *Env) { doneA++ }},
+				{Name: "b", Do: func(e *Env) {
+					if doneA < n*9/10 {
+						early++
+					}
+				}},
+			},
+		}},
+	}
+	if _, err := Run(prog, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(early) / n; frac > 0.02 {
+		t.Fatalf("%.1f%% of nodes ran step b before 90%% finished step a", 100*frac)
+	}
+}
+
+func TestWindowedStepRunsWindowTicks(t *testing.T) {
+	const n = 300
+	cfg := harness(t, n, 6)
+	ticks := make([]int, n)
+	prog := Program{
+		Phases: []Phase{{
+			Steps: []Step{{
+				Name:   "sampling",
+				Window: 5,
+				Do:     func(e *Env) { ticks[e.Node]++ },
+			}},
+		}},
+	}
+	if _, err := Run(prog, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for u, c := range ticks {
+		if c != 5 {
+			t.Fatalf("node %d executed %d window ticks, want 5", u, c)
+		}
+	}
+}
+
+func TestStopHookEndsRun(t *testing.T) {
+	const n = 200
+	cfg := harness(t, n, 7)
+	fired := 0
+	cfg.Stop = func() bool {
+		fired++
+		return fired > 50
+	}
+	prog := Program{Phases: Repeat(100, Phase{Steps: []Step{{Name: "x", Do: noop}}})}
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("res = %+v, want Stopped", res)
+	}
+}
+
+func TestTimeBudgetError(t *testing.T) {
+	cfg := harness(t, 200, 8)
+	cfg.MaxTime = 3
+	prog := Program{Phases: Repeat(50, Phase{Steps: []Step{{Name: "x", Do: noop}}})}
+	_, err := Run(prog, cfg)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestOnHaltInvokedPerNode(t *testing.T) {
+	const n = 150
+	cfg := harness(t, n, 9)
+	halts := make(map[int]int)
+	prog := Program{
+		Phases: []Phase{{Steps: []Step{{Name: "x", Do: noop}}}},
+		OnHalt: func(u int) { halts[u]++ },
+	}
+	if _, err := Run(prog, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(halts) != n {
+		t.Fatalf("halt hook fired for %d/%d nodes", len(halts), n)
+	}
+	for u, c := range halts {
+		if c != 1 {
+			t.Fatalf("node %d halted %d times", u, c)
+		}
+	}
+}
+
+func TestGadgetJumpsHappen(t *testing.T) {
+	const n = 1000
+	cfg := harness(t, n, 10)
+	prog := Program{Phases: Repeat(4, Phase{Steps: []Step{{Name: "x", Do: noop}}})}
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jumps == 0 {
+		t.Fatal("no jumps executed")
+	}
+	ablated := harness(t, n, 10)
+	ablated.DisableSyncGadget = true
+	res2, err := Run(prog, ablated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Jumps != 0 {
+		t.Fatalf("ablated run executed %d jumps", res2.Jumps)
+	}
+}
+
+// TestPluralityProgramOnFramework re-expresses the paper's part-1 protocol
+// (Two-Choices step → commit → Bit-Propagation) as a weaksync Program and
+// checks it drives the population to the plurality color — the framework
+// generalizes internal/core, as §4 of the paper anticipates.
+func TestPluralityProgramOnFramework(t *testing.T) {
+	const (
+		n   = 5000
+		k   = 4
+		eps = 1.0
+	)
+	counts, err := population.BiasedCounts(n, k, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness(t, n, 11)
+	spec, err := compileSpecForTest(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	intermediate := make([]population.Color, n)
+	for i := range intermediate {
+		intermediate[i] = population.None
+	}
+	bit := make([]bool, n)
+
+	phase := Phase{Steps: []Step{
+		{
+			Name: "two-choices",
+			Do: func(e *Env) {
+				a := pop.ColorOf(e.Sample())
+				b := pop.ColorOf(e.Sample())
+				if a == b {
+					intermediate[e.Node] = a
+				} else {
+					intermediate[e.Node] = population.None
+				}
+			},
+		},
+		{
+			Name: "commit",
+			Do: func(e *Env) {
+				if c := intermediate[e.Node]; c != population.None {
+					pop.SetColor(e.Node, c)
+					bit[e.Node] = true
+				} else {
+					bit[e.Node] = false
+				}
+				intermediate[e.Node] = population.None
+			},
+		},
+		{
+			Name:   "bit-propagation",
+			Window: spec,
+			Do: func(e *Env) {
+				if bit[e.Node] {
+					return
+				}
+				v := e.Sample()
+				if bit[v] {
+					pop.SetColor(e.Node, pop.ColorOf(v))
+					bit[e.Node] = true
+				}
+			},
+		},
+	}}
+
+	cfg.Stop = pop.IsUnanimous
+	res, err := Run(Program{Phases: Repeat(10, phase)}, cfg)
+	if err != nil && !errors.Is(err, ErrIncomplete) {
+		t.Fatal(err)
+	}
+	if !res.Stopped && !pop.IsUnanimous() {
+		t.Fatalf("no consensus: counts %v", pop.Counts())
+	}
+	if pop.Plurality() != 0 {
+		t.Fatalf("wrong winner: counts %v", pop.Counts())
+	}
+	if res.Jumps == 0 {
+		t.Fatal("gadget never fired")
+	}
+}
+
+// compileSpecForTest exposes the resolved ∆ so the test's bit-propagation
+// window can span its whole block, like the core protocol's.
+func compileSpecForTest(cfg Config, n int) (int, error) {
+	sch, err := compile(Program{Phases: []Phase{{Steps: []Step{{Name: "x", Do: noop}}}}}, cfg, n)
+	if err != nil {
+		return 0, err
+	}
+	return sch.delta, nil
+}
+
+// TestMedianDynamicsOnFramework adapts a *different* synchronous protocol —
+// iterated median consensus on numeric values — to the asynchronous model
+// via the framework: each phase, every node samples three values during its
+// step window and then commits the median of its collection. Values
+// contract toward a common point; phase structure (sample-all-then-commit)
+// is exactly what weak synchronicity provides.
+func TestMedianDynamicsOnFramework(t *testing.T) {
+	const n = 2000
+	cfg := harness(t, n, 12)
+
+	values := make([]float64, n)
+	r := rng.New(99)
+	for i := range values {
+		values[i] = r.Float64() * 1000
+	}
+	collected := make([][]float64, n)
+	phase := Phase{Steps: []Step{
+		{
+			Name:   "collect",
+			Window: 7,
+			Do: func(e *Env) {
+				collected[e.Node] = append(collected[e.Node], values[e.Sample()])
+			},
+		},
+		{
+			Name: "commit-median",
+			Do: func(e *Env) {
+				c := collected[e.Node]
+				if len(c) == 0 {
+					return
+				}
+				sort.Float64s(c)
+				values[e.Node] = c[len(c)/2]
+				collected[e.Node] = c[:0]
+			},
+		},
+	}}
+	if _, err := Run(Program{Phases: Repeat(25, phase)}, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi-lo > 100 {
+		t.Fatalf("median dynamics did not contract: range [%.1f, %.1f] after 25 phases", lo, hi)
+	}
+}
