@@ -1,0 +1,40 @@
+# Single source of truth for the commands CI runs; keep .github/workflows/ci.yml
+# pointed at these targets so local dev and CI cannot drift.
+
+GO ?= go
+
+.PHONY: build test test-short test-race bench bench-smoke schedbench lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+# Full benchmark pass (slow; regenerates local numbers, not committed).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One iteration of every benchmark — catches benchmarks that no longer
+# compile or crash, without paying measurement time.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Regenerate BENCH_sched.json (the scheduler-engine before/after record).
+schedbench:
+	$(GO) run ./cmd/experiments -schedbench -schedbench-out BENCH_sched.json
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

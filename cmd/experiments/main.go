@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,9 +35,18 @@ func run(args []string, out io.Writer) error {
 		ids   = fs.String("run", "all", "comma-separated experiment IDs (e1..e12) or 'all'")
 		quick = fs.Bool("quick", false, "use reduced parameter grids")
 		seed  = fs.Uint64("seed", 1, "base random seed")
+
+		schedBench      = fs.Bool("schedbench", false, "benchmark the scheduler engines instead of running experiments")
+		schedBenchNs    = fs.String("schedbench-n", "10000,1000000", "comma-separated population sizes for -schedbench (up to 1e7)")
+		schedBenchTicks = fs.Int64("schedbench-ticks", 5_000_000, "activations delivered per -schedbench measurement")
+		schedBenchOut   = fs.String("schedbench-out", "", "write the -schedbench report as JSON to this file (e.g. BENCH_sched.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *schedBench {
+		return runSchedBench(out, *schedBenchNs, *schedBenchTicks, *seed, *schedBenchOut)
 	}
 
 	if *list {
@@ -81,4 +91,42 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 	return nil
+}
+
+// runSchedBench measures the scheduler engines (O(1) Poisson vs the
+// O(log n) heap reference vs sequential) and optionally records the report
+// as JSON, the procedure that regenerates BENCH_sched.json.
+func runSchedBench(out io.Writer, nsCSV string, ticks int64, seed uint64, jsonPath string) error {
+	var ns []int
+	for _, part := range strings.Split(nsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -schedbench-n entry %q: %w", part, err)
+		}
+		if n <= 0 || n > 10_000_000 {
+			return fmt.Errorf("-schedbench-n entry %d out of range (0, 1e7]", n)
+		}
+		ns = append(ns, n)
+	}
+	rep, err := bench.RunSchedBench(bench.SchedBenchConfig{Ns: ns, Ticks: ticks, Seed: seed}, out)
+	if err != nil {
+		return err
+	}
+	for _, n := range ns {
+		if speedup, ok := rep.SpeedupAtN[strconv.Itoa(n)]; ok {
+			fmt.Fprintf(out, "speedup(poisson vs heap-poisson) at n=%d: %.1fx\n", n, speedup)
+		}
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

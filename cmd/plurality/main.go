@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"plurality"
 )
@@ -36,6 +37,8 @@ type flags struct {
 	z           float64
 	zipfS       float64
 	seed        uint64
+	trials      int
+	workers     int
 	maxTime     float64
 	delay       float64
 	crash       float64
@@ -51,7 +54,7 @@ func parseFlags(args []string) (flags, error) {
 	fs := flag.NewFlagSet("plurality", flag.ContinueOnError)
 	fs.StringVar(&f.protocol, "protocol", "core",
 		"protocol: core | two-choices-sync | two-choices-async | onebit | voter | 3-majority")
-	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson")
+	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson | heap-poisson")
 	fs.StringVar(&f.workload, "workload", "biased",
 		"initial distribution: biased | gapsqrt | gapsqrtpolylog | tinygap | uniform | zipf")
 	fs.IntVar(&f.n, "n", 100000, "number of nodes")
@@ -60,6 +63,8 @@ func parseFlags(args []string) (flags, error) {
 	fs.Float64Var(&f.z, "z", 1, "gap multiplier z for the gap workloads")
 	fs.Float64Var(&f.zipfS, "zipf-s", 1.1, "zipf exponent for the zipf workload")
 	fs.Uint64Var(&f.seed, "seed", 1, "random seed (runs are deterministic per seed)")
+	fs.IntVar(&f.trials, "trials", 1, "independent runs with derived seeds, sharded across workers (core protocol only)")
+	fs.IntVar(&f.workers, "workers", 0, "worker goroutines for -trials (0 = GOMAXPROCS)")
 	fs.Float64Var(&f.maxTime, "maxtime", plurality.DefaultMaxTime, "parallel-time budget for async runs")
 	fs.Float64Var(&f.delay, "delay", 0, "response-delay rate theta (>0 enables Exp(theta) delays)")
 	fs.Float64Var(&f.crash, "crash", 0, "fraction of nodes that never act (core protocol only)")
@@ -91,6 +96,59 @@ func makeCounts(f flags) ([]int64, error) {
 	default:
 		return nil, fmt.Errorf("unknown workload %q", f.workload)
 	}
+}
+
+// trialsOutcome is the JSON-friendly aggregate over a multi-trial run.
+type trialsOutcome struct {
+	Protocol            string  `json:"protocol"`
+	N                   int     `json:"n"`
+	K                   int     `json:"k"`
+	Trials              int     `json:"trials"`
+	PluralityWins       int     `json:"pluralityWins"`
+	AllDone             bool    `json:"allDone"`
+	MedianTime          float64 `json:"medianTime"`
+	MedianConsensusTime float64 `json:"medianConsensusTime"`
+	TotalTicks          int64   `json:"totalTicks"`
+}
+
+// runTrials executes the parallel multi-trial driver and prints the
+// aggregate.
+func runTrials(f flags, counts []int64, opts []plurality.Option, out io.Writer) error {
+	opts = append(opts, plurality.WithTrialWorkers(f.workers))
+	results, err := plurality.RunCoreTrials(counts, f.trials, opts...)
+	if err != nil && !errors.Is(err, plurality.ErrNoConsensus) {
+		return err
+	}
+	// Trials that exhausted their budget (ErrNoConsensus) still produced
+	// results; report them through the aggregate (allDone=false) rather
+	// than discarding the successful trials.
+	agg := trialsOutcome{Protocol: f.protocol, N: f.n, K: f.k, Trials: f.trials, AllDone: true}
+	times := make([]float64, 0, len(results))
+	ctimes := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Done && r.Winner == 0 {
+			agg.PluralityWins++
+		}
+		agg.AllDone = agg.AllDone && r.Done
+		agg.TotalTicks += r.Ticks
+		times = append(times, r.Time)
+		ctimes = append(ctimes, r.ConsensusTime)
+	}
+	sort.Float64s(times)
+	sort.Float64s(ctimes)
+	agg.MedianTime = times[len(times)/2]
+	agg.MedianConsensusTime = ctimes[len(ctimes)/2]
+
+	if f.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(agg)
+	}
+	fmt.Fprintf(out, "protocol=%s n=%d k=%d trials=%d pluralityWins=%d/%d allDone=%v\n",
+		agg.Protocol, agg.N, agg.K, agg.Trials, agg.PluralityWins, agg.Trials, agg.AllDone)
+	fmt.Fprintf(out, "medianTime=%.1f medianConsensusTime=%.1f totalTicks=%d\n",
+		agg.MedianTime, agg.MedianConsensusTime, agg.TotalTicks)
+	return nil
 }
 
 // outcome is the unified, JSON-friendly run report.
@@ -136,6 +194,8 @@ func run(args []string, out io.Writer) error {
 		opts = append(opts, plurality.WithModel(plurality.Sequential))
 	case "poisson":
 		opts = append(opts, plurality.WithModel(plurality.Poisson))
+	case "heap-poisson":
+		opts = append(opts, plurality.WithModel(plurality.HeapPoisson))
 	default:
 		return fmt.Errorf("unknown model %q", f.model)
 	}
@@ -156,6 +216,18 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "t=%8.1f plurality=%.3f spread90=%-5d poorly-synced=%d/%d halted=%d\n",
 				p.Time, p.PluralityFraction, p.Spread90, p.PoorlySynced, p.Active, p.Halted)
 		}))
+	}
+
+	if f.trials > 1 {
+		if f.protocol != "core" {
+			return fmt.Errorf("-trials > 1 is only supported for -protocol core, got %q", f.protocol)
+		}
+		if f.traceOn {
+			// Trials run concurrently; interleaved, unattributed probe
+			// lines (and concurrent writes to out) would be useless.
+			return fmt.Errorf("-trace is not supported with -trials > 1")
+		}
+		return runTrials(f, counts, opts, out)
 	}
 
 	o := outcome{Protocol: f.protocol, N: f.n, K: f.k}

@@ -149,3 +149,73 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestRunTrialsFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "core", "-n", "1500", "-k", "3",
+		"-workload", "biased", "-bias", "1", "-seed", "5",
+		"-trials", "4", "-workers", "2", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o trialsOutcome
+	if err := json.Unmarshal(buf.Bytes(), &o); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if o.Trials != 4 || !o.AllDone || o.PluralityWins < 3 {
+		t.Fatalf("unexpected aggregate: %+v", o)
+	}
+}
+
+func TestRunTrialsRejectsNonCore(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-protocol", "voter", "-n", "500", "-trials", "3"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "core") {
+		t.Fatalf("want trials-only-for-core error, got %v", err)
+	}
+}
+
+func TestRunHeapPoissonModel(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "core", "-n", "1000", "-k", "2",
+		"-workload", "biased", "-bias", "1", "-model", "heap-poisson", "-seed", "6",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "done=true") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunTrialsRejectsTrace(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-protocol", "core", "-n", "1000", "-trials", "2", "-trace"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-trace") {
+		t.Fatalf("want trace-with-trials error, got %v", err)
+	}
+}
+
+func TestRunTrialsReportsNoConsensusAggregate(t *testing.T) {
+	var buf bytes.Buffer
+	// A budget far too small for consensus: the aggregate must still be
+	// printed, with allDone=false, instead of discarding all trials.
+	err := run([]string{
+		"-protocol", "core", "-n", "2000", "-k", "4",
+		"-workload", "biased", "-bias", "1", "-seed", "8",
+		"-trials", "3", "-maxtime", "1", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o trialsOutcome
+	if err := json.Unmarshal(buf.Bytes(), &o); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if o.AllDone || o.Trials != 3 {
+		t.Fatalf("unexpected aggregate: %+v", o)
+	}
+}

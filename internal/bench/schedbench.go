@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// SchedBenchConfig configures the scheduler-engine benchmark that produces
+// BENCH_sched.json: for each population size it measures the raw tick
+// delivery rate of every engine, in both per-tick (Next) and batched
+// (NextBatch) mode.
+type SchedBenchConfig struct {
+	// Ns are the population sizes to measure. Empty selects {1e4, 1e6},
+	// the sizes the acceptance numbers in BENCH_sched.json track.
+	Ns []int
+	// Ticks is the number of activations delivered per measurement. Zero
+	// selects 5e6.
+	Ticks int64
+	// Seed drives the engines (the measured rates are insensitive to it;
+	// it is recorded so the workload is reproducible).
+	Seed uint64
+}
+
+// SchedBenchEntry is one engine × size × mode measurement.
+type SchedBenchEntry struct {
+	Engine      string  `json:"engine"`
+	N           int     `json:"n"`
+	Mode        string  `json:"mode"` // "next" or "batch"
+	Ticks       int64   `json:"ticks"`
+	NsPerTick   float64 `json:"nsPerTick"`
+	TicksPerSec float64 `json:"ticksPerSec"`
+}
+
+// SchedBenchReport is the full benchmark output, serialized to
+// BENCH_sched.json.
+type SchedBenchReport struct {
+	Go        string            `json:"go"`
+	GOARCH    string            `json:"goarch"`
+	Seed      uint64            `json:"seed"`
+	TicksEach int64             `json:"ticksEach"`
+	Entries   []SchedBenchEntry `json:"entries"`
+	// SpeedupAtN maps "n" to ticksPerSec(poisson batch) /
+	// ticksPerSec(heap-poisson batch), the headline O(1)-vs-heap ratio.
+	SpeedupAtN map[string]float64 `json:"speedupAtN"`
+}
+
+// RunSchedBench measures every scheduler engine and writes a human-readable
+// summary to out (if non-nil). The returned report is JSON-serializable.
+func RunSchedBench(cfg SchedBenchConfig, out io.Writer) (SchedBenchReport, error) {
+	ns := cfg.Ns
+	if len(ns) == 0 {
+		ns = []int{10_000, 1_000_000}
+	}
+	ticks := cfg.Ticks
+	if ticks <= 0 {
+		ticks = 5_000_000
+	}
+
+	rep := SchedBenchReport{
+		Go:         runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Seed:       cfg.Seed,
+		TicksEach:  ticks,
+		SpeedupAtN: map[string]float64{},
+	}
+
+	engines := []struct {
+		name string
+		make func(n int) (sched.BatchScheduler, error)
+	}{
+		{"sequential", func(n int) (sched.BatchScheduler, error) { return sched.NewSequential(n, rng.At(cfg.Seed, 0)) }},
+		{"poisson", func(n int) (sched.BatchScheduler, error) { return sched.NewPoisson(n, 1, rng.At(cfg.Seed, 0)) }},
+		{"heap-poisson", func(n int) (sched.BatchScheduler, error) { return sched.NewHeapPoisson(n, 1, rng.At(cfg.Seed, 0)) }},
+	}
+
+	for _, n := range ns {
+		rates := map[string]float64{}
+		for _, eng := range engines {
+			for _, mode := range []string{"next", "batch"} {
+				s, err := eng.make(n)
+				if err != nil {
+					return rep, err
+				}
+				elapsed := measure(s, ticks, mode == "batch")
+				e := SchedBenchEntry{
+					Engine:      eng.name,
+					N:           n,
+					Mode:        mode,
+					Ticks:       ticks,
+					NsPerTick:   float64(elapsed.Nanoseconds()) / float64(ticks),
+					TicksPerSec: float64(ticks) / elapsed.Seconds(),
+				}
+				rep.Entries = append(rep.Entries, e)
+				if mode == "batch" {
+					rates[eng.name] = e.TicksPerSec
+				}
+				if out != nil {
+					fmt.Fprintf(out, "%-13s n=%-9d mode=%-5s  %8.1f ns/tick  %12.0f ticks/s\n",
+						eng.name, n, mode, e.NsPerTick, e.TicksPerSec)
+				}
+			}
+		}
+		if heap := rates["heap-poisson"]; heap > 0 {
+			rep.SpeedupAtN[fmt.Sprintf("%d", n)] = rates["poisson"] / heap
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r SchedBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// measure delivers ticks activations from s and returns the elapsed wall
+// time, keeping a trivial checksum live so the loop cannot be optimized
+// away.
+func measure(s sched.BatchScheduler, ticks int64, batched bool) time.Duration {
+	var sink int64
+	start := time.Now()
+	if batched {
+		buf := make([]sched.Tick, sched.BatchSize)
+		for delivered := int64(0); delivered < ticks; delivered += int64(len(buf)) {
+			s.NextBatch(buf)
+			sink += int64(buf[len(buf)-1].Node)
+		}
+	} else {
+		var sc sched.Scheduler = s // measure through the interface, as RunUntil does
+		for i := int64(0); i < ticks; i++ {
+			sink += int64(sc.Next().Node)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.KeepAlive(sink)
+	return elapsed
+}

@@ -1,10 +1,9 @@
 package bench
 
 import (
-	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+
+	"plurality/internal/par"
 )
 
 // measurement is one result of a repeated experiment point.
@@ -18,39 +17,20 @@ type measurement struct {
 }
 
 // runTrials executes f(0) … f(trials-1) concurrently on up to GOMAXPROCS
-// workers and returns the results in trial order. Each f must derive its
-// randomness from the trial index so the outcome is independent of
-// scheduling. The first error wins and cancels nothing — remaining trials
-// still finish (they are short) — but the error is returned.
+// workers (via the shared par driver) and returns the results in trial
+// order. Each f must derive its randomness from the trial index so the
+// outcome is independent of scheduling. The first error wins and cancels
+// nothing — remaining trials still finish (they are short) — but the error
+// is returned.
 func runTrials(trials int, f func(trial int) (measurement, error)) ([]measurement, error) {
 	results := make([]measurement, trials)
-	errs := make([]error, trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = f(i)
-			}
-		}()
-	}
-	for i := 0; i < trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", i, err)
-		}
+	err := par.ForEach(0, trials, func(i int) error {
+		var e error
+		results[i], e = f(i)
+		return e
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -25,7 +25,7 @@ func Run(pop *population.Population, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	last, _ := sched.RunUntil(cfg.Scheduler, cfg.MaxTime, st.tick)
+	last := st.run()
 	st.res.Time = last.Time
 	st.res.Ticks = last.Seq + 1
 	st.res.EndgameSafe = st.res.Done &&
@@ -150,6 +150,12 @@ func newState(pop *population.Population, cfg Config, spec Spec) (*state, error)
 
 	if cfg.DesyncFraction > 0 {
 		target := int(cfg.DesyncFraction * float64(n))
+		// At small n (< 20 for the common 5–10% fractions) the requested
+		// fraction can round down to zero nodes; honor the option by
+		// desynchronizing at least one node.
+		if target == 0 {
+			target = 1
+		}
 		perm := cfg.Rand.Perm(n)
 		for i := 0; i < target; i++ {
 			u := perm[i]
@@ -201,6 +207,41 @@ func (st *state) block(u int, now float64) {
 	}
 }
 
+// run drives the scheduler until the protocol reports completion or
+// MaxTime elapses, returning the last delivered tick. When the scheduler
+// supports batch delivery it pulls ticks in chunks and — in the common
+// no-delay, no-probe case — dispatches them through a specialized loop with
+// no per-tick closure or interface call; the general per-tick path is kept
+// for delay models and probing. Both paths consume the protocol RNG
+// identically, so results for a fixed seed do not depend on which one runs.
+func (st *state) run() sched.Tick {
+	bs, ok := st.cfg.Scheduler.(sched.BatchScheduler)
+	if !ok {
+		last, _ := sched.RunUntil(st.cfg.Scheduler, st.cfg.MaxTime, st.tick)
+		return last
+	}
+	probing := st.nextProbe >= 0 && st.cfg.OnProbe != nil
+	if st.delaying || probing {
+		last, _ := sched.RunBatch(st.cfg.Scheduler, st.cfg.MaxTime, st.tick)
+		return last
+	}
+	var last sched.Tick
+	maxTime := st.cfg.MaxTime
+	buf := make([]sched.Tick, sched.BatchSize)
+	for {
+		bs.NextBatch(buf)
+		for _, t := range buf {
+			if t.Time > maxTime {
+				return last
+			}
+			last = t
+			if !st.tickFast(t.Node, t.Time) {
+				return last
+			}
+		}
+	}
+}
+
 // tick handles one scheduler activation. It returns false once the run can
 // stop: consensus reached, or every live node has halted.
 func (st *state) tick(t sched.Tick) bool {
@@ -209,10 +250,7 @@ func (st *state) tick(t sched.Tick) bool {
 	}
 
 	u := t.Node
-	if st.halted[u] || (st.crashed != nil && st.crashed[u]) {
-		return st.keepGoing()
-	}
-	if st.delaying && t.Time < st.busyUntil[u] {
+	if st.delaying && !st.halted[u] && (st.crashed == nil || !st.crashed[u]) && t.Time < st.busyUntil[u] {
 		// Waiting for a response: the clock ticked but no protocol work
 		// is performed. Real time deliberately does not advance either —
 		// it counts ticks *performed*, so that under the §4 delay
@@ -221,16 +259,25 @@ func (st *state) tick(t sched.Tick) bool {
 		// target for working time.
 		return st.keepGoing()
 	}
+	return st.tickFast(u, t.Time)
+}
+
+// tickFast is the delay- and probe-free activation body shared by both run
+// paths.
+func (st *state) tickFast(u int, now float64) bool {
+	if st.halted[u] || (st.crashed != nil && st.crashed[u]) {
+		return st.keepGoing()
+	}
 	st.real[u]++
 
 	w := st.working[u]
 	st.working[u] = w + 1
 
 	if w >= int64(st.spec.Part1Ticks) {
-		st.endgameTick(u, w, t.Time)
+		st.endgameTick(u, w, now)
 		return st.keepGoing()
 	}
-	st.part1Tick(u, w, t.Time)
+	st.part1Tick(u, w, now)
 	return st.keepGoing()
 }
 
@@ -380,11 +427,8 @@ func (st *state) probe(now float64) {
 	if len(buf) > 0 {
 		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 		med := buf[len(buf)/2]
-		q5 := buf[len(buf)*5/100]
-		q95 := buf[len(buf)*95/100]
-		if len(buf)*95/100 >= len(buf) {
-			q95 = buf[len(buf)-1]
-		}
+		q5 := buf[quantileIndex(len(buf), 5)]
+		q95 := buf[quantileIndex(len(buf), 95)]
 		p.MedianWorking = med
 		p.Spread90 = q95 - q5
 		maxDev := int64(0)
@@ -405,4 +449,19 @@ func (st *state) probe(now float64) {
 		p.PoorlySynced = poor
 	}
 	st.cfg.OnProbe(p)
+}
+
+// quantileIndex returns the index of the pct-th percentile in a sorted
+// slice of length n > 0, clamped into [0, n-1]. The clamp matters for the
+// small populations (n < 20) where n·pct/100 degenerates: without it a
+// probe over very few active nodes could index one past the end.
+func quantileIndex(n, pct int) int {
+	i := n * pct / 100
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }

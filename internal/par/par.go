@@ -1,0 +1,63 @@
+// Package par is the shared parallel-trial driver: it shards independent,
+// deterministic jobs (simulation trials, benchmark repetitions) across a
+// bounded worker pool. Callers derive each job's randomness from its index,
+// so results are independent of scheduling and worker count.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0) … fn(jobs-1) on up to workers goroutines and blocks
+// until all complete. workers <= 0 selects GOMAXPROCS. Every job runs even
+// if an earlier one fails; the lowest-index error is returned.
+func ForEach(workers, jobs int, fn func(i int) error) error {
+	if jobs <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+
+	errs := make([]error, jobs)
+	if workers == 1 {
+		// Inline on the caller's goroutine: same semantics, no overhead,
+		// and panics keep their natural stack.
+		for i := 0; i < jobs; i++ {
+			errs[i] = fn(i)
+		}
+		return firstError(errs)
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	return nil
+}

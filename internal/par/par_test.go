@@ -1,0 +1,53 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		const jobs = 37
+		var hits [jobs]int32
+		if err := ForEach(workers, jobs, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEach(4, 20, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 || i == 11 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Fatalf("err = %v, want lowest-index job 3", err)
+	}
+	if ran != 20 {
+		t.Fatalf("ran %d jobs, want all 20 despite the error", ran)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("should not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -81,15 +81,18 @@ func RunSync(pop *population.Population, rule Rule, cfg SyncConfig) (SyncResult,
 		sampled = make([]population.Color, s)
 	)
 	res, err := syncsim.Run(cfg.MaxRounds, func(round int) (bool, error) {
+		// Stage through the buffer's backing slice directly: one bounds
+		// check instead of a method call per node on the hot loop.
+		next := buf.Slice()
 		for u := 0; u < n; u++ {
 			for i := 0; i < s; i++ {
 				sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
 			}
-			next := rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
-			if next == population.None {
-				next = pop.ColorOf(u)
+			c := rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
+			if c == population.None {
+				c = pop.ColorOf(u)
 			}
-			buf.Stage(u, next)
+			next[u] = c
 		}
 		buf.Commit(pop)
 		if cfg.OnRound != nil {
@@ -209,7 +212,39 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 		}
 	}
 
-	last, stopped := sched.RunUntil(cfg.Scheduler, cfg.MaxTime, func(t sched.Tick) bool {
+	// Fast path for the paper's base model: no delays and no observer.
+	// Ticks are pulled in batches and handled inline, so the only per-tick
+	// dynamic dispatch left is the rule itself.
+	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !delaying && cfg.OnTick == nil {
+		var last sched.Tick
+		batch := make([]sched.Tick, sched.BatchSize)
+		for !res.Done {
+			bs.NextBatch(batch)
+			for _, t := range batch {
+				if t.Time > cfg.MaxTime {
+					res.Time = last.Time
+					res.Ticks = last.Seq + 1
+					res.Winner = pop.Plurality()
+					return res, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), cfg.MaxTime, ErrTimeLimit)
+				}
+				last = t
+				u := t.Node
+				for i := 0; i < s; i++ {
+					sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
+				}
+				apply(u, rule.Next(cfg.Rand, pop.ColorOf(u), sampled))
+				if res.Done {
+					break
+				}
+			}
+		}
+		res.Time = last.Time
+		res.Ticks = last.Seq + 1
+		res.Winner = pop.Plurality()
+		return res, nil
+	}
+
+	last, stopped := sched.RunBatch(cfg.Scheduler, cfg.MaxTime, func(t sched.Tick) bool {
 		u := t.Node
 		switch {
 		case delaying && pending[u].waiting && t.Time >= pending[u].readyAt:

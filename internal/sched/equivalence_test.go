@@ -1,0 +1,258 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+// engines lists every scheduler engine under its construction at (n, rate 1).
+func engines(t *testing.T, n int, seed uint64) map[string]BatchScheduler {
+	t.Helper()
+	seq, err := NewSequential(n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poi, err := NewPoisson(n, 1, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := NewHeapPoisson(n, 1, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]BatchScheduler{"sequential": seq, "poisson": poi, "heap-poisson": hp}
+}
+
+// ksStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F_a(x) − F_b(x)|. Both slices are sorted in place.
+func ksStatistic(a, b []float64) float64 {
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	var d float64
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// ksThreshold is the rejection threshold at significance α for sample sizes
+// m and n: c(α)·sqrt((m+n)/(m·n)) with c(α) = sqrt(−ln(α/2)/2).
+func ksThreshold(alpha float64, m, n int) float64 {
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(m+n)/float64(m)/float64(n))
+}
+
+// perNodeGaps runs s for about total ticks and returns the pooled per-node
+// inter-activation times in parallel time. In every engine these should be
+// (asymptotically) i.i.d. Exp(1): exactly exponential under both Poisson
+// engines, Geometric(1/n)/n under the sequential model.
+func perNodeGaps(s BatchScheduler, total int) []float64 {
+	n := s.N()
+	lastSeen := make([]float64, n)
+	seen := make([]bool, n)
+	gaps := make([]float64, 0, total)
+	buf := make([]Tick, BatchSize)
+	for len(gaps) < total {
+		s.NextBatch(buf)
+		for _, tk := range buf {
+			if seen[tk.Node] {
+				gaps = append(gaps, tk.Time-lastSeen[tk.Node])
+			}
+			seen[tk.Node] = true
+			lastSeen[tk.Node] = tk.Time
+		}
+	}
+	return gaps[:total]
+}
+
+// TestInterActivationTimesEquivalent is the scheduler-equivalence test the
+// paper's model-equivalence claim (via Mosk-Aoyama & Shah) rests on: the
+// O(1) Poisson engine, the heap reference, and the sequential model must
+// produce statistically indistinguishable per-node inter-activation times.
+// Pairwise two-sample KS tests at α = 0.001; the runs are deterministic, so
+// this cannot flake — it fails only if an engine's distribution is wrong.
+func TestInterActivationTimesEquivalent(t *testing.T) {
+	const n, samples = 1000, 40_000
+	es := engines(t, n, 42)
+	gaps := map[string][]float64{}
+	for name, s := range es {
+		gaps[name] = perNodeGaps(s, samples)
+	}
+	pairs := [][2]string{
+		{"poisson", "heap-poisson"},
+		{"poisson", "sequential"},
+		{"heap-poisson", "sequential"},
+	}
+	for _, p := range pairs {
+		a := append([]float64(nil), gaps[p[0]]...)
+		b := append([]float64(nil), gaps[p[1]]...)
+		d := ksStatistic(a, b)
+		thresh := ksThreshold(0.001, len(a), len(b))
+		// The sequential model's gaps live on the lattice {k/n}, which
+		// biases the KS distance by O(1/n); widen the threshold by that
+		// much for the mixed pairs.
+		thresh += 1 / float64(n)
+		if d > thresh {
+			t.Errorf("%s vs %s: KS statistic %.4f > %.4f", p[0], p[1], d, thresh)
+		}
+	}
+}
+
+// TestGlobalGapExponential checks the O(1) engine's global inter-event gaps
+// against the heap engine's: both must be Exp(n·rate).
+func TestGlobalGapExponential(t *testing.T) {
+	const n, samples = 500, 50_000
+	collect := func(s Scheduler) []float64 {
+		gaps := make([]float64, samples)
+		prev := 0.0
+		for i := range gaps {
+			tk := s.Next()
+			gaps[i] = tk.Time - prev
+			prev = tk.Time
+		}
+		return gaps
+	}
+	poi, err := NewPoisson(n, 1, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := NewHeapPoisson(n, 1, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := collect(poi), collect(hp)
+	if d, thresh := ksStatistic(a, b), ksThreshold(0.001, samples, samples); d > thresh {
+		t.Errorf("global gaps: KS statistic %.4f > %.4f", d, thresh)
+	}
+	// Sanity: the mean global gap is 1/(n·rate).
+	var sum float64
+	for _, g := range a {
+		sum += g
+	}
+	if mean, want := sum/samples, 1/float64(n); math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean global gap %.6f, want ~%.6f", mean, want)
+	}
+}
+
+// TestNodeMarginalsUniform checks every engine's node-choice marginal
+// against the uniform distribution with a chi-square test.
+func TestNodeMarginalsUniform(t *testing.T) {
+	const n, draws = 64, 640_000
+	for name, s := range engines(t, n, 99) {
+		counts := make([]int64, n)
+		buf := make([]Tick, BatchSize)
+		for delivered := 0; delivered < draws; delivered += len(buf) {
+			s.NextBatch(buf)
+			for _, tk := range buf {
+				counts[tk.Node]++
+			}
+		}
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		expect := float64(total) / n
+		var chi2 float64
+		for _, c := range counts {
+			d := float64(c) - expect
+			chi2 += d * d / expect
+		}
+		// χ² with n−1 dof: mean n−1, sd sqrt(2(n−1)); 5σ band.
+		dof := float64(n - 1)
+		if limit := dof + 5*math.Sqrt(2*dof); chi2 > limit {
+			t.Errorf("%s: chi2 = %.1f > %.1f (non-uniform node marginal)", name, chi2, limit)
+		}
+	}
+}
+
+// TestNextBatchMatchesNext verifies NextBatch is tick-for-tick identical to
+// repeated Next calls for every engine, including across odd batch sizes.
+func TestNextBatchMatchesNext(t *testing.T) {
+	const n, total = 37, 1000
+	for name := range engines(t, n, 5) {
+		one := engines(t, n, 5)[name]
+		batched := engines(t, n, 5)[name]
+		var fromNext, fromBatch []Tick
+		for i := 0; i < total; i++ {
+			fromNext = append(fromNext, one.Next())
+		}
+		for _, size := range []int{1, 3, 17, 100, 379, 500} {
+			buf := make([]Tick, size)
+			batched.NextBatch(buf)
+			fromBatch = append(fromBatch, buf...)
+		}
+		for i := range fromBatch {
+			if fromBatch[i] != fromNext[i] {
+				t.Fatalf("%s: tick %d: batch %+v != next %+v", name, i, fromBatch[i], fromNext[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchMatchesRunUntil verifies the batched driver delivers exactly
+// the ticks RunUntil would, under both stopping rules.
+func TestRunBatchMatchesRunUntil(t *testing.T) {
+	collect := func(run func(Scheduler, float64, func(Tick) bool) (Tick, bool), maxTime float64, stopAfter int) ([]Tick, Tick, bool) {
+		s, err := NewPoisson(25, 1, rng.New(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ticks []Tick
+		last, stopped := run(s, maxTime, func(tk Tick) bool {
+			ticks = append(ticks, tk)
+			return stopAfter <= 0 || len(ticks) < stopAfter
+		})
+		return ticks, last, stopped
+	}
+	for _, tc := range []struct {
+		maxTime   float64
+		stopAfter int
+	}{{40, 0}, {1e9, 777}} {
+		a, lastA, stopA := collect(RunUntil, tc.maxTime, tc.stopAfter)
+		b, lastB, stopB := collect(RunBatch, tc.maxTime, tc.stopAfter)
+		if len(a) != len(b) || lastA != lastB || stopA != stopB {
+			t.Fatalf("maxTime=%v stopAfter=%d: RunUntil (%d ticks, %+v, %v) != RunBatch (%d ticks, %+v, %v)",
+				tc.maxTime, tc.stopAfter, len(a), lastA, stopA, len(b), lastB, stopB)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tick %d differs: %+v != %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func BenchmarkHeapPoissonNext(b *testing.B) {
+	s, err := NewHeapPoisson(1_000_000, 1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}
+
+func BenchmarkPoissonNextBatch(b *testing.B) {
+	s, err := NewPoisson(1_000_000, 1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]Tick, BatchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(buf) {
+		s.NextBatch(buf)
+	}
+}

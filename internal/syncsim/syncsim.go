@@ -68,6 +68,12 @@ func (b *Buffer) Stage(u int, c population.Color) { b.next[u] = c }
 // StageKeep marks node u as unchanged this round.
 func (b *Buffer) StageKeep(u int) { b.next[u] = population.None }
 
+// Slice exposes the staging slice directly (index u holds node u's staged
+// color, population.None meaning "keep"). Hot round loops write through it
+// to avoid a method call per node; the slice is valid until the next Commit
+// or Reset.
+func (b *Buffer) Slice() []population.Color { return b.next }
+
 // Commit applies all staged colors to pop and resets the buffer for the
 // next round. It returns the number of nodes that changed color.
 func (b *Buffer) Commit(pop *population.Population) int {

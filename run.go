@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"plurality/internal/core"
+	"plurality/internal/par"
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/protocols/onebit"
 	"plurality/internal/protocols/threemajority"
@@ -142,7 +143,47 @@ func (o *options) scheduler(n int) (sched.Scheduler, error) {
 		return sched.NewSequential(n, rng.At(o.seed, 0))
 	case Poisson:
 		return sched.NewPoisson(n, 1, rng.At(o.seed, 0))
+	case HeapPoisson:
+		return sched.NewHeapPoisson(n, 1, rng.At(o.seed, 0))
 	default:
 		return nil, fmt.Errorf("plurality: unknown model %d", o.model)
 	}
+}
+
+// RunCoreTrials executes trials independent core-protocol runs, each on a
+// fresh population built from counts, sharded across WithTrialWorkers
+// goroutines (default GOMAXPROCS). Trial t runs with a seed derived
+// deterministically from the base WithSeed and t, so the result slice is a
+// pure function of (counts, trials, options) — independent of the worker
+// count and of scheduling. Results are returned in trial order; the first
+// failing trial's error is returned alongside the full slice (later trials
+// still run, so the successful entries remain usable).
+func RunCoreTrials(counts []int64, trials int, opts ...Option) ([]CoreResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("plurality: trials = %d, want > 0", trials)
+	}
+	o := newOptions(opts)
+	results := make([]CoreResult, trials)
+	err := par.ForEach(o.trialWorkers, trials, func(trial int) error {
+		pop, err := NewPopulation(counts)
+		if err != nil {
+			return err
+		}
+		trialOpts := append(append([]Option{}, opts...), WithSeed(TrialSeed(o.seed, trial)))
+		res, err := RunCore(pop, trialOpts...)
+		results[trial] = res
+		return err
+	})
+	return results, err
+}
+
+// TrialSeed derives the seed trial t of a multi-trial run uses from the
+// base seed: trial 0 keeps the base seed (a 1-trial run matches RunCore
+// exactly) and later trials get decorrelated streams via SplitMix-style
+// mixing.
+func TrialSeed(seed uint64, trial int) uint64 {
+	if trial == 0 {
+		return seed
+	}
+	return rng.At(seed, trial).Uint64()
 }

@@ -1,0 +1,94 @@
+package plurality
+
+import "testing"
+
+// TestRunCoreTrialsDeterministicAcrossWorkers: the multi-trial driver must
+// be a pure function of (counts, trials, seed) — the worker count only
+// changes wall-clock time, never results.
+func TestRunCoreTrialsDeterministicAcrossWorkers(t *testing.T) {
+	counts, err := Biased(2000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 6
+	run := func(workers int) []CoreResult {
+		res, err := RunCoreTrials(counts, trials, WithSeed(9), WithTrialWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, workers := range []int{0, 2, 7} {
+		parallel := run(workers)
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d trial %d: %+v != %+v", workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+
+	// Distinct trials must use decorrelated streams: at least one result
+	// field should differ between some pair of trials.
+	allSame := true
+	for i := 1; i < trials; i++ {
+		if serial[i] != serial[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("all trials produced identical results; per-trial seeds look correlated")
+	}
+}
+
+// TestRunCoreTrialsFirstTrialMatchesRunCore: trial 0 keeps the base seed,
+// so a 1-trial multi-run is exactly RunCore.
+func TestRunCoreTrialsFirstTrialMatchesRunCore(t *testing.T) {
+	counts, err := Biased(1500, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := NewPopulation(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := RunCore(pop, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunCoreTrials(counts, 3, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many[0] != single {
+		t.Fatalf("trial 0 %+v != RunCore %+v", many[0], single)
+	}
+}
+
+func TestRunCoreTrialsValidation(t *testing.T) {
+	counts, err := Biased(100, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCoreTrials(counts, 0); err == nil {
+		t.Error("trials=0 should fail")
+	}
+}
+
+func TestRunCoreHeapPoissonModel(t *testing.T) {
+	counts, err := Biased(800, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := NewPopulation(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCore(pop, WithSeed(2), WithModel(HeapPoisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Winner != 0 {
+		t.Fatalf("heap-poisson run failed: %+v", res)
+	}
+}

@@ -222,6 +222,25 @@ func (s *schedule) locate(w int64) (phase int, inPhase int64, done bool) {
 	return phase, w - s.phaseStart[phase], false
 }
 
+// runner is the mutable execution state of one framework run. Keeping the
+// per-tick body as a method (rather than a capturing closure handed to the
+// scheduler) lets the batched run loop dispatch it directly.
+type runner struct {
+	p   Program
+	cfg Config
+	sch *schedule
+	n   int
+
+	working []int64
+	real    []int64
+	halted  []bool
+	samples []int64
+	counts  []int32
+	buf     []int64
+	env     Env
+	res     Result
+}
+
 // Run executes the program on n = cfg.Graph.N() nodes until every node
 // halts, Stop fires, or the time budget elapses.
 func Run(p Program, cfg Config) (Result, error) {
@@ -234,101 +253,108 @@ func Run(p Program, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	var (
-		working = make([]int64, n)
-		real    = make([]int64, n)
-		halted  = make([]bool, n)
-		samples = make([]int64, n*sch.gadgetSamples)
-		counts  = make([]int32, n)
-		buf     = make([]int64, sch.gadgetSamples)
-		env     = Env{g: cfg.Graph, r: cfg.Rand}
-		res     Result
-	)
-
-	last, stopped := sched.RunUntil(cfg.Scheduler, cfg.MaxTime, func(t sched.Tick) bool {
-		u := t.Node
-		if halted[u] {
-			return !done(&res, n, cfg)
-		}
-		real[u]++
-		w := working[u]
-		working[u] = w + 1
-
-		phase, pos, finished := sch.locate(w)
-		if finished {
-			halted[u] = true
-			res.Halted++
-			if p.OnHalt != nil {
-				p.OnHalt(u)
-			}
-			return !done(&res, n, cfg)
-		}
-
-		offsets := sch.stepOffset[phase]
-		for i, off := range offsets {
-			step := p.Phases[phase].Steps[i]
-			window := int64(step.Window)
-			if window <= 0 {
-				window = 1
-			}
-			if window > int64(sch.delta) {
-				window = int64(sch.delta)
-			}
-			if pos >= off && pos < off+window {
-				env.Node = u
-				env.Time = t.Time
-				env.Tick = int(pos - off)
-				step.Do(&env)
-				return !done(&res, n, cfg)
-			}
-		}
-
-		if sch.hasGadget {
-			switch {
-			case pos >= sch.gadgetOff && pos < sch.gadgetOff+int64(sch.gadgetSamples):
-				v := cfg.Graph.Sample(cfg.Rand, u)
-				if c := counts[u]; int(c) < sch.gadgetSamples {
-					samples[u*sch.gadgetSamples+int(c)] = real[v] - real[u]
-					counts[u] = c + 1
-				}
-			case pos == sch.jumpOff:
-				if c := int(counts[u]); c > 0 {
-					b := buf[:c]
-					copy(b, samples[u*sch.gadgetSamples:u*sch.gadgetSamples+c])
-					sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-					med := b[c/2]
-					if c%2 == 0 {
-						med = (b[c/2-1] + b[c/2]) / 2
-					}
-					if target := med + real[u]; target >= 0 {
-						working[u] = target
-					} else {
-						working[u] = 0
-					}
-					counts[u] = 0
-					res.Jumps++
-				}
-			}
-		}
-		return !done(&res, n, cfg)
-	})
-
-	res.Time = last.Time
-	res.Ticks = last.Seq + 1
-	if !stopped && !res.Stopped && res.Halted < n {
-		return res, fmt.Errorf("weaksync: %d/%d halted by time %v: %w", res.Halted, n, cfg.MaxTime, ErrIncomplete)
+	rn := &runner{
+		p:       p,
+		cfg:     cfg,
+		sch:     sch,
+		n:       n,
+		working: make([]int64, n),
+		real:    make([]int64, n),
+		halted:  make([]bool, n),
+		samples: make([]int64, n*sch.gadgetSamples),
+		counts:  make([]int32, n),
+		buf:     make([]int64, sch.gadgetSamples),
+		env:     Env{g: cfg.Graph, r: cfg.Rand},
 	}
-	return res, nil
+
+	last, stopped := sched.RunBatch(cfg.Scheduler, cfg.MaxTime, rn.tick)
+
+	rn.res.Time = last.Time
+	rn.res.Ticks = last.Seq + 1
+	if !stopped && !rn.res.Stopped && rn.res.Halted < n {
+		return rn.res, fmt.Errorf("weaksync: %d/%d halted by time %v: %w", rn.res.Halted, n, cfg.MaxTime, ErrIncomplete)
+	}
+	return rn.res, nil
+}
+
+// tick executes one activation and reports whether the run continues.
+func (rn *runner) tick(t sched.Tick) bool {
+	u := t.Node
+	if rn.halted[u] {
+		return !rn.done()
+	}
+	rn.real[u]++
+	w := rn.working[u]
+	rn.working[u] = w + 1
+
+	sch := rn.sch
+	phase, pos, finished := sch.locate(w)
+	if finished {
+		rn.halted[u] = true
+		rn.res.Halted++
+		if rn.p.OnHalt != nil {
+			rn.p.OnHalt(u)
+		}
+		return !rn.done()
+	}
+
+	offsets := sch.stepOffset[phase]
+	for i, off := range offsets {
+		step := rn.p.Phases[phase].Steps[i]
+		window := int64(step.Window)
+		if window <= 0 {
+			window = 1
+		}
+		if window > int64(sch.delta) {
+			window = int64(sch.delta)
+		}
+		if pos >= off && pos < off+window {
+			rn.env.Node = u
+			rn.env.Time = t.Time
+			rn.env.Tick = int(pos - off)
+			step.Do(&rn.env)
+			return !rn.done()
+		}
+	}
+
+	if sch.hasGadget {
+		switch {
+		case pos >= sch.gadgetOff && pos < sch.gadgetOff+int64(sch.gadgetSamples):
+			v := rn.cfg.Graph.Sample(rn.cfg.Rand, u)
+			if c := rn.counts[u]; int(c) < sch.gadgetSamples {
+				rn.samples[u*sch.gadgetSamples+int(c)] = rn.real[v] - rn.real[u]
+				rn.counts[u] = c + 1
+			}
+		case pos == sch.jumpOff:
+			if c := int(rn.counts[u]); c > 0 {
+				b := rn.buf[:c]
+				copy(b, rn.samples[u*sch.gadgetSamples:u*sch.gadgetSamples+c])
+				sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+				med := b[c/2]
+				if c%2 == 0 {
+					med = (b[c/2-1] + b[c/2]) / 2
+				}
+				if target := med + rn.real[u]; target >= 0 {
+					rn.working[u] = target
+				} else {
+					rn.working[u] = 0
+				}
+				rn.counts[u] = 0
+				rn.res.Jumps++
+			}
+		}
+	}
+	return !rn.done()
 }
 
 // done updates res.Stopped from the Stop hook and reports whether the run
 // should end.
-func done(res *Result, n int, cfg Config) bool {
-	if cfg.Stop != nil && cfg.Stop() {
-		res.Stopped = true
+func (rn *runner) done() bool {
+	if rn.cfg.Stop != nil && rn.cfg.Stop() {
+		rn.res.Stopped = true
 		return true
 	}
-	return res.Halted >= n
+	return rn.res.Halted >= rn.n
 }
 
 func validate(cfg Config) error {
