@@ -3,7 +3,14 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-smoke schedbench lint fmt
+# Minimum statement coverage over the packages `make cover` measures
+# (internal/exp and internal/sched, the sweep engine and its scheduler
+# substrate). Currently ~92%; the floor leaves headroom for refactors while
+# catching untested new code.
+COVER_MIN ?= 85
+
+.PHONY: build test test-short test-race cover bench bench-smoke schedbench \
+	sweep-smoke sweep-baseline sweep-nightly lint fmt
 
 build:
 	$(GO) build ./...
@@ -12,10 +19,19 @@ test:
 	$(GO) test ./...
 
 test-short:
-	$(GO) test -short ./...
+	$(GO) test -shuffle=on -short ./...
 
 test-race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -shuffle=on -short ./...
+
+# Statement coverage of the experiment engine and the scheduler, with a
+# minimum-coverage gate (override the floor with COVER_MIN=nn).
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/exp ./internal/sched
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t + 0 < m + 0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
 # Full benchmark pass (slow; regenerates local numbers, not committed).
 bench:
@@ -29,6 +45,22 @@ bench-smoke:
 # Regenerate BENCH_sched.json (the scheduler-engine before/after record).
 schedbench:
 	$(GO) run ./cmd/experiments -schedbench -schedbench-out BENCH_sched.json
+
+# CI regression harness: run every named sweep at smoke size, write the
+# BENCH_exp.json artifact, run the statistical gates, and diff against the
+# committed baseline within tolerance bands.
+sweep-smoke:
+	$(GO) run ./cmd/experiments -sweep all -smoke -out BENCH_exp.json \
+		-baseline BENCH_exp_baseline.json
+
+# Regenerate the committed smoke baseline (run after an intentional change
+# to protocol behavior or sweep grids; commit the result).
+sweep-baseline:
+	$(GO) run ./cmd/experiments -sweep all -smoke -out BENCH_exp_baseline.json
+
+# Full-size logn-scaling sweep, the nightly job's workload.
+sweep-nightly:
+	$(GO) run ./cmd/experiments -sweep logn-scaling -out BENCH_exp_nightly.json
 
 lint:
 	$(GO) vet ./...

@@ -66,6 +66,79 @@ func TestRunAblationsQuick(t *testing.T) {
 	}
 }
 
+func TestSweepList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"logn-scaling", "latency", "churn", "topology"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("sweep list missing %s:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestSweepUnknownName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "warp-drive"}, &buf); err == nil {
+		t.Fatal("unknown sweep should fail")
+	}
+}
+
+// TestSweepSmokeRunAndBaseline drives one named sweep end to end with a
+// trial override: artifact written, gates printed, and a self-baseline diff
+// that must come back clean.
+func TestSweepSmokeRunAndBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	out := dir + "/exp.json"
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "topology", "-smoke", "-trials", "2", "-out", out}, &buf); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate all-converged") {
+		t.Fatalf("missing gate output:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle struct {
+		Schema  string `json:"schema"`
+		Reports map[string]struct {
+			Schema string `json:"schema"`
+			Cells  []struct {
+				Label string `json:"label"`
+			} `json:"cells"`
+		} `json:"reports"`
+	}
+	if err := json.Unmarshal(data, &bundle); err != nil {
+		t.Fatalf("invalid bundle: %v\n%s", err, data)
+	}
+	rep, ok := bundle.Reports["topology"]
+	if !ok || len(rep.Cells) != 4 {
+		t.Fatalf("bundle: %s", data)
+	}
+
+	// The run is deterministic, so diffing against itself must be clean.
+	buf.Reset()
+	if err := run([]string{"-sweep", "topology", "-smoke", "-trials", "2", "-baseline", out}, &buf); err != nil {
+		t.Fatalf("self-baseline diff failed: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "baseline: clean") {
+		t.Fatalf("missing clean-baseline line:\n%s", buf.String())
+	}
+}
+
+func TestSweepBadBaselinePath(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "topology", "-baseline", "/nonexistent.json"}, &buf); err == nil {
+		t.Fatal("missing baseline file should fail")
+	}
+}
+
 func TestSchedBenchFlag(t *testing.T) {
 	dir := t.TempDir()
 	out := dir + "/bench.json"

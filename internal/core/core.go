@@ -137,6 +137,24 @@ type Config struct {
 	// blocks — making no schedule progress — until the response arrives.
 	// nil means instant responses.
 	Delay sched.DelayModel
+	// Latency models per-edge message latency (the asynchronous
+	// edge-latency extension after Bankhamer et al.): every edge used by a
+	// communicating step incurs an independent latency draw and the node
+	// blocks until the slowest contacted edge has responded. Unlike Delay
+	// (one node-local draw per step), a two-contact step waits for the
+	// maximum of two draws. nil means instant edges. Latency composes
+	// additively with Delay when both are set.
+	Latency sched.LatencyModel
+	// ChurnRate, in [0, 1), is the probability that any given activation
+	// is a churn event instead of a protocol step: the activated node is
+	// replaced by a fresh joiner with a uniformly random opinion, working
+	// and real time zero, and cleared protocol state. Since nodes activate
+	// at rate ~1, this is also the per-node churn rate per unit parallel
+	// time. Exact consensus stays reachable only while the steady-state
+	// number of freshly churned nodes (≈ ChurnRate·n) is o(1) — keep
+	// ChurnRate well below 1/n, or accept ErrNoConsensus as the outcome.
+	// Halted nodes no longer activate and therefore no longer churn.
+	ChurnRate float64
 
 	// ProbeInterval is the period, in parallel time, of synchronization
 	// probes delivered to OnProbe. Zero selects 1.0; negative disables
@@ -288,6 +306,8 @@ type Result struct {
 	Ticks int64
 	// Jumps is the total number of executed Sync Gadget jumps.
 	Jumps int64
+	// Churns is the total number of churn events (node replacements).
+	Churns int64
 	// MaxJumpAdjustment is the largest |jump target − working time before
 	// jump| observed, a measure of how hard the gadget had to work.
 	MaxJumpAdjustment int64

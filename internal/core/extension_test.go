@@ -1,0 +1,214 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// extHarness builds the common fixtures for the latency/churn extension
+// tests.
+func extHarness(t *testing.T, n int, seed uint64) (graph.Graph, sched.Scheduler, *rng.RNG) {
+	t.Helper()
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.NewPoisson(n, 1, rng.At(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, rng.At(seed, 1)
+}
+
+func extPop(t *testing.T, n, k int) *population.Population {
+	t.Helper()
+	counts, err := population.BiasedCounts(n, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+// TestEdgeLatencySlowsConvergence: per-edge latencies block communicating
+// steps, so consensus must still be reached but strictly later than with
+// instant edges.
+func TestEdgeLatencySlowsConvergence(t *testing.T) {
+	const n = 1000
+	run := func(lat sched.LatencyModel) Result {
+		g, s, r := extHarness(t, n, 21)
+		res, err := Run(extPop(t, n, 4), Config{
+			Graph: g, Scheduler: s, Rand: r, MaxTime: 1e5,
+			Latency: lat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	instant := run(nil)
+	slow := run(sched.ExpLatency{Mean: 2})
+	if !instant.Done || !slow.Done {
+		t.Fatalf("runs did not converge: %+v / %+v", instant, slow)
+	}
+	if slow.ConsensusTime <= instant.ConsensusTime {
+		t.Fatalf("latency did not slow the run: %v (latent) vs %v (instant)",
+			slow.ConsensusTime, instant.ConsensusTime)
+	}
+}
+
+// TestEdgeLatencyDeterministic: the latency extension must preserve the
+// fixed-seed reproducibility contract.
+func TestEdgeLatencyDeterministic(t *testing.T) {
+	const n = 500
+	run := func() Result {
+		g, s, r := extHarness(t, n, 33)
+		res, err := Run(extPop(t, n, 3), Config{
+			Graph: g, Scheduler: s, Rand: r, MaxTime: 1e5,
+			Latency: sched.UniformLatency{Min: 0, Max: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestChurnConvergesBelowThreshold: churn at a rate well below 1/n injects
+// fresh random-opinion joiners yet the protocol still reaches consensus,
+// and the events are counted.
+func TestChurnConvergesBelowThreshold(t *testing.T) {
+	const n = 1000
+	g, s, r := extHarness(t, n, 5)
+	res, err := Run(extPop(t, n, 4), Config{
+		Graph: g, Scheduler: s, Rand: r, MaxTime: 1e5,
+		ChurnRate: 0.1 / n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("churned run did not converge: %+v", res)
+	}
+	if res.Churns == 0 {
+		t.Fatal("churn rate 1e-4 over a ~1e6-tick run should fire")
+	}
+}
+
+// TestChurnResetsNodeState: after a churn event the node's working time
+// restarts from zero, which the Sync Gadget then repairs — observable as a
+// strictly positive jump count even when part 1 would otherwise be nearly
+// synchronous.
+func TestChurnResetsNodeState(t *testing.T) {
+	const n = 400
+	g, s, r := extHarness(t, n, 6)
+	res, err := Run(extPop(t, n, 4), Config{
+		Graph: g, Scheduler: s, Rand: r, MaxTime: 1e5,
+		ChurnRate: 0.2 / n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Churns == 0 || res.Jumps == 0 {
+		t.Fatalf("expected churn events and gadget jumps: %+v", res)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	g, s, r := extHarness(t, 100, 1)
+	for _, rate := range []float64{-0.1, 1, 1.5} {
+		_, err := Run(extPop(t, 100, 2), Config{
+			Graph: g, Scheduler: s, Rand: r, MaxTime: 1,
+			ChurnRate: rate,
+		})
+		if err == nil || !strings.Contains(err.Error(), "ChurnRate") {
+			t.Fatalf("ChurnRate %v: err = %v", rate, err)
+		}
+	}
+}
+
+// TestCrashRequiresCompleteGraph: crash injection on a sparse topology
+// must be rejected — crashed nodes stay visible to sampling, and a sparse
+// neighborhood of crashed nodes would deadlock the run silently.
+func TestCrashRequiresCompleteGraph(t *testing.T) {
+	const n = 100
+	cyc, err := graph.NewCycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s, r := extHarness(t, n, 2)
+	_, err = Run(extPop(t, n, 2), Config{
+		Graph: cyc, Scheduler: s, Rand: r, MaxTime: 1,
+		CrashFraction: 0.1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "complete graph") {
+		t.Fatalf("crash on a cycle should be rejected, got %v", err)
+	}
+
+	// The same fraction on the complete graph stays valid.
+	g, s2, r2 := extHarness(t, n, 2)
+	if _, err := Run(extPop(t, n, 2), Config{
+		Graph: g, Scheduler: s2, Rand: r2, MaxTime: 1e5,
+		CrashFraction: 0.1,
+	}); err != nil {
+		t.Fatalf("crash on the clique should run: %v", err)
+	}
+}
+
+// TestLatencyMatchesAcrossBatchAndPerTick extends the PR-1 batch/per-tick
+// equivalence to the latency path (which always routes through the general
+// loop): forcing RunBatch vs RunUntil must not change the result.
+func TestLatencyBatchedDeterminism(t *testing.T) {
+	const n = 300
+	run := func(model func(r *rng.RNG) (sched.Scheduler, error)) Result {
+		sr := rng.At(44, 0)
+		s, err := model(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.NewComplete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(extPop(t, n, 3), Config{
+			Graph: g, Scheduler: s, Rand: rng.At(44, 1), MaxTime: 1e5,
+			Latency: sched.ExpLatency{Mean: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	batch := run(func(r *rng.RNG) (sched.Scheduler, error) { return sched.NewPoisson(n, 1, r) })
+	perTick := run(func(r *rng.RNG) (sched.Scheduler, error) { return noBatch{mustPoisson(t, n, r)}, nil })
+	if batch != perTick {
+		t.Fatalf("batch vs per-tick diverged under latency:\n%+v\n%+v", batch, perTick)
+	}
+}
+
+func mustPoisson(t *testing.T, n int, r *rng.RNG) *sched.Poisson {
+	t.Helper()
+	p, err := sched.NewPoisson(n, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// noBatch strips the BatchScheduler interface so Run falls back to the
+// per-tick path.
+type noBatch struct{ *sched.Poisson }
+
+func (n noBatch) Next() sched.Tick { return n.Poisson.Next() }
+func (n noBatch) N() int           { return n.Poisson.N() }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"plurality/internal/graph"
 	"plurality/internal/population"
 	"plurality/internal/sched"
 )
@@ -57,10 +58,23 @@ func validate(pop *population.Population, cfg Config) error {
 		return fmt.Errorf("core: scheduler has %d nodes, population %d", cfg.Scheduler.N(), pop.N())
 	case cfg.CrashFraction < 0 || cfg.CrashFraction >= 1:
 		return fmt.Errorf("core: CrashFraction = %v, want [0, 1)", cfg.CrashFraction)
+	case cfg.ChurnRate < 0 || cfg.ChurnRate >= 1:
+		return fmt.Errorf("core: ChurnRate = %v, want [0, 1)", cfg.ChurnRate)
 	case cfg.DesyncFraction < 0 || cfg.DesyncFraction >= 1:
 		return fmt.Errorf("core: DesyncFraction = %v, want [0, 1)", cfg.DesyncFraction)
 	case cfg.DesyncFraction > 0 && cfg.DesyncSpread <= 0:
 		return fmt.Errorf("core: DesyncFraction set but DesyncSpread = %d", cfg.DesyncSpread)
+	}
+	if cfg.CrashFraction > 0 {
+		// Crashed nodes stay visible to sampling, which matches the
+		// paper's model on the clique where every sample is one of n-1
+		// interchangeable nodes. On a sparse topology the same rule can
+		// leave a live node whose entire neighborhood crashed with no way
+		// to ever change opinion, deadlocking the run with no error.
+		// Reject the combination instead of silently sampling the dead.
+		if _, ok := cfg.Graph.(graph.Complete); !ok {
+			return fmt.Errorf("core: CrashFraction = %v requires the complete graph, got %T (crashed nodes remain sampled; a sparse neighborhood of crashed nodes would deadlock)", cfg.CrashFraction, cfg.Graph)
+		}
 	}
 	return nil
 }
@@ -125,6 +139,11 @@ func newState(pop *population.Population, cfg Config, spec Spec) (*state, error)
 
 	if _, instant := cfg.Delay.(sched.ZeroDelay); cfg.Delay != nil && !instant {
 		st.delaying = true
+	}
+	if cfg.Latency != nil {
+		st.delaying = true
+	}
+	if st.delaying {
 		st.busyUntil = make([]float64, n)
 	}
 
@@ -197,12 +216,43 @@ func (st *state) adopt(u int, c population.Color, now float64) {
 	}
 }
 
-// block applies the §4 response-delay extension after a communicating step.
-func (st *state) block(u int, now float64) {
+// block applies response blocking after a communicating step that
+// contacted node v: the §4 per-step delay plus the per-edge latency of the
+// Bankhamer et al. extension, composed additively when both are set.
+func (st *state) block(u, v int, now float64) {
 	if !st.delaying {
 		return
 	}
-	if d := st.cfg.Delay.SampleDelay(st.cfg.Rand); d > 0 {
+	var d float64
+	if st.cfg.Latency != nil {
+		// A negative draw counts as 0 (the LatencyModel contract), so it
+		// cannot cancel out the §4 delay added below.
+		if l := st.cfg.Latency.SampleLatency(st.cfg.Rand, u, v); l > 0 {
+			d = l
+		}
+	}
+	if st.cfg.Delay != nil {
+		d += st.cfg.Delay.SampleDelay(st.cfg.Rand)
+	}
+	if d > 0 {
+		st.busyUntil[u] = now + d
+	}
+}
+
+// block2 is block for a step that contacted two nodes: the node waits for
+// the slower of the two edge responses (plus the per-step delay).
+func (st *state) block2(u, v1, v2 int, now float64) {
+	if !st.delaying {
+		return
+	}
+	var d float64
+	if st.cfg.Latency != nil {
+		d = sched.MaxLatency(st.cfg.Latency, st.cfg.Rand, u, v1, v2)
+	}
+	if st.cfg.Delay != nil {
+		d += st.cfg.Delay.SampleDelay(st.cfg.Rand)
+	}
+	if d > 0 {
 		st.busyUntil[u] = now + d
 	}
 }
@@ -268,6 +318,10 @@ func (st *state) tickFast(u int, now float64) bool {
 	if st.halted[u] || (st.crashed != nil && st.crashed[u]) {
 		return st.keepGoing()
 	}
+	if st.cfg.ChurnRate > 0 && st.cfg.Rand.Bernoulli(st.cfg.ChurnRate) {
+		st.churn(u, now)
+		return st.keepGoing()
+	}
 	st.real[u]++
 
 	w := st.working[u]
@@ -294,14 +348,14 @@ func (st *state) part1Tick(u int, w int64, now float64) {
 	switch {
 	case pos == 0:
 		// Two-Choices step: sample two nodes with replacement.
-		a := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
-		b := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
-		if a == b {
+		va := st.cfg.Graph.Sample(st.cfg.Rand, u)
+		vb := st.cfg.Graph.Sample(st.cfg.Rand, u)
+		if a := st.pop.ColorOf(va); a == st.pop.ColorOf(vb) {
 			st.intermediate[u] = a
 		} else {
 			st.intermediate[u] = population.None
 		}
-		st.block(u, now)
+		st.block2(u, va, vb, now)
 
 	case pos == st.spec.CommitOffset:
 		// Commit step: adopt the intermediate color; the bit records
@@ -322,7 +376,7 @@ func (st *state) part1Tick(u int, w int64, now float64) {
 				st.adopt(u, st.pop.ColorOf(v), now)
 				st.bit[u] = true
 			}
-			st.block(u, now)
+			st.block(u, v, now)
 		}
 
 	case !st.cfg.DisableSyncGadget && pos >= st.spec.GadgetStart && pos < st.spec.GadgetStart+st.spec.GadgetSamples:
@@ -334,7 +388,7 @@ func (st *state) part1Tick(u int, w int64, now float64) {
 			st.samples[u*st.spec.GadgetSamples+int(cnt)] = st.real[v] - st.real[u]
 			st.sampleCount[u] = cnt + 1
 		}
-		st.block(u, now)
+		st.block(u, v, now)
 
 	case !st.cfg.DisableSyncGadget && pos == st.spec.JumpOffset:
 		st.jump(u, w)
@@ -385,12 +439,28 @@ func (st *state) endgameTick(u int, w int64, now float64) {
 		}
 		return
 	}
-	a := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
-	b := st.pop.ColorOf(st.cfg.Graph.Sample(st.cfg.Rand, u))
-	if a == b {
+	va := st.cfg.Graph.Sample(st.cfg.Rand, u)
+	vb := st.cfg.Graph.Sample(st.cfg.Rand, u)
+	if a := st.pop.ColorOf(va); a == st.pop.ColorOf(vb) {
 		st.adopt(u, a, now)
 	}
-	st.block(u, now)
+	st.block2(u, va, vb, now)
+}
+
+// churn replaces node u with a fresh joiner: a uniformly random opinion,
+// working and real time zero, and cleared protocol state (no bit, no
+// intermediate, empty gadget sample store). The churned activation performs
+// no protocol work; the Sync Gadget pulls the rejoined node back into the
+// bulk schedule at its first jump, exactly as it repairs desynchronized
+// nodes.
+func (st *state) churn(u int, now float64) {
+	st.adopt(u, population.Color(st.cfg.Rand.Intn(st.pop.K())), now)
+	st.working[u] = 0
+	st.real[u] = 0
+	st.bit[u] = false
+	st.intermediate[u] = population.None
+	st.sampleCount[u] = 0
+	st.res.Churns++
 }
 
 // probe emits a synchronization-quality snapshot and schedules the next one.

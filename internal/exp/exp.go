@@ -1,0 +1,348 @@
+// Package exp is the declarative experiment engine: a Scenario describes
+// one fully specified simulation (protocol, population size and bias
+// profile, topology, scheduler model, failure/latency/churn injection), a
+// Sweep grids Scenarios over any set of axes, and Run executes the
+// resulting cells × trials on the shared parallel-trial pool, aggregating
+// per-cell statistics (mean/median/quantiles plus bootstrap confidence
+// intervals) into a schema-stable JSON Report.
+//
+// The package exists so the question "how does consensus time react to
+// <axis>?" is a declaration, not a hand-written loop: named sweeps (see
+// named.go) cover the paper's Θ(log n) scaling claim, the Bankhamer et al.
+// edge-latency extension, node churn, and restricted topologies, each with
+// statistical gates that turn the expected shape into an executable
+// regression test. Compare diffs two Reports within tolerance bands, which
+// is how CI keeps the committed baseline honest.
+//
+// Everything is deterministic given the sweep seed: scenario RNG streams,
+// trial sharding, topology construction and bootstrap resampling all derive
+// from it, so a Report is a pure function of (Sweep, seed) and baseline
+// diffs are meaningful across machines.
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"plurality"
+	"plurality/internal/rng"
+)
+
+// Scenario is one fully specified simulation configuration. The zero value
+// is not runnable; Validate reports what is missing. String-typed fields
+// keep the struct declarative (axes patch them textually) and make the JSON
+// artifact self-describing.
+type Scenario struct {
+	// Protocol selects the runner: "core" (the paper's Theorem 1.3
+	// protocol), "two-choices", "three-majority" or "voter" (asynchronous
+	// sampling dynamics).
+	Protocol string `json:"protocol"`
+	// N is the number of nodes; K the number of colors.
+	N int `json:"n"`
+	K int `json:"k"`
+	// Bias names the initial-distribution workload: "biased" (c1 =
+	// (1+param)·c2, Theorem 1.3's regime), "gapsqrt", "tinygap", "zipf"
+	// or "uniform". BiasParam is its parameter (ε, z or the Zipf
+	// exponent; ignored for "uniform").
+	Bias      string  `json:"bias"`
+	BiasParam float64 `json:"biasParam,omitempty"`
+	// Topology names the communication graph: "complete", "cycle",
+	// "torus" (requires square N) or "gnp" with TopologyParam = p.
+	Topology      string  `json:"topology"`
+	TopologyParam float64 `json:"topologyParam,omitempty"`
+	// Model selects the scheduler engine: "sequential", "poisson" or
+	// "heap-poisson".
+	Model string `json:"model"`
+	// Crash is the crashed-node fraction (core protocol on the complete
+	// graph only; see core.Config.CrashFraction).
+	Crash float64 `json:"crash,omitempty"`
+	// Churn is the per-activation churn probability (see WithChurn).
+	Churn float64 `json:"churn,omitempty"`
+	// Latency encodes the edge-latency model: "" or "none" (instant
+	// edges), "exp:<mean>" or "uniform:<lo>:<hi>".
+	Latency string `json:"latency,omitempty"`
+	// DelayRate, when positive, enables the §4 per-step Exp(rate)
+	// response delay.
+	DelayRate float64 `json:"delayRate,omitempty"`
+	// MaxTime bounds the run in parallel time; 0 selects the library
+	// default.
+	MaxTime float64 `json:"maxTime,omitempty"`
+}
+
+// Trial is the outcome of one scenario execution.
+type Trial struct {
+	// Done reports whether consensus was reached within the time budget.
+	Done bool
+	// Time is the parallel time at which consensus completed (valid when
+	// Done).
+	Time float64
+	// Ticks is the number of delivered activations.
+	Ticks int64
+	// Win reports whether the initial plurality color won (valid when
+	// Done).
+	Win bool
+	// Churns is the number of churn events injected.
+	Churns int64
+}
+
+// Validate checks that the scenario names a runnable configuration.
+func (sc Scenario) Validate() error {
+	switch sc.Protocol {
+	case "core", "two-choices", "three-majority", "voter":
+	default:
+		return fmt.Errorf("exp: unknown protocol %q", sc.Protocol)
+	}
+	if sc.N < 4 {
+		return fmt.Errorf("exp: n = %d, want >= 4", sc.N)
+	}
+	if sc.K < 2 {
+		return fmt.Errorf("exp: k = %d, want >= 2", sc.K)
+	}
+	switch sc.Bias {
+	case "biased", "gapsqrt", "tinygap", "zipf", "uniform":
+		// Materialize the histogram so a bad bias parameter fails here —
+		// Compile promises eager per-cell validation, and the workload
+		// constructors hold the per-profile parameter rules.
+		if _, err := sc.counts(); err != nil {
+			return fmt.Errorf("exp: bias %s:%v: %w", sc.Bias, sc.BiasParam, err)
+		}
+	default:
+		return fmt.Errorf("exp: unknown bias profile %q", sc.Bias)
+	}
+	switch sc.Topology {
+	case "complete", "cycle":
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(sc.N))))
+		if side*side != sc.N {
+			return fmt.Errorf("exp: torus topology needs a square n, got %d", sc.N)
+		}
+	case "gnp":
+		if sc.TopologyParam <= 0 || sc.TopologyParam > 1 {
+			return fmt.Errorf("exp: gnp topology needs p in (0, 1], got %v", sc.TopologyParam)
+		}
+	default:
+		return fmt.Errorf("exp: unknown topology %q", sc.Topology)
+	}
+	switch sc.Model {
+	case "sequential", "poisson", "heap-poisson":
+	default:
+		return fmt.Errorf("exp: unknown model %q", sc.Model)
+	}
+	if sc.Crash > 0 {
+		// Mirror the core engine's rule at declaration time so a sweep
+		// cell cannot silently sample crashed neighbors: crash injection
+		// is defined only for the core protocol on the complete graph.
+		if sc.Protocol != "core" {
+			return fmt.Errorf("exp: crash injection is only defined for the core protocol, not %q", sc.Protocol)
+		}
+		if sc.Topology != "complete" {
+			return fmt.Errorf("exp: crash injection requires the complete topology, not %q (crashed nodes remain sampled)", sc.Topology)
+		}
+	}
+	if sc.Crash < 0 || sc.Crash >= 1 {
+		return fmt.Errorf("exp: crash = %v, want [0, 1)", sc.Crash)
+	}
+	if sc.Churn < 0 || sc.Churn >= 1 {
+		return fmt.Errorf("exp: churn = %v, want [0, 1)", sc.Churn)
+	}
+	if sc.DelayRate < 0 {
+		return fmt.Errorf("exp: delayRate = %v, want >= 0", sc.DelayRate)
+	}
+	if sc.MaxTime < 0 {
+		return fmt.Errorf("exp: maxTime = %v, want >= 0 (0 selects the default budget)", sc.MaxTime)
+	}
+	if _, err := parseLatency(sc.Latency); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseLatency decodes a Scenario.Latency string into an edge-latency
+// model; "" and "none" mean nil (instant edges).
+func parseLatency(s string) (plurality.EdgeLatency, error) {
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "exp":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("exp: latency %q, want exp:<mean>", s)
+		}
+		mean, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || mean <= 0 {
+			return nil, fmt.Errorf("exp: latency %q has bad mean", s)
+		}
+		return plurality.ExpEdgeLatency(mean), nil
+	case "uniform":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("exp: latency %q, want uniform:<lo>:<hi>", s)
+		}
+		lo, err1 := strconv.ParseFloat(parts[1], 64)
+		hi, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || lo < 0 || hi <= lo {
+			return nil, fmt.Errorf("exp: latency %q has bad bounds", s)
+		}
+		return plurality.UniformEdgeLatency(lo, hi), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown latency model %q", s)
+	}
+}
+
+// counts materializes the scenario's initial color histogram.
+func (sc Scenario) counts() ([]int64, error) {
+	switch sc.Bias {
+	case "biased":
+		return plurality.Biased(sc.N, sc.K, sc.BiasParam)
+	case "gapsqrt":
+		return plurality.GapSqrt(sc.N, sc.K, sc.BiasParam)
+	case "tinygap":
+		return plurality.TinyGap(sc.N, sc.K, sc.BiasParam)
+	case "zipf":
+		return plurality.Zipf(sc.N, sc.K, sc.BiasParam)
+	case "uniform":
+		return plurality.Uniform(sc.N, sc.K)
+	default:
+		return nil, fmt.Errorf("exp: unknown bias profile %q", sc.Bias)
+	}
+}
+
+// graph materializes the scenario's topology. Randomized topologies derive
+// their seed from the trial seed, so distinct trials see independent graph
+// samples while the whole run stays deterministic.
+func (sc Scenario) graph(seed uint64) (plurality.Graph, error) {
+	switch sc.Topology {
+	case "complete":
+		return plurality.CompleteGraph(sc.N)
+	case "cycle":
+		return plurality.CycleGraph(sc.N)
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(sc.N))))
+		return plurality.TorusGraph(side, side)
+	case "gnp":
+		return plurality.RandomGraph(sc.N, sc.TopologyParam, rng.At(seed, graphStream).Uint64())
+	default:
+		return nil, fmt.Errorf("exp: unknown topology %q", sc.Topology)
+	}
+}
+
+// Derived-stream indices for the per-trial seed. The library runners
+// consume streams 0 and 1 of each seed, so the harness claims high indices
+// for its own draws.
+const (
+	shuffleStream = 1 << 10
+	graphStream   = 1<<10 + 1
+)
+
+// model maps the scenario's scheduler name to the public option value.
+func (sc Scenario) model() (plurality.Model, error) {
+	switch sc.Model {
+	case "sequential":
+		return plurality.Sequential, nil
+	case "poisson":
+		return plurality.Poisson, nil
+	case "heap-poisson":
+		return plurality.HeapPoisson, nil
+	default:
+		return 0, fmt.Errorf("exp: unknown model %q", sc.Model)
+	}
+}
+
+// RunScenario executes one trial of the scenario under the given seed. A
+// run that exhausts its time budget is not an error: it returns a Trial
+// with Done == false so sweeps can record the failure rate. Any other error
+// (an invalid configuration) aborts.
+func RunScenario(sc Scenario, seed uint64) (Trial, error) {
+	if err := sc.Validate(); err != nil {
+		return Trial{}, err
+	}
+	counts, err := sc.counts()
+	if err != nil {
+		return Trial{}, err
+	}
+	pop, err := plurality.NewPopulation(counts)
+	if err != nil {
+		return Trial{}, err
+	}
+	// The workloads designate the most frequent color (lowest index on
+	// ties) as the plurality; Shuffle below permutes holders, not counts.
+	plurColor := pop.Plurality()
+	// FromCounts assigns colors in contiguous index blocks, which spatial
+	// topologies would read as adversarially clustered opinions; shuffle
+	// so every topology starts from a uniformly random placement.
+	pop.Shuffle(rng.At(seed, shuffleStream))
+
+	g, err := sc.graph(seed)
+	if err != nil {
+		return Trial{}, err
+	}
+	m, err := sc.model()
+	if err != nil {
+		return Trial{}, err
+	}
+	lat, err := parseLatency(sc.Latency)
+	if err != nil {
+		return Trial{}, err
+	}
+
+	opts := []plurality.Option{
+		plurality.WithSeed(seed),
+		plurality.WithModel(m),
+		plurality.WithGraph(g),
+	}
+	if sc.MaxTime > 0 {
+		opts = append(opts, plurality.WithMaxTime(sc.MaxTime))
+	}
+	if sc.Crash > 0 {
+		opts = append(opts, plurality.WithCrashes(sc.Crash))
+	}
+	if sc.Churn > 0 {
+		opts = append(opts, plurality.WithChurn(sc.Churn))
+	}
+	if lat != nil {
+		opts = append(opts, plurality.WithEdgeLatency(lat))
+	}
+	if sc.DelayRate > 0 {
+		opts = append(opts, plurality.WithResponseDelay(sc.DelayRate))
+	}
+
+	switch sc.Protocol {
+	case "core":
+		res, err := plurality.RunCore(pop, opts...)
+		if err != nil && !errors.Is(err, plurality.ErrNoConsensus) {
+			return Trial{}, err
+		}
+		return Trial{
+			Done:   res.Done,
+			Time:   res.ConsensusTime,
+			Ticks:  res.Ticks,
+			Win:    res.Done && res.Winner == plurColor,
+			Churns: res.Churns,
+		}, nil
+	case "two-choices", "three-majority", "voter":
+		var res plurality.AsyncResult
+		switch sc.Protocol {
+		case "two-choices":
+			res, err = plurality.RunTwoChoicesAsync(pop, opts...)
+		case "three-majority":
+			res, err = plurality.RunThreeMajorityAsync(pop, opts...)
+		default:
+			res, err = plurality.RunVoterAsync(pop, opts...)
+		}
+		if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
+			return Trial{}, err
+		}
+		return Trial{
+			Done:   res.Done,
+			Time:   res.Time,
+			Ticks:  res.Ticks,
+			Win:    res.Done && res.Winner == plurColor,
+			Churns: res.Churns,
+		}, nil
+	default:
+		return Trial{}, fmt.Errorf("exp: unknown protocol %q", sc.Protocol)
+	}
+}

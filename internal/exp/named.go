@@ -1,0 +1,262 @@
+package exp
+
+import (
+	"fmt"
+
+	"plurality/internal/stats"
+)
+
+// NamedSweep is a registered sweep: a grid builder (full and down-scaled
+// smoke variants) plus an optional Check that turns the expected result
+// shape into gates recorded on the report.
+type NamedSweep struct {
+	// Name is the -sweep identifier.
+	Name string
+	// Description is one line for listings and EXPERIMENTS.md.
+	Description string
+	// Build materializes the grid. smoke selects the CI-sized variant;
+	// trials overrides the per-cell trial count when positive.
+	Build func(smoke bool, seed uint64, trials int) Sweep
+	// Check appends statistical gates to the executed report; nil means
+	// no gates beyond baseline comparison.
+	Check func(rep *Report)
+}
+
+// Named returns every registered sweep, in presentation order.
+func Named() []NamedSweep {
+	return []NamedSweep{lognScaling(), latencySweep(), churnSweep(), topologySweep()}
+}
+
+// NamedByName resolves one registered sweep.
+func NamedByName(name string) (NamedSweep, bool) {
+	for _, ns := range Named() {
+		if ns.Name == name {
+			return ns, true
+		}
+	}
+	return NamedSweep{}, false
+}
+
+func pickTrials(trials, def int) int {
+	if trials > 0 {
+		return trials
+	}
+	return def
+}
+
+// lognScaling is the paper's headline claim (Theorem 1.3) as a regression
+// test: consensus time of the core protocol on the clique must grow like
+// log n. The gate fits mean consensus time against ln n and requires both a
+// high coefficient of determination and a stable slope across the lower and
+// upper halves of the grid — a superlogarithmic trend bends the fit and
+// breaks the half-slope ratio.
+func lognScaling() NamedSweep {
+	return NamedSweep{
+		Name:        "logn-scaling",
+		Description: "core protocol consensus time vs n on the clique; fits T(n) ~ a·ln n + b and gates on fit quality and slope stability (Theorem 1.3)",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			// Consensus time is quantized to phase boundaries (7∆ each), so
+			// the log n trend only emerges once trial noise is averaged
+			// down; the grids trade n-range against trials accordingly.
+			ns := []string{"8192", "16384", "32768", "65536", "131072", "262144"}
+			def := 12
+			if smoke {
+				ns = []string{"256", "512", "1024", "2048", "4096", "8192", "16384"}
+				def = 24
+			}
+			return Sweep{
+				Name: "logn-scaling",
+				Base: Scenario{
+					Protocol: "core", K: 4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes:   []Axis{{Name: "n", Values: ns}},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			var ns, means []float64
+			for _, c := range rep.Cells {
+				if c.Trials-c.Failures == 0 {
+					continue
+				}
+				ns = append(ns, float64(c.N))
+				means = append(means, c.Mean)
+			}
+			fit, err := stats.LogFit(ns, means)
+			if err != nil {
+				rep.addGate("logn-fit", false, "fit failed: %v", err)
+				return
+			}
+			rep.addGate("logn-fit", fit.R2 >= 0.85 && fit.Slope > 0,
+				"T(n) ~ %.2f·ln n + %.2f, R2 = %.4f (want R2 >= 0.85, slope > 0)", fit.Slope, fit.Intercept, fit.R2)
+			if len(ns) < 4 {
+				rep.addGate("logn-slope-stable", false, "only %d converged cells, need >= 4", len(ns))
+				return
+			}
+			mid := len(ns) / 2
+			lower, errL := stats.LogFit(ns[:mid+1], means[:mid+1])
+			upper, errU := stats.LogFit(ns[mid:], means[mid:])
+			if errL != nil || errU != nil {
+				rep.addGate("logn-slope-stable", false, "half fits failed: %v / %v", errL, errU)
+				return
+			}
+			ratio := upper.Slope / lower.Slope
+			rep.addGate("logn-slope-stable", ratio >= 0.4 && ratio <= 2.5,
+				"half-grid slopes %.2f (lower) vs %.2f (upper), ratio %.2f (want in [0.4, 2.5])",
+				lower.Slope, upper.Slope, ratio)
+		},
+	}
+}
+
+// latencySweep exercises the Bankhamer et al. edge-latency extension on the
+// core protocol: exponential and uniform per-edge latencies of growing mean
+// must slow convergence monotonically from the instant-edge baseline, and
+// every cell must still converge.
+func latencySweep() NamedSweep {
+	return NamedSweep{
+		Name:        "latency",
+		Description: "core protocol under per-edge exponential/uniform latencies (Bankhamer et al. model); gates on convergence and on latency slowing the run",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			n, def := "16384", 8
+			if smoke {
+				n, def = "1024", 5
+			}
+			return Sweep{
+				Name: "latency",
+				Base: Scenario{
+					Protocol: "core", K: 4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes: []Axis{
+					{Name: "n", Values: []string{n}},
+					{Name: "latency", Values: []string{"none", "exp:0.5", "exp:1", "exp:2", "uniform:0:2"}},
+				},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			base := cellByParam(rep, "latency", "none")
+			slow := cellByParam(rep, "latency", "exp:2")
+			if base == nil || slow == nil || base.Trials == base.Failures || slow.Trials == slow.Failures {
+				rep.addGate("latency-slows", false, "baseline or exp:2 cell missing/unconverged")
+				return
+			}
+			rep.addGate("latency-slows", slow.Mean > base.Mean,
+				"mean(exp:2) = %.2f vs mean(none) = %.2f (want slower)", slow.Mean, base.Mean)
+		},
+	}
+}
+
+// churnSweep injects node churn at rates around the 1/n consensus
+// threshold: fresh joiners with random opinions and reset schedules must be
+// absorbed by the Sync Gadget and the endgame without losing convergence.
+func churnSweep() NamedSweep {
+	return NamedSweep{
+		Name:        "churn",
+		Description: "core protocol under node churn (leave/join with fresh random opinions) at rates scaled to 1/n; gates on convergence and on churn actually firing",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			n, def := "8192", 8
+			if smoke {
+				n, def = "1024", 5
+			}
+			return Sweep{
+				Name: "churn",
+				Base: Scenario{
+					Protocol: "core", K: 4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes: []Axis{
+					{Name: "n", Values: []string{n}},
+					{Name: "churn", Values: []string{"0", "0.1/n", "0.25/n", "0.5/n"}},
+				},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			fired := true
+			detail := ""
+			for _, c := range rep.Cells {
+				if c.Params["churn"] != "0" && c.Churns == 0 {
+					fired = false
+					detail += fmt.Sprintf(" %q injected no churn;", c.Label)
+				}
+			}
+			rep.addGate("churn-fires", fired, "every churn>0 cell injected events;%s", detail)
+		},
+	}
+}
+
+// topologySweep runs the Two-Choices dynamic beyond the paper's clique:
+// torus and Erdős–Rényi substrates. The clique must stay the fastest
+// substrate and every topology must still reach consensus.
+func topologySweep() NamedSweep {
+	return NamedSweep{
+		Name:        "topology",
+		Description: "Two-Choices dynamic on complete/torus/G(n,p) substrates; gates on convergence and on the clique being fastest",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			n, def := "16384", 8
+			if smoke {
+				n, def = "1024", 5
+			}
+			return Sweep{
+				Name: "topology",
+				Base: Scenario{
+					Protocol: "two-choices", K: 4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes: []Axis{
+					{Name: "n", Values: []string{n}},
+					{Name: "topology", Values: []string{"complete", "torus", "gnp:0.01", "gnp:0.05"}},
+				},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			clique := cellByParam(rep, "topology", "complete")
+			torus := cellByParam(rep, "topology", "torus")
+			if clique == nil || torus == nil || clique.Trials == clique.Failures || torus.Trials == torus.Failures {
+				rep.addGate("clique-fastest", false, "complete or torus cell missing/unconverged")
+				return
+			}
+			rep.addGate("clique-fastest", clique.Mean <= torus.Mean,
+				"mean(complete) = %.2f vs mean(torus) = %.2f (want clique <= torus)", clique.Mean, torus.Mean)
+		},
+	}
+}
+
+// gateAllConverged records the universal gate: no cell may lose trials to
+// the time budget.
+func gateAllConverged(rep *Report) {
+	failed := 0
+	detail := ""
+	for _, c := range rep.Cells {
+		if c.Failures > 0 {
+			failed++
+			detail += fmt.Sprintf(" %q: %d/%d;", c.Label, c.Failures, c.Trials)
+		}
+	}
+	rep.addGate("all-converged", failed == 0, "cells with timed-out trials: %d;%s", failed, detail)
+}
+
+// cellByParam returns the first cell whose axis param matches, or nil.
+func cellByParam(rep *Report, name, value string) *CellResult {
+	for i := range rep.Cells {
+		if rep.Cells[i].Params[name] == value {
+			return &rep.Cells[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion tags every Report so baseline comparison can refuse
+// artifacts written by an incompatible harness. Bump it only on breaking
+// changes to the JSON shape; additive fields keep the version.
+const SchemaVersion = "plurality-exp/v1"
+
+// BundleSchemaVersion tags the multi-sweep artifact file (the BENCH_exp
+// family).
+const BundleSchemaVersion = "plurality-exp-bundle/v1"
+
+// CellResult is the aggregated outcome of one sweep cell. All time
+// statistics are parallel-time consensus instants over the converged trials
+// only.
+type CellResult struct {
+	Label         string            `json:"label"`
+	Params        map[string]string `json:"params"`
+	N             int               `json:"n"`
+	Trials        int               `json:"trials"`
+	Failures      int               `json:"failures"`
+	PluralityWins int               `json:"pluralityWins"`
+	Churns        int64             `json:"churns,omitempty"`
+	Mean          float64           `json:"mean"`
+	Median        float64           `json:"median"`
+	Min           float64           `json:"min"`
+	Q10           float64           `json:"q10"`
+	Q90           float64           `json:"q90"`
+	Max           float64           `json:"max"`
+	// CILo and CIHi bound the 95% percentile-bootstrap confidence
+	// interval of the mean.
+	CILo float64 `json:"ciLo"`
+	CIHi float64 `json:"ciHi"`
+	// MeanTicks is the mean number of delivered activations, the
+	// simulation-cost counterpart of Mean.
+	MeanTicks float64 `json:"meanTicks"`
+}
+
+// Gate is one named statistical check a sweep ran over its own results.
+type Gate struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// Report is the JSON artifact of one executed sweep.
+type Report struct {
+	Schema string       `json:"schema"`
+	Sweep  string       `json:"sweep"`
+	Smoke  bool         `json:"smoke,omitempty"`
+	Seed   uint64       `json:"seed"`
+	Trials int          `json:"trials"`
+	Base   Scenario     `json:"base"`
+	Axes   []Axis       `json:"axes"`
+	Cells  []CellResult `json:"cells"`
+	Gates  []Gate       `json:"gates,omitempty"`
+}
+
+// Cell returns the cell with the given label, or nil.
+func (r *Report) Cell(label string) *CellResult {
+	for i := range r.Cells {
+		if r.Cells[i].Label == label {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// FailedGates returns the names of gates that did not pass.
+func (r *Report) FailedGates() []string {
+	var out []string
+	for _, g := range r.Gates {
+		if !g.Pass {
+			out = append(out, fmt.Sprintf("%s: %s", g.Name, g.Detail))
+		}
+	}
+	return out
+}
+
+// addGate records one gate outcome.
+func (r *Report) addGate(name string, pass bool, format string, args ...any) {
+	r.Gates = append(r.Gates, Gate{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Bundle is the multi-sweep artifact file: one Report per named sweep,
+// keyed by sweep name. BENCH_exp.json and BENCH_exp_baseline.json are
+// Bundles.
+type Bundle struct {
+	Schema  string             `json:"schema"`
+	Reports map[string]*Report `json:"reports"`
+}
+
+// NewBundle returns an empty bundle with the current schema tag.
+func NewBundle() *Bundle {
+	return &Bundle{Schema: BundleSchemaVersion, Reports: map[string]*Report{}}
+}
+
+// WriteJSON serializes the bundle with stable indentation.
+func (b *Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// LoadBundle reads a bundle artifact and checks its schema tags.
+func LoadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", path, err)
+	}
+	if b.Schema != BundleSchemaVersion {
+		return nil, fmt.Errorf("exp: %s: schema %q, want %q", path, b.Schema, BundleSchemaVersion)
+	}
+	for name, rep := range b.Reports {
+		if rep == nil {
+			return nil, fmt.Errorf("exp: %s: report %q is null", path, name)
+		}
+		if rep.Schema != SchemaVersion {
+			return nil, fmt.Errorf("exp: %s: report %q has schema %q, want %q", path, name, rep.Schema, SchemaVersion)
+		}
+	}
+	return &b, nil
+}
+
+// Compare diffs a current report against a baseline within a relative
+// tolerance band and returns one description per regression (empty means
+// clean). A cell regresses when
+//
+//   - it disappeared from the current report,
+//   - a larger fraction of its trials fails than in the baseline, or
+//   - its mean consensus time exceeds the baseline mean by more than rel
+//     AND the bootstrap confidence intervals are disjoint (both conditions,
+//     so neither noise inside the band nor overlapping CIs flag).
+//
+// Cells the baseline does not know (new grid points) are ignored —
+// extending a sweep is not a regression. Improvements are never flagged.
+func Compare(cur, base *Report, rel float64) []string {
+	var regressions []string
+	if cur.Schema != base.Schema {
+		return []string{fmt.Sprintf("schema mismatch: current %q vs baseline %q", cur.Schema, base.Schema)}
+	}
+	if cur.Smoke != base.Smoke {
+		// Smoke and full grids share some cells but differ in sizes and
+		// trial counts; one clear diagnostic beats a pile of per-cell
+		// "missing from current run" regressions.
+		return []string{fmt.Sprintf("grid mismatch: current smoke=%v vs baseline smoke=%v — compare like against like", cur.Smoke, base.Smoke)}
+	}
+	for _, bc := range base.Cells {
+		cc := cur.Cell(bc.Label)
+		if cc == nil {
+			regressions = append(regressions, fmt.Sprintf("cell %q: present in baseline, missing from current run", bc.Label))
+			continue
+		}
+		// Compare failure *rates*, not counts: a -trials override must not
+		// let a convergence-loss regression hide behind a smaller absolute
+		// failure count (cross-multiplied to stay in integers).
+		if cc.Trials > 0 && bc.Trials > 0 && cc.Failures*bc.Trials > bc.Failures*cc.Trials {
+			regressions = append(regressions, fmt.Sprintf("cell %q: %d/%d trials failed (baseline %d/%d)",
+				bc.Label, cc.Failures, cc.Trials, bc.Failures, bc.Trials))
+			continue
+		}
+		converged := bc.Trials - bc.Failures
+		if converged == 0 {
+			continue // baseline has no statistics to regress against
+		}
+		if cc.Mean > bc.Mean*(1+rel) && cc.CILo > bc.CIHi {
+			regressions = append(regressions, fmt.Sprintf(
+				"cell %q: mean %.2f exceeds baseline %.2f by more than %.0f%% (CI [%.2f, %.2f] vs baseline [%.2f, %.2f])",
+				bc.Label, cc.Mean, bc.Mean, rel*100, cc.CILo, cc.CIHi, bc.CILo, bc.CIHi))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+)
+
+// chiSquareUniform asserts that observed counts over equally likely
+// outcomes pass a chi-square goodness-of-fit test at the 95% level.
+func chiSquareUniform(t *testing.T, label string, observed []int, draws int) {
+	t.Helper()
+	expected := make([]float64, len(observed))
+	per := float64(draws) / float64(len(observed))
+	for i := range expected {
+		expected[i] = per
+	}
+	stat := stats.ChiSquare(observed, expected)
+	crit := stats.ChiSquareCritical95(len(observed) - 1)
+	if stat > crit {
+		t.Errorf("%s: chi-square %.1f exceeds 95%% critical value %.1f (df %d)",
+			label, stat, crit, len(observed)-1)
+	}
+}
+
+// TestAdjacencySampleUniformChiSquare: Adjacency.Sample must draw each
+// neighbor of a node with equal probability, including for degrees that are
+// not powers of two (the Lemire-rejection path of the RNG).
+func TestAdjacencySampleUniformChiSquare(t *testing.T) {
+	for _, deg := range []int{3, 7, 16} {
+		adj := make([][]int32, deg+1)
+		// Node 0 is connected to 1 … deg; each neighbor links back.
+		for v := 1; v <= deg; v++ {
+			adj[0] = append(adj[0], int32(v))
+			adj[v] = []int32{0}
+		}
+		g, err := NewAdjacency(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(1000 + uint64(deg))
+		const draws = 60000
+		counts := make([]int, deg)
+		for i := 0; i < draws; i++ {
+			v := g.Sample(r, 0)
+			if v < 1 || v > deg {
+				t.Fatalf("degree %d: sampled non-neighbor %d", deg, v)
+			}
+			counts[v-1]++
+		}
+		chiSquareUniform(t, fmt.Sprintf("adjacency degree %d", deg), counts, draws)
+	}
+}
+
+// TestGNPSampleUniformChiSquare: neighbor sampling on a G(n,p) graph must
+// be uniform over each node's realized adjacency list — the property the
+// topology sweep's G(n,p) cells lean on.
+func TestGNPSampleUniformChiSquare(t *testing.T) {
+	const n = 200
+	g, err := NewGNP(n, 0.1, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	// Test the three highest-degree nodes: most bins, strongest test.
+	type cand struct{ node, deg int }
+	var best [3]cand
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		for i := range best {
+			if d > best[i].deg {
+				copy(best[i+1:], best[i:])
+				best[i] = cand{u, d}
+				break
+			}
+		}
+	}
+	for _, c := range best {
+		nbrs := g.Neighbors(c.node)
+		index := make(map[int32]int, len(nbrs))
+		for i, v := range nbrs {
+			index[v] = i
+		}
+		draws := 3000 * len(nbrs)
+		counts := make([]int, len(nbrs))
+		for i := 0; i < draws; i++ {
+			v := int32(g.Sample(r, c.node))
+			slot, ok := index[v]
+			if !ok {
+				t.Fatalf("node %d: sampled non-neighbor %d", c.node, v)
+			}
+			counts[slot]++
+		}
+		chiSquareUniform(t, "gnp node sampling", counts, draws)
+	}
+}
+
+// TestGNPDegreeDistributionChiSquare checks the generator itself: empirical
+// G(n,p) degrees must be consistent with Binomial(n-1, p) when bucketed
+// around the mean. This guards the Batagelj-Brandes skip sampling the sweep
+// relies on for topology construction.
+func TestGNPDegreeDistributionChiSquare(t *testing.T) {
+	const (
+		n = 400
+		p = 0.1
+	)
+	// Aggregate degrees across several independent graphs.
+	var degrees []int
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := NewGNP(n, p, rng.New(100+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			degrees = append(degrees, g.Degree(u))
+		}
+	}
+	// Buckets: ≤ μ-2σ-ish … ≥ μ+2σ-ish around μ ≈ 39.9, σ ≈ 6.
+	bounds := []int{33, 37, 40, 43, 47}
+	observed := make([]int, len(bounds)+1)
+	for _, d := range degrees {
+		slot := len(bounds)
+		for i, b := range bounds {
+			if d < b {
+				slot = i
+				break
+			}
+		}
+		observed[slot]++
+	}
+	expected := make([]float64, len(bounds)+1)
+	cum := func(k int) float64 { return binomCDF(n-1, p, k) }
+	prev := 0.0
+	for i, b := range bounds {
+		c := cum(b - 1)
+		expected[i] = (c - prev) * float64(len(degrees))
+		prev = c
+	}
+	expected[len(bounds)] = (1 - prev) * float64(len(degrees))
+	stat := stats.ChiSquare(observed, expected)
+	// Generous gate (99.9%-ish of the 95% critical value scaled ×2): the
+	// isolated-node patch-up slightly perturbs the tail, and the test
+	// should catch gross bias, not model the patch exactly.
+	crit := 2 * stats.ChiSquareCritical95(len(observed)-1)
+	if stat > crit {
+		t.Errorf("degree distribution chi-square %.1f exceeds %.1f; observed %v expected %v",
+			stat, crit, observed, expected)
+	}
+}
+
+// binomCDF is P[Bin(n, p) <= k], computed by direct summation in log space
+// for numerical stability.
+func binomCDF(n int, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	var sum float64
+	logC := 0.0 // log C(n, 0)
+	for i := 0; i <= k; i++ {
+		if i > 0 {
+			logC += math.Log(float64(n-i+1)) - math.Log(float64(i))
+		}
+		sum += math.Exp(logC + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

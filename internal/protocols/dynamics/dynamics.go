@@ -146,6 +146,18 @@ type AsyncConfig struct {
 	// Delay models response latency; nil means the paper's base model
 	// (instant responses).
 	Delay sched.DelayModel
+	// Latency models per-edge message latency (the Bankhamer et al.
+	// edge-latency extension): each neighbor sampled by an activation
+	// costs an independent latency draw on the used edge and the decided
+	// update applies only once the slowest response has arrived, the node
+	// blocking meanwhile. Composes additively with Delay. nil means
+	// instant edges.
+	Latency sched.LatencyModel
+	// Churn, in [0, 1), is the probability that an activation is a churn
+	// event: the node is replaced by a fresh joiner holding a uniformly
+	// random opinion instead of executing the rule. Exact consensus stays
+	// reachable only while Churn·n is o(1).
+	Churn float64
 	// OnTick, if set, observes every delivered tick (after the node's
 	// action).
 	OnTick func(t sched.Tick, pop *population.Population)
@@ -162,6 +174,8 @@ type AsyncResult struct {
 	Done bool
 	// Winner is the consensus color if Done, else the current plurality.
 	Winner population.Color
+	// Churns is the total number of churn events (node replacements).
+	Churns int64
 }
 
 // pendingUpdate is a decided but not yet applied opinion change, waiting for
@@ -191,13 +205,19 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 		sampled  = make([]population.Color, s)
 		pending  []pendingUpdate
 		delaying = cfg.Delay != nil
+		latent   = cfg.Latency != nil
+		churning = cfg.Churn > 0
 	)
 	if delaying {
 		if _, instant := cfg.Delay.(sched.ZeroDelay); instant {
 			delaying = false
 		}
 	}
-	if delaying {
+	// blocking selects the request/response execution path: an activation
+	// issues a request (sampling neighbor states at request time) and the
+	// decided update applies only once every response has arrived.
+	blocking := delaying || latent
+	if blocking {
 		pending = make([]pendingUpdate, n)
 	}
 
@@ -212,10 +232,11 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 		}
 	}
 
-	// Fast path for the paper's base model: no delays and no observer.
-	// Ticks are pulled in batches and handled inline, so the only per-tick
-	// dynamic dispatch left is the rule itself.
-	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !delaying && cfg.OnTick == nil {
+	// Fast path for the paper's base model: no delays, no latencies, no
+	// churn and no observer. Ticks are pulled in batches and handled
+	// inline, so the only per-tick dynamic dispatch left is the rule
+	// itself.
+	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !blocking && !churning && cfg.OnTick == nil {
 		var last sched.Tick
 		batch := make([]sched.Tick, sched.BatchSize)
 		for !res.Done {
@@ -247,22 +268,39 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	last, stopped := sched.RunBatch(cfg.Scheduler, cfg.MaxTime, func(t sched.Tick) bool {
 		u := t.Node
 		switch {
-		case delaying && pending[u].waiting && t.Time >= pending[u].readyAt:
+		case blocking && pending[u].waiting && t.Time >= pending[u].readyAt:
 			// Response has arrived: apply the decided update.
 			apply(u, pending[u].next)
 			pending[u].waiting = false
-		case delaying && pending[u].waiting:
+		case blocking && pending[u].waiting:
 			// Still waiting for the response; the tick is spent idle.
+		case churning && cfg.Rand.Bernoulli(cfg.Churn):
+			// Churn event: a fresh joiner with a random opinion replaces
+			// the node instead of executing the rule.
+			apply(u, population.Color(cfg.Rand.Intn(pop.K())))
+			res.Churns++
 		default:
+			// The per-edge latency of the slowest sampled neighbor gates
+			// when the decided update can apply.
+			var lat float64
 			for i := 0; i < s; i++ {
-				sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
+				v := cfg.Graph.Sample(cfg.Rand, u)
+				sampled[i] = pop.ColorOf(v)
+				if latent {
+					if l := cfg.Latency.SampleLatency(cfg.Rand, u, v); l > lat {
+						lat = l
+					}
+				}
 			}
 			next := rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
-			if !delaying {
+			if !blocking {
 				apply(u, next)
 				break
 			}
-			d := cfg.Delay.SampleDelay(cfg.Rand)
+			d := lat
+			if delaying {
+				d += cfg.Delay.SampleDelay(cfg.Rand)
+			}
 			if d <= 0 {
 				apply(u, next)
 				break
@@ -302,6 +340,8 @@ func validateAsync(pop *population.Population, rule Rule, cfg AsyncConfig) error
 		return fmt.Errorf("dynamics: graph has %d nodes, population %d", cfg.Graph.N(), pop.N())
 	case cfg.Scheduler.N() != pop.N():
 		return fmt.Errorf("dynamics: scheduler has %d nodes, population %d", cfg.Scheduler.N(), pop.N())
+	case cfg.Churn < 0 || cfg.Churn >= 1:
+		return fmt.Errorf("dynamics: Churn = %v, want [0, 1)", cfg.Churn)
 	case rule.SampleCount() <= 0:
 		return fmt.Errorf("dynamics: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
 	}

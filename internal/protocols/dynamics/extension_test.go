@@ -1,0 +1,124 @@
+package dynamics_test
+
+import (
+	"strings"
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	dynamics "plurality/internal/protocols/dynamics"
+	"plurality/internal/protocols/twochoices"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+func asyncFixtures(t *testing.T, n int, seed uint64) (*population.Population, dynamics.AsyncConfig) {
+	t.Helper()
+	counts, err := population.BiasedCounts(n, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.NewPoisson(n, 1, rng.At(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop, dynamics.AsyncConfig{Graph: g, Scheduler: s, Rand: rng.At(seed, 1), MaxTime: 1e5}
+}
+
+// TestAsyncEdgeLatencySlows: with per-edge latencies every decided update
+// waits for the slowest sampled edge, so consensus arrives later than with
+// instant edges but still arrives.
+func TestAsyncEdgeLatencySlows(t *testing.T) {
+	const n = 2000
+	pop, cfg := asyncFixtures(t, n, 9)
+	instant, err := dynamics.RunAsync(pop, twochoices.Rule{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop2, cfg2 := asyncFixtures(t, n, 9)
+	cfg2.Latency = sched.ExpLatency{Mean: 2}
+	latent, err := dynamics.RunAsync(pop2, twochoices.Rule{}, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !instant.Done || !latent.Done {
+		t.Fatalf("runs did not converge: %+v / %+v", instant, latent)
+	}
+	if latent.Time <= instant.Time {
+		t.Fatalf("latency did not slow consensus: %v vs %v", latent.Time, instant.Time)
+	}
+}
+
+func TestAsyncLatencyDeterministic(t *testing.T) {
+	run := func() dynamics.AsyncResult {
+		pop, cfg := asyncFixtures(t, 800, 17)
+		cfg.Latency = sched.UniformLatency{Min: 0.5, Max: 1.5}
+		res, err := dynamics.RunAsync(pop, twochoices.Rule{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestAsyncChurn: churn events replace opinions with uniform draws and are
+// counted; at rates well below 1/n the dynamic still converges.
+func TestAsyncChurn(t *testing.T) {
+	const n = 2000
+	pop, cfg := asyncFixtures(t, n, 4)
+	cfg.Churn = 0.5 / n
+	res, err := dynamics.RunAsync(pop, twochoices.Rule{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("churned run did not converge: %+v", res)
+	}
+	if res.Churns == 0 {
+		t.Fatal("churn never fired")
+	}
+}
+
+func TestAsyncChurnValidation(t *testing.T) {
+	pop, cfg := asyncFixtures(t, 100, 1)
+	cfg.Churn = 1
+	_, err := dynamics.RunAsync(pop, twochoices.Rule{}, cfg)
+	if err == nil || !strings.Contains(err.Error(), "Churn") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAsyncLatencyWithDelayComposes: edge latency and the §4 per-step
+// delay add; the combined run must be slower than with either alone.
+func TestAsyncLatencyWithDelayComposes(t *testing.T) {
+	const n = 2000
+	runWith := func(lat sched.LatencyModel, delay sched.DelayModel) float64 {
+		pop, cfg := asyncFixtures(t, n, 12)
+		cfg.Latency = lat
+		cfg.Delay = delay
+		res, err := dynamics.RunAsync(pop, twochoices.Rule{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("did not converge: %+v", res)
+		}
+		return res.Time
+	}
+	latOnly := runWith(sched.ExpLatency{Mean: 1}, nil)
+	both := runWith(sched.ExpLatency{Mean: 1}, sched.ExpDelay{Rate: 1})
+	if both <= latOnly {
+		t.Fatalf("delay on top of latency did not slow the run: %v vs %v", both, latOnly)
+	}
+}

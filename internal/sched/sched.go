@@ -304,3 +304,57 @@ type ExpDelay struct {
 
 // SampleDelay implements DelayModel.
 func (d ExpDelay) SampleDelay(r *rng.RNG) float64 { return r.ExpFloat64() / d.Rate }
+
+// LatencyModel samples the transit latency of one edge activation: when
+// node u contacts node v, the response travels back over the edge {u, v}
+// and arrives after the sampled latency, during which u blocks. This is the
+// asynchronous edge-latency extension of Bankhamer, Berenbrink, Hahn,
+// Kaaser, Kling & Nowak ("Fast Consensus Protocols in the Asynchronous
+// Poisson Clock Model with Edge Latencies"): unlike DelayModel, which
+// charges one node-local delay per communicating *step*, a LatencyModel is
+// charged once per *edge* used, so a step that contacts two neighbors waits
+// for the slower of the two responses.
+type LatencyModel interface {
+	// SampleLatency returns a non-negative latency for one activation of
+	// the edge {u, v}. Implementations may ignore the endpoints (i.i.d.
+	// latencies) or derive edge-dependent distributions from them. The
+	// engines treat a (contract-violating) negative return as 0, so a bad
+	// model can never shorten other blocking such as the §4 delay.
+	SampleLatency(r *rng.RNG, u, v int) float64
+}
+
+// ExpLatency draws i.i.d. exponential edge latencies with the given mean,
+// the distribution Bankhamer et al. analyze.
+type ExpLatency struct {
+	Mean float64
+}
+
+// SampleLatency implements LatencyModel.
+func (m ExpLatency) SampleLatency(r *rng.RNG, _, _ int) float64 {
+	return r.ExpFloat64() * m.Mean
+}
+
+// UniformLatency draws i.i.d. edge latencies uniformly from [Min, Max).
+type UniformLatency struct {
+	Min, Max float64
+}
+
+// SampleLatency implements LatencyModel.
+func (m UniformLatency) SampleLatency(r *rng.RNG, _, _ int) float64 {
+	return m.Min + (m.Max-m.Min)*r.Float64()
+}
+
+// MaxLatency returns the slower of two independent latency draws for the
+// edges {u, v1} and {u, v2} — the time until both responses of a
+// two-contact step (e.g. a Two-Choices activation) have arrived. Negative
+// draws count as 0, per the LatencyModel contract.
+func MaxLatency(m LatencyModel, r *rng.RNG, u, v1, v2 int) float64 {
+	a := m.SampleLatency(r, u, v1)
+	if b := m.SampleLatency(r, u, v2); b > a {
+		a = b
+	}
+	if a < 0 {
+		return 0
+	}
+	return a
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestBootstrapMeanCIBracketsMean(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + 3*r.NormFloat64()
+	}
+	mean := Mean(xs)
+	lo, hi, err := BootstrapMeanCI(xs, 0.95, 2000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= mean && mean <= hi) {
+		t.Fatalf("CI [%v, %v] does not bracket mean %v", lo, hi, mean)
+	}
+	// The normal-theory half-width is ≈ 1.96·3/√200 ≈ 0.42; the bootstrap
+	// interval should land in the same ballpark.
+	if hi-lo < 0.2 || hi-lo > 1.2 {
+		t.Fatalf("CI width %v implausible for σ=3, n=200", hi-lo)
+	}
+}
+
+func TestBootstrapMeanCIDeterministic(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3, 9, 4}
+	lo1, hi1, err := BootstrapMeanCI(xs, 0.9, 500, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapMeanCI(xs, 0.9, 500, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("same RNG state gave [%v, %v] then [%v, %v]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestBootstrapMeanCIEdgeCases(t *testing.T) {
+	if _, _, err := BootstrapMeanCI(nil, 0.95, 100, rng.New(1)); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+	lo, hi, err := BootstrapMeanCI([]float64{4}, 0.95, 100, rng.New(1))
+	if err != nil || lo != 4 || hi != 4 {
+		t.Fatalf("singleton: [%v, %v], %v; want degenerate [4, 4]", lo, hi, err)
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1, 2}, 0, 100, rng.New(1)); err == nil {
+		t.Fatal("confidence 0 should fail")
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1, 2}, 1, 100, rng.New(1)); err == nil {
+		t.Fatal("confidence 1 should fail")
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1, 2}, 0.95, 1, rng.New(1)); err == nil {
+		t.Fatal("1 resample should fail")
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"plurality/internal/rng"
 )
 
 // ErrInsufficientData reports a computation that needs more samples than it
@@ -131,6 +133,39 @@ func MeanCI95(xs []float64) (mean, half float64, err error) {
 		return s.Mean, math.Inf(1), nil
 	}
 	return s.Mean, 1.96 * s.Std / math.Sqrt(float64(s.N)), nil
+}
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval for
+// the mean of xs at the given confidence level (e.g. 0.95), from resamples
+// resampled means drawn with r. It is deterministic given r's state, which
+// is how the experiment harness keeps its JSON artifacts reproducible. A
+// singleton sample yields the degenerate interval [x, x]; an empty sample
+// is ErrInsufficientData.
+func BootstrapMeanCI(xs []float64, conf float64, resamples int, r *rng.RNG) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, errors.New("stats: BootstrapMeanCI confidence must be in (0, 1)")
+	}
+	if resamples < 2 {
+		return 0, 0, errors.New("stats: BootstrapMeanCI needs at least 2 resamples")
+	}
+	if len(xs) == 1 {
+		return xs[0], xs[0], nil
+	}
+	n := len(xs)
+	means := make([]float64, resamples)
+	for b := range means {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[r.Intn(n)]
+		}
+		means[b] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	return quantileSorted(means, alpha), quantileSorted(means, 1-alpha), nil
 }
 
 // Fit is the result of a least-squares regression y ≈ Slope·f(x) + Intercept,

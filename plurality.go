@@ -35,6 +35,7 @@ import (
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/protocols/onebit"
 	"plurality/internal/rng"
+	"plurality/internal/sched"
 )
 
 // Re-exported core types. The aliases expose the full method sets of the
@@ -63,7 +64,19 @@ type (
 	OneExtraBitResult = onebit.Result
 	// PhaseInfo is delivered per OneExtraBit phase.
 	PhaseInfo = onebit.PhaseInfo
+
+	// EdgeLatency is a per-edge message-latency model for the asynchronous
+	// edge-latency extension (after Bankhamer et al.); see WithEdgeLatency.
+	EdgeLatency = sched.LatencyModel
 )
+
+// ExpEdgeLatency returns an edge-latency model drawing i.i.d. exponential
+// latencies with the given mean, the distribution Bankhamer et al. analyze.
+func ExpEdgeLatency(mean float64) EdgeLatency { return sched.ExpLatency{Mean: mean} }
+
+// UniformEdgeLatency returns an edge-latency model drawing i.i.d. latencies
+// uniformly from [lo, hi).
+func UniformEdgeLatency(lo, hi float64) EdgeLatency { return sched.UniformLatency{Min: lo, Max: hi} }
 
 // None is the absence of a color.
 const None = population.None

@@ -121,6 +121,8 @@ func runAsyncRule(pop *Population, rule dynamics.Rule, opts []Option) (AsyncResu
 	if o.delayRate > 0 {
 		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
 	}
+	cfg.Latency = o.latency
+	cfg.Churn = o.churnRate
 	return dynamics.RunAsync(pop, rule, cfg)
 }
 
