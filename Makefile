@@ -10,6 +10,7 @@ GO ?= go
 COVER_MIN ?= 85
 
 .PHONY: build test test-short test-race cover bench bench-smoke schedbench \
+	scalebench scale-smoke scale-baseline \
 	sweep-smoke sweep-baseline sweep-nightly lint fmt
 
 build:
@@ -45,6 +46,24 @@ bench-smoke:
 # Regenerate BENCH_sched.json (the scheduler-engine before/after record).
 schedbench:
 	$(GO) run ./cmd/experiments -schedbench -schedbench-out BENCH_sched.json
+
+# Regenerate BENCH_scale.json (the per-node vs count-collapsed engine
+# scaling record: full Two-Choices consensus runs up to n = 1e9; takes a
+# couple of minutes).
+scalebench:
+	$(GO) run ./cmd/experiments -scalebench -scalebench-out BENCH_scale.json
+
+# CI scale harness: the smoke grid (occupancy at n = 1e7 in seconds),
+# diffed against the committed baseline on machine-portable quantities
+# (convergence, deterministic tick counts, bytes/node, speedup ratio).
+scale-smoke:
+	$(GO) run ./cmd/experiments -scalebench -smoke \
+		-scalebench-out BENCH_scale_smoke.json -scale-baseline BENCH_scale_baseline.json
+
+# Regenerate the committed scale smoke baseline (run after an intentional
+# engine change; commit the result).
+scale-baseline:
+	$(GO) run ./cmd/experiments -scalebench -smoke -scalebench-out BENCH_scale_baseline.json
 
 # CI regression harness: run every named sweep at smoke size, write the
 # BENCH_exp.json artifact, run the statistical gates, and diff against the

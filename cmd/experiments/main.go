@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -50,6 +51,11 @@ func run(args []string, out io.Writer) error {
 		schedBenchTicks = fs.Int64("schedbench-ticks", 5_000_000, "activations delivered per -schedbench measurement")
 		schedBenchOut   = fs.String("schedbench-out", "", "write the -schedbench report as JSON to this file (e.g. BENCH_sched.json)")
 
+		scaleBench    = fs.Bool("scalebench", false, "benchmark the per-node vs count-collapsed dynamics engines (-smoke selects the CI grid)")
+		scaleBenchOut = fs.String("scalebench-out", "", "write the -scalebench report as JSON to this file (e.g. BENCH_scale.json)")
+		scaleBaseline = fs.String("scale-baseline", "", "diff the -scalebench report against this baseline; regressions beyond -scale-tol fail")
+		scaleTol      = fs.Float64("scale-tol", 0.5, "relative tolerance band for -scale-baseline comparison")
+
 		sweep    = fs.String("sweep", "", "named sweep(s) to run: comma-separated names, 'all', or 'list'")
 		smoke    = fs.Bool("smoke", false, "use the down-scaled smoke grids (CI size)")
 		trials   = fs.Int("trials", 0, "override the per-cell trial count (0 = sweep default)")
@@ -64,6 +70,10 @@ func run(args []string, out io.Writer) error {
 
 	if *schedBench {
 		return runSchedBench(out, *schedBenchNs, *schedBenchTicks, *seed, *schedBenchOut)
+	}
+
+	if *scaleBench {
+		return runScaleBench(out, *smoke, *seed, *scaleBenchOut, *scaleBaseline, *scaleTol)
 	}
 
 	if *sweep != "" {
@@ -231,6 +241,65 @@ func runSweeps(out io.Writer, cfg sweepConfig) error {
 		return fmt.Errorf("%d sweep check(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// runScaleBench measures the per-node vs count-collapsed dynamics engines
+// (full Two-Choices consensus runs per engine × n), optionally records the
+// report as JSON — the procedure behind BENCH_scale.json and the committed
+// smoke baseline — and, when a baseline is given, fails on any
+// tolerance-band regression.
+func runScaleBench(out io.Writer, smoke bool, seed uint64, jsonPath, baselinePath string, tol float64) error {
+	rep, err := bench.RunScaleBench(bench.ScaleBenchConfig{Smoke: smoke, Seed: seed}, out)
+	if err != nil {
+		return err
+	}
+	for _, n := range sortedKeys(rep.SpeedupAtN) {
+		fmt.Fprintf(out, "speedup(occupancy vs per-node) at n=%s: %.1fx\n", n, rep.SpeedupAtN[n])
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadScaleBench(baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := bench.CompareScale(rep, base, tol)
+		for _, r := range regs {
+			fmt.Fprintf(out, "  REGRESSION %s\n", r)
+		}
+		if len(regs) > 0 {
+			return fmt.Errorf("%d scale regression(s) against %s", len(regs), baselinePath)
+		}
+		fmt.Fprintf(out, "scale baseline: clean (tol %.0f%%)\n", tol*100)
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in numeric order (they are decimal n
+// values).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, _ := strconv.ParseInt(keys[i], 10, 64)
+		b, _ := strconv.ParseInt(keys[j], 10, 64)
+		return a < b
+	})
+	return keys
 }
 
 // runSchedBench measures the scheduler engines (O(1) Poisson vs the

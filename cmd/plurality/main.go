@@ -30,6 +30,7 @@ func main() {
 type flags struct {
 	protocol    string
 	model       string
+	engine      string
 	workload    string
 	n           int
 	k           int
@@ -55,6 +56,8 @@ func parseFlags(args []string) (flags, error) {
 	fs.StringVar(&f.protocol, "protocol", "core",
 		"protocol: core | two-choices-sync | two-choices-async | onebit | voter | 3-majority")
 	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson | heap-poisson")
+	fs.StringVar(&f.engine, "engine", "auto",
+		"dynamics execution engine: auto | per-node | occupancy (count-collapsed O(k) state; async dynamics only)")
 	fs.StringVar(&f.workload, "workload", "biased",
 		"initial distribution: biased | gapsqrt | gapsqrtpolylog | tinygap | uniform | zipf")
 	fs.IntVar(&f.n, "n", 100000, "number of nodes")
@@ -198,6 +201,23 @@ func run(args []string, out io.Writer) error {
 		opts = append(opts, plurality.WithModel(plurality.HeapPoisson))
 	default:
 		return fmt.Errorf("unknown model %q", f.model)
+	}
+	switch f.engine {
+	case "", "auto":
+	case "per-node":
+		opts = append(opts, plurality.WithEngine(plurality.EnginePerNode))
+	case "occupancy":
+		// Fail loudly instead of silently running a per-node protocol the
+		// count-collapsed engine cannot execute (same contract as the
+		// sweep compiler's engine validation).
+		switch f.protocol {
+		case "two-choices-async", "voter", "3-majority":
+		default:
+			return fmt.Errorf("-engine occupancy only applies to the asynchronous sampling dynamics (two-choices-async | voter | 3-majority), not %q", f.protocol)
+		}
+		opts = append(opts, plurality.WithEngine(plurality.EngineOccupancy))
+	default:
+		return fmt.Errorf("unknown engine %q", f.engine)
 	}
 	if f.delay > 0 {
 		opts = append(opts, plurality.WithResponseDelay(f.delay))

@@ -1,0 +1,212 @@
+package plurality_test
+
+import (
+	"errors"
+	"testing"
+
+	"plurality"
+	"plurality/internal/stats"
+)
+
+// ksStat and ksThresh delegate to the shared KS helpers in internal/stats.
+func ksStat(a, b []float64) float64            { return stats.KSStatistic(a, b) }
+func ksThresh(alpha float64, m, n int) float64 { return stats.KSThreshold(alpha, m, n) }
+
+// runEngineTrials collects consensus times and tick counts of an
+// asynchronous dynamics run under the given engine.
+func runEngineTrials(t *testing.T, run func(*plurality.Population, ...plurality.Option) (plurality.AsyncResult, error),
+	counts []int64, engine plurality.Engine, model plurality.Model, trials int, seedBase uint64) (times, ticks []float64) {
+	t.Helper()
+	for i := 0; i < trials; i++ {
+		pop, err := plurality.NewPopulation(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := run(pop,
+			plurality.WithSeed(seedBase+uint64(i)),
+			plurality.WithEngine(engine),
+			plurality.WithModel(model),
+			plurality.WithMaxTime(1e6))
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if !pop.ConsensusOn(res.Winner) {
+			t.Fatalf("trial %d: population disagrees with reported winner %d", i, res.Winner)
+		}
+		times = append(times, res.Time)
+		ticks = append(ticks, float64(res.Ticks))
+	}
+	return times, ticks
+}
+
+// TestOccupancyMatchesPerNodeDistributions is the cross-engine half of the
+// distributional-equivalence gate: for Two-Choices and 3-Majority under
+// both the sequential and the Poisson model, the count-collapsed engine's
+// consensus-time and tick-count distributions must be KS-indistinguishable
+// from the per-node engine's. The runs are deterministic; a failure means
+// the collapse is wrong, not bad luck.
+func TestOccupancyMatchesPerNodeDistributions(t *testing.T) {
+	const trials = 200
+	counts := []int64{120, 60, 60}
+	runs := map[string]func(*plurality.Population, ...plurality.Option) (plurality.AsyncResult, error){
+		"two-choices": plurality.RunTwoChoicesAsync,
+		"3-majority":  plurality.RunThreeMajorityAsync,
+	}
+	for _, model := range []plurality.Model{plurality.Sequential, plurality.Poisson} {
+		for name, run := range runs {
+			perT, perM := runEngineTrials(t, run, counts, plurality.EnginePerNode, model, trials, 100)
+			occT, occM := runEngineTrials(t, run, counts, plurality.EngineOccupancy, model, trials, 9000)
+			thresh := ksThresh(0.001, trials, trials) + 1.0/240
+			if d := ksStat(perT, occT); d > thresh {
+				t.Errorf("%s model=%d: consensus-time KS %.4f > %.4f", name, model, d, thresh)
+			}
+			if d := ksStat(perM, occM); d > thresh {
+				t.Errorf("%s model=%d: tick-count KS %.4f > %.4f", name, model, d, thresh)
+			}
+		}
+	}
+}
+
+// TestOccupancyMatchesPerNodeTrajectory compares the engines mid-run: the
+// distribution of the plurality color's support after exactly MaxTime units
+// of parallel time (the run times out by construction) must agree. This
+// exercises the occupancy engine's timeout bookkeeping — tick budgets drawn
+// from Poisson order statistics — against ground truth.
+func TestOccupancyMatchesPerNodeTrajectory(t *testing.T) {
+	const trials = 250
+	counts := []int64{150, 75, 75}
+	collect := func(engine plurality.Engine) []float64 {
+		var out []float64
+		for i := 0; i < trials; i++ {
+			pop, err := plurality.NewPopulation(counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = plurality.RunTwoChoicesAsync(pop,
+				plurality.WithSeed(3000+uint64(i)),
+				plurality.WithEngine(engine),
+				plurality.WithModel(plurality.Poisson),
+				plurality.WithMaxTime(3)) // far short of consensus
+			if err == nil || !errors.Is(err, plurality.ErrTimeLimit) {
+				t.Fatalf("trial %d: err = %v, want ErrTimeLimit", i, err)
+			}
+			out = append(out, float64(pop.Count(0)))
+		}
+		return out
+	}
+	per := collect(plurality.EnginePerNode)
+	occ := collect(plurality.EngineOccupancy)
+	// The support counts live on a lattice of integers; allow the usual
+	// lattice slack on top of the KS threshold.
+	thresh := ksThresh(0.001, trials, trials) + 1.0/50
+	if d := ksStat(per, occ); d > thresh {
+		t.Errorf("plurality-support trajectory KS %.4f > %.4f", d, thresh)
+	}
+}
+
+// TestCountsAPIMatchesPopulationRun: the O(k)-memory counts entry point and
+// the population entry point drive the identical engine off the identical
+// RNG streams, so for a fixed seed they must agree bit for bit.
+func TestCountsAPIMatchesPopulationRun(t *testing.T) {
+	counts := []int64{500, 250, 250}
+	pop, err := plurality.NewPopulation(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPop, err := plurality.RunTwoChoicesAsync(pop,
+		plurality.WithSeed(77), plurality.WithModel(plurality.Poisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := append([]int64(nil), counts...)
+	fromCounts, err := plurality.RunTwoChoicesCounts(cs,
+		plurality.WithSeed(77), plurality.WithModel(plurality.Poisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromPop != fromCounts {
+		t.Fatalf("population run %+v != counts run %+v", fromPop, fromCounts)
+	}
+	if cs[fromCounts.Winner] != 1000 {
+		t.Fatalf("counts not driven to consensus: %v", cs)
+	}
+	if !pop.ConsensusOn(fromPop.Winner) {
+		t.Fatal("population not written back to consensus")
+	}
+}
+
+// TestCountsAPIChurnAndVoter covers the tick-mode paths of the counts API.
+func TestCountsAPIChurnAndVoter(t *testing.T) {
+	cs := []int64{600, 400}
+	res, err := plurality.RunThreeMajorityCounts(cs,
+		plurality.WithSeed(5), plurality.WithChurn(0.0002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Churns == 0 {
+		t.Fatalf("churned counts run: %+v", res)
+	}
+	cs2 := []int64{300, 200}
+	res2, err := plurality.RunVoterCounts(cs2, plurality.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Done {
+		t.Fatalf("voter counts run: %+v", res2)
+	}
+}
+
+// TestEngineSelectionErrors pins the explicit-failure contract of
+// EngineOccupancy and the counts API.
+func TestEngineSelectionErrors(t *testing.T) {
+	counts := []int64{50, 50}
+	pop, err := plurality.NewPopulation(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := plurality.CycleGraph(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plurality.RunTwoChoicesAsync(pop,
+		plurality.WithEngine(plurality.EngineOccupancy), plurality.WithGraph(g)); err == nil {
+		t.Error("EngineOccupancy on a cycle: no error")
+	}
+	if _, err := plurality.RunTwoChoicesAsync(pop,
+		plurality.WithEngine(plurality.EngineOccupancy),
+		plurality.WithEdgeLatency(plurality.ExpEdgeLatency(1))); err == nil {
+		t.Error("EngineOccupancy with edge latencies: no error")
+	}
+	if _, err := plurality.RunTwoChoicesCounts(counts,
+		plurality.WithEngine(plurality.EnginePerNode)); err == nil {
+		t.Error("counts API with EnginePerNode: no error")
+	}
+	if _, err := plurality.RunTwoChoicesCounts(counts,
+		plurality.WithResponseDelay(2)); err == nil {
+		t.Error("counts API with response delays: no error")
+	}
+	if _, err := plurality.RunTwoChoicesCounts([]int64{1}); err == nil {
+		t.Error("degenerate histogram: no error")
+	}
+	if _, err := plurality.RunTwoChoicesCounts(counts,
+		plurality.WithModel(plurality.HeapPoisson)); err == nil {
+		t.Error("counts API with the O(n) HeapPoisson scheduler: no error")
+	}
+	// An effectively-unbounded MaxTime must still complete (tick-mode
+	// fallback), not overflow the leap tick budget.
+	cs := []int64{60, 40}
+	if res, err := plurality.RunTwoChoicesCounts(cs,
+		plurality.WithSeed(2), plurality.WithMaxTime(1e18)); err != nil || !res.Done {
+		t.Errorf("huge MaxTime counts run: res=%+v err=%v", res, err)
+	}
+	// A latency-configured run must still work under EngineAuto — it
+	// falls back to the per-node engine rather than erroring.
+	pop2, err := plurality.NewPopulation([]int64{60, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plurality.RunTwoChoicesAsync(pop2,
+		plurality.WithSeed(4), plurality.WithEdgeLatency(plurality.ExpEdgeLatency(0.1))); err != nil {
+		t.Errorf("EngineAuto latency fallback: %v", err)
+	}
+}

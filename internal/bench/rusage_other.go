@@ -1,0 +1,6 @@
+//go:build !unix
+
+package bench
+
+// maxRSSBytes is unavailable off unix; the scale report records 0.
+func maxRSSBytes() int64 { return 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// maxRSSBytes returns the process's peak resident set size in bytes, or 0
+// when unavailable. On Linux getrusage reports kilobytes (Darwin reports
+// bytes; the factor-1024 overestimate there is harmless for a < 4 GiB
+// acceptance bound).
+func maxRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss) * 1024
+}

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"plurality"
+	"plurality/internal/rng"
+)
+
+// ScaleBenchSchema tags BENCH_scale artifacts so comparison refuses files
+// written by an incompatible harness.
+const ScaleBenchSchema = "plurality-scale/v1"
+
+// ScaleBenchConfig configures the engine-scaling benchmark behind
+// BENCH_scale.json: full Two-Choices consensus runs (biased workload,
+// eps = 1, k = 4, Poisson model) per engine × population size, measuring
+// delivered-tick throughput, allocated bytes per node, and convergence.
+type ScaleBenchConfig struct {
+	// Smoke selects the CI-sized grid: per-node at 1e5, occupancy at 1e5
+	// and 1e7, a few seconds total. The full grid takes the per-node
+	// engine to 1e6 and the occupancy engine to 1e9.
+	Smoke bool
+	// Seed roots every trial's randomness; the report is a pure function
+	// of (config, binary).
+	Seed uint64
+}
+
+// ScaleBenchEntry is one engine × size measurement over a few consensus
+// runs.
+type ScaleBenchEntry struct {
+	// Engine is "per-node" (O(n) state, every activation walked) or
+	// "occupancy" (count-collapsed O(k) state, no-ops leapt over).
+	Engine string `json:"engine"`
+	N      int64  `json:"n"`
+	Trials int    `json:"trials"`
+	// Converged counts trials that reached consensus inside the budget.
+	Converged int `json:"converged"`
+	// MeanConsensusTime is the mean parallel time to consensus.
+	MeanConsensusTime float64 `json:"meanConsensusTime"`
+	// MeanTicks is the mean number of delivered activations (skipped
+	// no-ops included for the occupancy engine — the apples-to-apples
+	// figure). Deterministic given the seed, so baseline comparison treats
+	// drift here as a behavior change, not noise.
+	MeanTicks float64 `json:"meanTicks"`
+	// TicksPerSec is total delivered activations over total wall time.
+	TicksPerSec float64 `json:"ticksPerSec"`
+	NsPerTick   float64 `json:"nsPerTick"`
+	// BytesPerNode is the heap allocated by one full run divided by n —
+	// the memory model: ~4–8 B/node for the per-node engine (the color
+	// vector plus engine state), ~0 for the count-collapsed engine.
+	BytesPerNode float64 `json:"bytesPerNode"`
+	// AllocBytes is the raw allocation total of the measured run.
+	AllocBytes uint64 `json:"allocBytes"`
+	// Seconds is the total wall time of the entry.
+	Seconds float64 `json:"seconds"`
+	// MaxRSSBytes is the process peak RSS after this entry (monotone over
+	// the report; the headline acceptance bound is < 4 GiB after the
+	// occupancy 1e8 run).
+	MaxRSSBytes int64 `json:"maxRSSBytes"`
+}
+
+// ScaleBenchReport is the full benchmark output, serialized to
+// BENCH_scale.json (full grid) and BENCH_scale_baseline.json (smoke grid,
+// the CI comparison target).
+type ScaleBenchReport struct {
+	Schema  string            `json:"schema"`
+	Go      string            `json:"go"`
+	GOARCH  string            `json:"goarch"`
+	Smoke   bool              `json:"smoke,omitempty"`
+	Seed    uint64            `json:"seed"`
+	Entries []ScaleBenchEntry `json:"entries"`
+	// SpeedupAtN maps "n" to ticksPerSec(occupancy)/ticksPerSec(per-node)
+	// where both engines ran — the headline count-collapse ratio.
+	SpeedupAtN map[string]float64 `json:"speedupAtN"`
+}
+
+// scaleCell is one grid point of the benchmark.
+type scaleCell struct {
+	engine string
+	n      int64
+	trials int
+}
+
+func scaleGrid(smoke bool) []scaleCell {
+	if smoke {
+		return []scaleCell{
+			{"per-node", 100_000, 3},
+			{"occupancy", 100_000, 3},
+			{"occupancy", 10_000_000, 2},
+		}
+	}
+	return []scaleCell{
+		{"per-node", 10_000, 4},
+		{"per-node", 100_000, 4},
+		{"per-node", 1_000_000, 3},
+		{"occupancy", 10_000, 4},
+		{"occupancy", 100_000, 4},
+		{"occupancy", 1_000_000, 3},
+		{"occupancy", 10_000_000, 3},
+		{"occupancy", 100_000_000, 2},
+		{"occupancy", 1_000_000_000, 1},
+	}
+}
+
+// RunScaleBench executes the grid and writes a human-readable summary to
+// out (if non-nil). Trials run single-threaded so the per-run allocation
+// measurement is clean.
+func RunScaleBench(cfg ScaleBenchConfig, out io.Writer) (ScaleBenchReport, error) {
+	rep := ScaleBenchReport{
+		Schema:     ScaleBenchSchema,
+		Go:         runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Smoke:      cfg.Smoke,
+		Seed:       cfg.Seed,
+		SpeedupAtN: map[string]float64{},
+	}
+	rates := map[string]map[string]float64{} // engine -> n -> ticks/sec
+	for i, cell := range scaleGrid(cfg.Smoke) {
+		entry, err := runScaleCell(cell, rng.At(cfg.Seed, i).Uint64())
+		if err != nil {
+			return rep, fmt.Errorf("bench: scale %s n=%d: %w", cell.engine, cell.n, err)
+		}
+		rep.Entries = append(rep.Entries, entry)
+		if rates[cell.engine] == nil {
+			rates[cell.engine] = map[string]float64{}
+		}
+		rates[cell.engine][fmt.Sprintf("%d", cell.n)] = entry.TicksPerSec
+		if out != nil {
+			fmt.Fprintf(out, "%-10s n=%-11d %8.1f ns/tick %13.0f ticks/s  %7.2f B/node  mean T=%7.2f  rss=%dMB\n",
+				entry.Engine, entry.N, entry.NsPerTick, entry.TicksPerSec,
+				entry.BytesPerNode, entry.MeanConsensusTime, entry.MaxRSSBytes>>20)
+		}
+	}
+	for nKey, occ := range rates["occupancy"] {
+		if per, ok := rates["per-node"][nKey]; ok && per > 0 {
+			rep.SpeedupAtN[nKey] = occ / per
+		}
+	}
+	return rep, nil
+}
+
+// runScaleCell measures one engine × size cell.
+func runScaleCell(cell scaleCell, seedBase uint64) (ScaleBenchEntry, error) {
+	entry := ScaleBenchEntry{Engine: cell.engine, N: cell.n, Trials: cell.trials}
+	counts, err := plurality.Biased(int(cell.n), 4, 1)
+	if err != nil {
+		return entry, err
+	}
+	var (
+		totalTicks int64
+		totalTime  float64
+		elapsed    time.Duration
+	)
+	for trial := 0; trial < cell.trials; trial++ {
+		seed := plurality.TrialSeed(seedBase, trial)
+		opts := []plurality.Option{
+			plurality.WithSeed(seed),
+			plurality.WithModel(plurality.Poisson),
+		}
+		measureAllocs := trial == 0
+		var before runtime.MemStats
+		if measureAllocs {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+		}
+		var (
+			res plurality.AsyncResult
+			err error
+		)
+		start := time.Now()
+		if cell.engine == "per-node" {
+			var pop *plurality.Population
+			pop, err = plurality.NewPopulation(counts)
+			if err != nil {
+				return entry, err
+			}
+			res, err = plurality.RunTwoChoicesAsync(pop, append(opts, plurality.WithEngine(plurality.EnginePerNode))...)
+		} else {
+			cs := append([]int64(nil), counts...)
+			res, err = plurality.RunTwoChoicesCounts(cs, opts...)
+		}
+		elapsed += time.Since(start)
+		if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
+			return entry, err
+		}
+		if measureAllocs {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			entry.AllocBytes = after.TotalAlloc - before.TotalAlloc
+			entry.BytesPerNode = float64(entry.AllocBytes) / float64(cell.n)
+		}
+		totalTicks += res.Ticks
+		if res.Done {
+			entry.Converged++
+			totalTime += res.Time
+		}
+	}
+	entry.Seconds = elapsed.Seconds()
+	if entry.Converged > 0 {
+		entry.MeanConsensusTime = totalTime / float64(entry.Converged)
+	}
+	entry.MeanTicks = float64(totalTicks) / float64(cell.trials)
+	if entry.Seconds > 0 {
+		entry.TicksPerSec = float64(totalTicks) / entry.Seconds
+		entry.NsPerTick = entry.Seconds * 1e9 / float64(totalTicks)
+	}
+	entry.MaxRSSBytes = maxRSSBytes()
+	return entry, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r ScaleBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadScaleBench reads a BENCH_scale artifact and checks its schema.
+func LoadScaleBench(path string) (ScaleBenchReport, error) {
+	var rep ScaleBenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if rep.Schema != ScaleBenchSchema {
+		return rep, fmt.Errorf("bench: %s: schema %q, want %q", path, rep.Schema, ScaleBenchSchema)
+	}
+	return rep, nil
+}
+
+// CompareScale diffs a current scale report against a baseline within a
+// relative tolerance band, in the spirit of exp.Compare. Only
+// machine-portable quantities gate: per-cell convergence, the deterministic
+// tick counts, bytes/node, and the dimensionless occupancy/per-node speedup
+// ratio. Absolute ticks/sec are hardware-bound and never compared.
+func CompareScale(cur, base ScaleBenchReport, rel float64) []string {
+	var regressions []string
+	if cur.Schema != base.Schema {
+		return []string{fmt.Sprintf("schema mismatch: current %q vs baseline %q", cur.Schema, base.Schema)}
+	}
+	if cur.Smoke != base.Smoke {
+		return []string{fmt.Sprintf("grid mismatch: current smoke=%v vs baseline smoke=%v — compare like against like", cur.Smoke, base.Smoke)}
+	}
+	find := func(engine string, n int64) *ScaleBenchEntry {
+		for i := range cur.Entries {
+			if cur.Entries[i].Engine == engine && cur.Entries[i].N == n {
+				return &cur.Entries[i]
+			}
+		}
+		return nil
+	}
+	for _, be := range base.Entries {
+		ce := find(be.Engine, be.N)
+		if ce == nil {
+			regressions = append(regressions, fmt.Sprintf("entry %s n=%d: present in baseline, missing from current run", be.Engine, be.N))
+			continue
+		}
+		if ce.Trials > 0 && be.Trials > 0 && ce.Converged*be.Trials < be.Converged*ce.Trials {
+			regressions = append(regressions, fmt.Sprintf("entry %s n=%d: %d/%d converged (baseline %d/%d)",
+				be.Engine, be.N, ce.Converged, ce.Trials, be.Converged, be.Trials))
+		}
+		if be.MeanTicks > 0 {
+			drift := (ce.MeanTicks - be.MeanTicks) / be.MeanTicks
+			if drift < 0 {
+				drift = -drift
+			}
+			if drift > rel {
+				regressions = append(regressions, fmt.Sprintf("entry %s n=%d: mean ticks %.0f drifted %.0f%% from baseline %.0f (deterministic seeds: engine behavior changed)",
+					be.Engine, be.N, ce.MeanTicks, drift*100, be.MeanTicks))
+			}
+		}
+		// One spare byte per node of slack keeps allocator noise on the
+		// nearly-zero occupancy figures from flagging.
+		if ce.BytesPerNode > be.BytesPerNode*(1+rel)+1 {
+			regressions = append(regressions, fmt.Sprintf("entry %s n=%d: %.2f B/node exceeds baseline %.2f by more than %.0f%%",
+				be.Engine, be.N, ce.BytesPerNode, be.BytesPerNode, rel*100))
+		}
+	}
+	for nKey, baseRatio := range base.SpeedupAtN {
+		curRatio, ok := cur.SpeedupAtN[nKey]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("speedup at n=%s: missing from current run", nKey))
+			continue
+		}
+		if curRatio < baseRatio*(1-rel) {
+			regressions = append(regressions, fmt.Sprintf("speedup at n=%s: %.1fx below baseline %.1fx by more than %.0f%%",
+				nKey, curRatio, baseRatio, rel*100))
+		}
+	}
+	return regressions
+}

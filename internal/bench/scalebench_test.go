@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func scaleFixture() ScaleBenchReport {
+	return ScaleBenchReport{
+		Schema: ScaleBenchSchema,
+		Smoke:  true,
+		Seed:   1,
+		Entries: []ScaleBenchEntry{
+			{Engine: "per-node", N: 100_000, Trials: 3, Converged: 3, MeanTicks: 1.5e6, TicksPerSec: 2e7, BytesPerNode: 4.2},
+			{Engine: "occupancy", N: 100_000, Trials: 3, Converged: 3, MeanTicks: 1.5e6, TicksPerSec: 2.4e8, BytesPerNode: 0.01},
+		},
+		SpeedupAtN: map[string]float64{"100000": 12},
+	}
+}
+
+func TestCompareScaleClean(t *testing.T) {
+	base := scaleFixture()
+	cur := scaleFixture()
+	// Hardware-bound drift must not flag: halve the absolute rates but
+	// keep the ratio.
+	cur.Entries[0].TicksPerSec /= 2
+	cur.Entries[1].TicksPerSec /= 2
+	cur.SpeedupAtN["100000"] = 11
+	if regs := CompareScale(cur, base, 0.5); len(regs) != 0 {
+		t.Fatalf("clean comparison flagged: %v", regs)
+	}
+}
+
+func TestCompareScaleRegressions(t *testing.T) {
+	base := scaleFixture()
+
+	missing := scaleFixture()
+	missing.Entries = missing.Entries[:1]
+	delete(missing.SpeedupAtN, "100000")
+
+	lostConvergence := scaleFixture()
+	lostConvergence.Entries[1].Converged = 1
+
+	tickDrift := scaleFixture()
+	tickDrift.Entries[1].MeanTicks *= 3
+
+	memBlowup := scaleFixture()
+	memBlowup.Entries[1].BytesPerNode = 8 // occupancy suddenly O(n)
+
+	slowdown := scaleFixture()
+	slowdown.SpeedupAtN["100000"] = 2
+
+	wrongGrid := scaleFixture()
+	wrongGrid.Smoke = false
+
+	cases := map[string]ScaleBenchReport{
+		"missing-entry":    missing,
+		"lost-convergence": lostConvergence,
+		"tick-drift":       tickDrift,
+		"memory-blowup":    memBlowup,
+		"speedup-loss":     slowdown,
+		"grid-mismatch":    wrongGrid,
+	}
+	for name, cur := range cases {
+		if regs := CompareScale(cur, base, 0.5); len(regs) == 0 {
+			t.Errorf("%s: no regression flagged", name)
+		}
+	}
+}
+
+func TestScaleBenchRoundTrip(t *testing.T) {
+	rep := scaleFixture()
+	path := filepath.Join(t.TempDir(), "scale.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScaleBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ScaleBenchSchema || len(got.Entries) != 2 || got.SpeedupAtN["100000"] != 12 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+
+	// A schema from another harness must be refused.
+	bad := rep
+	bad.Schema = "plurality-exp/v1"
+	f2, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WriteJSON(f2); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if _, err := LoadScaleBench(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}

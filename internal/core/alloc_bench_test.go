@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// coreRunSetup builds the reusable pieces of a benchmark/allocation run.
+func coreRunSetup(tb testing.TB, n int) (*population.Population, *population.Population, graph.Complete) {
+	tb.Helper()
+	counts, err := population.BiasedCounts(n, 4, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	base, err := population.FromCounts(counts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return base, base.Clone(), g
+}
+
+// TestRunnerSteadyStateAllocs guards the zero-allocation contract of the
+// batched hot loop: once a Runner's buffers are warm, a full run — millions
+// of ticks — must allocate only the O(1) setup objects (scheduler, RNG
+// streams, crash/desync permutations are absent here), nothing per tick.
+func TestRunnerSteadyStateAllocs(t *testing.T) {
+	const n = 2000
+	base, pop, g := coreRunSetup(t, n)
+	rn := NewRunner()
+	run := func() {
+		if err := pop.Reset(base); err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.NewSequential(n, rng.At(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rn.Run(pop, Config{Graph: g, Scheduler: s, Rand: rng.At(1, 1), MaxTime: 1e5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ticks < int64(n) {
+			t.Fatalf("suspiciously short run: %+v", res)
+		}
+	}
+	run() // warm the Runner's buffers
+	// The measured run delivers ~2M ticks; the only allocations left are
+	// the per-run scheduler and its RNG streams. A per-tick allocation
+	// (such as the sort.Slice closures the jump step used to make) would
+	// blow through this bound by orders of magnitude.
+	if allocs := testing.AllocsPerRun(3, run); allocs > 16 {
+		t.Errorf("steady-state run allocated %.0f objects, want <= 16 (per-tick allocation leak)", allocs)
+	}
+}
+
+// BenchmarkCoreRun measures full consensus runs of the core protocol on a
+// warm Runner (benchstat-comparable; ns/tick is reported as a metric).
+func BenchmarkCoreRun(b *testing.B) {
+	for _, n := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			base, pop, g := coreRunSetup(b, n)
+			rn := NewRunner()
+			var ticks int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pop.Reset(base); err != nil {
+					b.Fatal(err)
+				}
+				s, err := sched.NewPoisson(n, 1, rng.At(uint64(i), 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := rn.Run(pop, Config{Graph: g, Scheduler: s, Rand: rng.At(uint64(i), 1), MaxTime: 1e5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ticks += res.Ticks
+			}
+			b.StopTimer()
+			if ticks > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ticks), "ns/tick")
+				b.ReportMetric(float64(ticks)/float64(b.N), "ticks/run")
+			}
+		})
+	}
+}

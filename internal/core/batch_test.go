@@ -147,8 +147,8 @@ func TestDesyncAtLeastOneNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := newState(pop, cfg, spec)
-	if err != nil {
+	var st state
+	if err := st.reset(pop, cfg, spec); err != nil {
 		t.Fatal(err)
 	}
 	desynced := 0

@@ -259,6 +259,12 @@ func Plan(cfg Config, n int) (Spec, error) {
 		s.Phases = 0
 		s.Part1Ticks = 0
 	}
+	// The run state stores working times as int32 (the schedule is
+	// Θ(log n) ticks, so 32 bits are plentiful); reject override choices
+	// that could push the schedule past that representation.
+	if total := int64(phases)*int64(s.PhaseTicks) + int64(s.EndgameTicks); total > math.MaxInt32 {
+		return Spec{}, fmt.Errorf("core: schedule of %d ticks exceeds the int32 working-time representation", total)
+	}
 	return s, nil
 }
 

@@ -3,17 +3,54 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 
 	"plurality/internal/graph"
 	"plurality/internal/population"
 	"plurality/internal/sched"
 )
 
+// Per-node protocol flags, packed into one byte per node so the hot loop
+// touches a single n-byte array instead of three n-byte bool slices.
+const (
+	// flagBit is the OneExtraBit memory bit.
+	flagBit uint8 = 1 << iota
+	// flagHalted marks a node that finished part 2.
+	flagHalted
+	// flagCrashed marks a failure-injected node that never acts.
+	flagCrashed
+)
+
+// maxTimeInt32Safe bounds Config.MaxTime so per-node tick counters fit in
+// int32: real time counts ticks performed, which concentrates around
+// MaxTime per node (rate-1 clocks), so a 2^30 budget leaves a 2x margin
+// below math.MaxInt32 that no realistic Poisson fluctuation crosses.
+const maxTimeInt32Safe = 1 << 30
+
 // Run executes the asynchronous plurality-consensus protocol on pop until
 // all live nodes agree, every node halts, or cfg.MaxTime elapses. The
 // population is mutated in place.
 func Run(pop *population.Population, cfg Config) (Result, error) {
+	return NewRunner().Run(pop, cfg)
+}
+
+// Runner executes protocol runs while reusing all per-run state buffers
+// (about seven O(n) slices) across calls, so trial loops — in particular
+// the parallel sweeps in internal/par — stop paying an allocation-and-zero
+// cost per trial. A Runner is not safe for concurrent use; parallel drivers
+// keep one per worker.
+type Runner struct {
+	st state
+}
+
+// NewRunner returns an empty Runner; buffers are grown on first use.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run is Runner's buffer-reusing equivalent of the package-level Run. For a
+// fixed seed the result is bit-identical to a fresh run: buffer reuse only
+// changes where the state lives, never what the protocol draws.
+func (rn *Runner) Run(pop *population.Population, cfg Config) (Result, error) {
 	if err := validate(pop, cfg); err != nil {
 		return Result{}, err
 	}
@@ -21,8 +58,8 @@ func Run(pop *population.Population, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	st, err := newState(pop, cfg, spec)
-	if err != nil {
+	st := &rn.st
+	if err := st.reset(pop, cfg, spec); err != nil {
 		return Result{}, err
 	}
 
@@ -52,6 +89,8 @@ func validate(pop *population.Population, cfg Config) error {
 		return errors.New("core: nil rand")
 	case cfg.MaxTime <= 0:
 		return fmt.Errorf("core: MaxTime = %v, want > 0", cfg.MaxTime)
+	case cfg.MaxTime > maxTimeInt32Safe:
+		return fmt.Errorf("core: MaxTime = %v exceeds %d, the bound that keeps per-node tick counters in int32", cfg.MaxTime, int64(maxTimeInt32Safe))
 	case cfg.Graph.N() != pop.N():
 		return fmt.Errorf("core: graph has %d nodes, population %d", cfg.Graph.N(), pop.N())
 	case cfg.Scheduler.N() != pop.N():
@@ -64,6 +103,8 @@ func validate(pop *population.Population, cfg Config) error {
 		return fmt.Errorf("core: DesyncFraction = %v, want [0, 1)", cfg.DesyncFraction)
 	case cfg.DesyncFraction > 0 && cfg.DesyncSpread <= 0:
 		return fmt.Errorf("core: DesyncFraction set but DesyncSpread = %d", cfg.DesyncSpread)
+	case cfg.DesyncSpread > math.MaxInt32:
+		return fmt.Errorf("core: DesyncSpread = %d does not fit the int32 working-time representation", cfg.DesyncSpread)
 	}
 	if cfg.CrashFraction > 0 {
 		// Crashed nodes stay visible to sampling, which matches the
@@ -88,22 +129,30 @@ type state struct {
 
 	n int
 
-	// Per-node protocol state.
-	working      []int64            // schedule position
-	real         []int64            // total ticks performed
+	// cliqueN > 0 marks cfg.Graph as graph.Complete over cliqueN nodes;
+	// the hot loop then samples neighbors with direct RNG calls instead of
+	// dispatching through the Graph interface. The draws are identical to
+	// Complete.Sample's, so results do not depend on the devirtualization.
+	cliqueN    int
+	cliqueSelf bool
+
+	// Per-node protocol state. Working and real time are int32: the
+	// schedule is O(log n) ticks (bound-checked in Plan) and real time is
+	// bounded by MaxTime (bound-checked in validate), so 32 bits halve the
+	// cache traffic of the former int64 representation.
+	working      []int32            // schedule position
+	real         []int32            // total ticks performed
 	intermediate []population.Color // two-choices intermediate color
-	bit          []bool             // the OneExtraBit memory bit
-	halted       []bool             // finished part 2
-	crashed      []bool             // failure injection: never acts
+	flags        []uint8            // flagBit | flagHalted | flagCrashed
 	busyUntil    []float64          // §4 delays: blocked until this time
 
 	// Sync Gadget sample stores: samples[u*L+i] holds the i-th collected
 	// real-time delta (sampled node's real time minus own real time at
 	// collection), kept current implicitly because both sides advance by
 	// one per own tick.
-	samples     []int64
+	samples     []int32
 	sampleCount []int32
-	medianBuf   []int64
+	medianBuf   []int32
 
 	// Consensus bookkeeping over live (non-crashed) nodes.
 	liveN      int64
@@ -111,28 +160,51 @@ type state struct {
 
 	haltedCount int
 	delaying    bool
+	crashing    bool
 
 	nextProbe float64
-	probeBuf  []int64
+	probeBuf  []int32
+	tickBuf   []sched.Tick
 }
 
-func newState(pop *population.Population, cfg Config, spec Spec) (*state, error) {
-	n := pop.N()
-	st := &state{
-		cfg:          cfg,
-		spec:         spec,
-		pop:          pop,
-		n:            n,
-		working:      make([]int64, n),
-		real:         make([]int64, n),
-		intermediate: make([]population.Color, n),
-		bit:          make([]bool, n),
-		halted:       make([]bool, n),
-		samples:      make([]int64, n*spec.GadgetSamples),
-		sampleCount:  make([]int32, n),
-		medianBuf:    make([]int64, spec.GadgetSamples),
-		liveCounts:   make([]int64, pop.K()),
+// grow returns buf resized to n and zeroed, reusing its backing array when
+// the capacity suffices.
+func grow[T int32 | uint8 | int64 | float64 | population.Color | sched.Tick](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
 	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// reset prepares the state for one run, reusing buffers from any previous
+// run on the same Runner.
+func (st *state) reset(pop *population.Population, cfg Config, spec Spec) error {
+	n := pop.N()
+	st.cfg = cfg
+	st.spec = spec
+	st.pop = pop
+	st.res = Result{}
+	st.n = n
+	st.haltedCount = 0
+	st.delaying = false
+	st.crashing = cfg.CrashFraction > 0
+
+	st.cliqueN = 0
+	if g, ok := cfg.Graph.(graph.Complete); ok {
+		st.cliqueN = g.Nodes
+		st.cliqueSelf = g.WithSelf
+	}
+
+	st.working = grow(st.working, n)
+	st.real = grow(st.real, n)
+	st.intermediate = grow(st.intermediate, n)
+	st.flags = grow(st.flags, n)
+	st.samples = grow(st.samples, n*spec.GadgetSamples)
+	st.sampleCount = grow(st.sampleCount, n)
+	st.medianBuf = grow(st.medianBuf, spec.GadgetSamples)
+	st.liveCounts = grow(st.liveCounts, pop.K())
 	for u := range st.intermediate {
 		st.intermediate[u] = population.None
 	}
@@ -144,27 +216,27 @@ func newState(pop *population.Population, cfg Config, spec Spec) (*state, error)
 		st.delaying = true
 	}
 	if st.delaying {
-		st.busyUntil = make([]float64, n)
+		st.busyUntil = grow(st.busyUntil, n)
 	}
 
-	if cfg.CrashFraction > 0 {
-		st.crashed = make([]bool, n)
+	if st.crashing {
 		// Crash a deterministic random subset of the requested size.
 		target := int(cfg.CrashFraction * float64(n))
 		perm := cfg.Rand.Perm(n)
 		for i := 0; i < target; i++ {
-			st.crashed[perm[i]] = true
+			st.flags[perm[i]] |= flagCrashed
 		}
 	}
+	st.liveN = 0
 	for u := 0; u < n; u++ {
-		if st.crashed != nil && st.crashed[u] {
+		if st.flags[u]&flagCrashed != 0 {
 			continue
 		}
 		st.liveN++
 		st.liveCounts[pop.ColorOf(u)]++
 	}
 	if st.liveN == 0 {
-		return nil, errors.New("core: all nodes crashed")
+		return errors.New("core: all nodes crashed")
 	}
 
 	if cfg.DesyncFraction > 0 {
@@ -178,7 +250,7 @@ func newState(pop *population.Population, cfg Config, spec Spec) (*state, error)
 		perm := cfg.Rand.Perm(n)
 		for i := 0; i < target; i++ {
 			u := perm[i]
-			w := int64(cfg.Rand.Intn(cfg.DesyncSpread))
+			w := int32(cfg.Rand.Intn(cfg.DesyncSpread))
 			st.working[u] = w
 			st.real[u] = w
 		}
@@ -196,7 +268,20 @@ func newState(pop *population.Population, cfg Config, spec Spec) (*state, error)
 	if cfg.ProbeInterval < 0 {
 		st.nextProbe = -1
 	}
-	return st, nil
+	return nil
+}
+
+// sample returns a uniformly random neighbor of u. On the clique it issues
+// the RNG draws directly (the same draws Complete.Sample makes), removing
+// the per-call interface dispatch from the hot path.
+func (st *state) sample(u int) int {
+	if st.cliqueN > 0 {
+		if st.cliqueSelf {
+			return st.cfg.Rand.Intn(st.cliqueN)
+		}
+		return st.cfg.Rand.IntnExcept(st.cliqueN, u)
+	}
+	return st.cfg.Graph.Sample(st.cfg.Rand, u)
 }
 
 // adopt switches node u to color c, maintaining live-node consensus
@@ -277,7 +362,8 @@ func (st *state) run() sched.Tick {
 	}
 	var last sched.Tick
 	maxTime := st.cfg.MaxTime
-	buf := make([]sched.Tick, sched.BatchSize)
+	st.tickBuf = grow(st.tickBuf, sched.BatchSize)
+	buf := st.tickBuf
 	for {
 		bs.NextBatch(buf)
 		for _, t := range buf {
@@ -300,7 +386,7 @@ func (st *state) tick(t sched.Tick) bool {
 	}
 
 	u := t.Node
-	if st.delaying && !st.halted[u] && (st.crashed == nil || !st.crashed[u]) && t.Time < st.busyUntil[u] {
+	if st.delaying && st.flags[u]&(flagHalted|flagCrashed) == 0 && t.Time < st.busyUntil[u] {
 		// Waiting for a response: the clock ticked but no protocol work
 		// is performed. Real time deliberately does not advance either —
 		// it counts ticks *performed*, so that under the §4 delay
@@ -315,7 +401,7 @@ func (st *state) tick(t sched.Tick) bool {
 // tickFast is the delay- and probe-free activation body shared by both run
 // paths.
 func (st *state) tickFast(u int, now float64) bool {
-	if st.halted[u] || (st.crashed != nil && st.crashed[u]) {
+	if st.flags[u]&(flagHalted|flagCrashed) != 0 {
 		return st.keepGoing()
 	}
 	if st.cfg.ChurnRate > 0 && st.cfg.Rand.Bernoulli(st.cfg.ChurnRate) {
@@ -327,7 +413,7 @@ func (st *state) tickFast(u int, now float64) bool {
 	w := st.working[u]
 	st.working[u] = w + 1
 
-	if w >= int64(st.spec.Part1Ticks) {
+	if int(w) >= st.spec.Part1Ticks {
 		st.endgameTick(u, w, now)
 		return st.keepGoing()
 	}
@@ -343,13 +429,13 @@ func (st *state) keepGoing() bool {
 }
 
 // part1Tick executes the schedule instruction at working time w (< Part1Ticks).
-func (st *state) part1Tick(u int, w int64, now float64) {
-	pos := int(w % int64(st.spec.PhaseTicks))
+func (st *state) part1Tick(u int, w int32, now float64) {
+	pos := int(w) % st.spec.PhaseTicks
 	switch {
 	case pos == 0:
 		// Two-Choices step: sample two nodes with replacement.
-		va := st.cfg.Graph.Sample(st.cfg.Rand, u)
-		vb := st.cfg.Graph.Sample(st.cfg.Rand, u)
+		va := st.sample(u)
+		vb := st.sample(u)
 		if a := st.pop.ColorOf(va); a == st.pop.ColorOf(vb) {
 			st.intermediate[u] = a
 		} else {
@@ -362,19 +448,19 @@ func (st *state) part1Tick(u int, w int64, now float64) {
 		// whether the node executed the adopt action.
 		if c := st.intermediate[u]; c != population.None {
 			st.adopt(u, c, now)
-			st.bit[u] = true
+			st.flags[u] |= flagBit
 		} else {
-			st.bit[u] = false
+			st.flags[u] &^= flagBit
 		}
 		st.intermediate[u] = population.None
 
 	case pos >= st.spec.BPStart && pos < st.spec.BPEnd:
 		// Bit-Propagation: bitless nodes pull until they hit a bit.
-		if !st.bit[u] {
-			v := st.cfg.Graph.Sample(st.cfg.Rand, u)
-			if st.bit[v] {
+		if st.flags[u]&flagBit == 0 {
+			v := st.sample(u)
+			if st.flags[v]&flagBit != 0 {
 				st.adopt(u, st.pop.ColorOf(v), now)
-				st.bit[u] = true
+				st.flags[u] |= flagBit
 			}
 			st.block(u, v, now)
 		}
@@ -383,7 +469,7 @@ func (st *state) part1Tick(u int, w int64, now float64) {
 		// Sync Gadget sampling: collect the neighbor's real time as a
 		// delta against our own; the delta stays current as both real
 		// times advance at rate one per own tick.
-		v := st.cfg.Graph.Sample(st.cfg.Rand, u)
+		v := st.sample(u)
 		if cnt := st.sampleCount[u]; int(cnt) < st.spec.GadgetSamples {
 			st.samples[u*st.spec.GadgetSamples+int(cnt)] = st.real[v] - st.real[u]
 			st.sampleCount[u] = cnt + 1
@@ -399,48 +485,48 @@ func (st *state) part1Tick(u int, w int64, now float64) {
 // jump executes the Sync Gadget jump step: working time becomes the median
 // of the collected real-time samples, brought current by adding the node's
 // own real time.
-func (st *state) jump(u int, w int64) {
+func (st *state) jump(u int, w int32) {
 	cnt := int(st.sampleCount[u])
 	if cnt == 0 {
 		return
 	}
 	buf := st.medianBuf[:cnt]
 	copy(buf, st.samples[u*st.spec.GadgetSamples:u*st.spec.GadgetSamples+cnt])
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	median := buf[cnt/2]
+	slices.Sort(buf)
+	median := int64(buf[cnt/2])
 	if cnt%2 == 0 {
-		median = (buf[cnt/2-1] + buf[cnt/2]) / 2
+		median = (int64(buf[cnt/2-1]) + int64(buf[cnt/2])) / 2
 	}
-	target := median + st.real[u]
+	target := median + int64(st.real[u])
 	if target < 0 {
 		target = 0
 	}
-	adj := target - (w + 1)
+	adj := target - int64(w+1)
 	if adj < 0 {
 		adj = -adj
 	}
 	if adj > st.res.MaxJumpAdjustment {
 		st.res.MaxJumpAdjustment = adj
 	}
-	st.working[u] = target
+	st.working[u] = int32(target)
 	st.sampleCount[u] = 0
 	st.res.Jumps++
 }
 
 // endgameTick executes part 2: asynchronous Two-Choices with immediate
 // adoption, then halt after the per-node budget.
-func (st *state) endgameTick(u int, w int64, now float64) {
-	e := w - int64(st.spec.Part1Ticks)
-	if e >= int64(st.spec.EndgameTicks) {
-		st.halted[u] = true
+func (st *state) endgameTick(u int, w int32, now float64) {
+	e := int(w) - st.spec.Part1Ticks
+	if e >= st.spec.EndgameTicks {
+		st.flags[u] |= flagHalted
 		st.haltedCount++
 		if st.res.FirstHaltTime == 0 {
 			st.res.FirstHaltTime = now
 		}
 		return
 	}
-	va := st.cfg.Graph.Sample(st.cfg.Rand, u)
-	vb := st.cfg.Graph.Sample(st.cfg.Rand, u)
+	va := st.sample(u)
+	vb := st.sample(u)
 	if a := st.pop.ColorOf(va); a == st.pop.ColorOf(vb) {
 		st.adopt(u, a, now)
 	}
@@ -457,7 +543,7 @@ func (st *state) churn(u int, now float64) {
 	st.adopt(u, population.Color(st.cfg.Rand.Intn(st.pop.K())), now)
 	st.working[u] = 0
 	st.real[u] = 0
-	st.bit[u] = false
+	st.flags[u] &^= flagBit
 	st.intermediate[u] = population.None
 	st.sampleCount[u] = 0
 	st.res.Churns++
@@ -472,15 +558,15 @@ func (st *state) probe(now float64) {
 	st.nextProbe = now + interval
 
 	if cap(st.probeBuf) < st.n {
-		st.probeBuf = make([]int64, 0, st.n)
+		st.probeBuf = make([]int32, 0, st.n)
 	}
 	buf := st.probeBuf[:0]
 	halted := 0
 	for u := 0; u < st.n; u++ {
-		if st.crashed != nil && st.crashed[u] {
+		if st.flags[u]&flagCrashed != 0 {
 			continue
 		}
-		if st.halted[u] {
+		if st.flags[u]&flagHalted != 0 {
 			halted++
 			continue
 		}
@@ -495,13 +581,13 @@ func (st *state) probe(now float64) {
 		PluralityFraction: st.pop.Fraction(st.pop.Plurality()),
 	}
 	if len(buf) > 0 {
-		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		slices.Sort(buf)
 		med := buf[len(buf)/2]
 		q5 := buf[quantileIndex(len(buf), 5)]
 		q95 := buf[quantileIndex(len(buf), 95)]
-		p.MedianWorking = med
-		p.Spread90 = q95 - q5
-		maxDev := int64(0)
+		p.MedianWorking = int64(med)
+		p.Spread90 = int64(q95) - int64(q5)
+		maxDev := int32(0)
 		poor := 0
 		for _, w := range buf {
 			d := w - med
@@ -511,11 +597,11 @@ func (st *state) probe(now float64) {
 			if d > maxDev {
 				maxDev = d
 			}
-			if d > int64(st.spec.Delta) {
+			if int(d) > st.spec.Delta {
 				poor++
 			}
 		}
-		p.MaxAbsDev = maxDev
+		p.MaxAbsDev = int64(maxDev)
 		p.PoorlySynced = poor
 	}
 	st.cfg.OnProbe(p)

@@ -70,6 +70,14 @@ type Scenario struct {
 	// MaxTime bounds the run in parallel time; 0 selects the library
 	// default.
 	MaxTime float64 `json:"maxTime,omitempty"`
+	// Engine selects the dynamics execution engine: "" or "auto"
+	// (count-collapse whenever possible), "per-node" (force the O(n)
+	// simulation), or "occupancy" (require the O(k) count-collapsed
+	// engine; complete topology, no latency/delay, dynamics protocols
+	// only). With "occupancy" the harness never materializes a per-node
+	// population at all — cells run on the histogram — which is what lets
+	// the scale sweep reach n = 10⁸.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Trial is the outcome of one scenario execution.
@@ -156,6 +164,25 @@ func (sc Scenario) Validate() error {
 	}
 	if _, err := parseLatency(sc.Latency); err != nil {
 		return err
+	}
+	switch sc.Engine {
+	case "", "auto", "per-node":
+	case "occupancy":
+		// Mirror the engine's collapsibility contract at declaration time.
+		switch {
+		case sc.Protocol == "core":
+			return fmt.Errorf("exp: engine occupancy is undefined for the core protocol (its working-time schedule is per-node state)")
+		case sc.Model == "heap-poisson":
+			return fmt.Errorf("exp: engine occupancy with the heap-poisson scheduler would allocate O(n) event state; use poisson (the same process)")
+		case sc.Topology != "complete":
+			return fmt.Errorf("exp: engine occupancy requires the complete topology, not %q", sc.Topology)
+		case sc.Latency != "" && sc.Latency != "none":
+			return fmt.Errorf("exp: engine occupancy cannot model edge latencies (per-node pending state)")
+		case sc.DelayRate > 0:
+			return fmt.Errorf("exp: engine occupancy cannot model response delays (per-node pending state)")
+		}
+	default:
+		return fmt.Errorf("exp: unknown engine %q", sc.Engine)
 	}
 	return nil
 }
@@ -263,6 +290,13 @@ func RunScenario(sc Scenario, seed uint64) (Trial, error) {
 	if err != nil {
 		return Trial{}, err
 	}
+	if sc.Engine == "occupancy" {
+		// The count-collapsed cells never materialize a population: O(k)
+		// memory regardless of n, so a 10⁸-node cell costs as much as a
+		// 10³-node one. Node placement is irrelevant on the clique, hence
+		// no Shuffle either.
+		return runCountsScenario(sc, counts, seed)
+	}
 	pop, err := plurality.NewPopulation(counts)
 	if err != nil {
 		return Trial{}, err
@@ -308,6 +342,9 @@ func RunScenario(sc Scenario, seed uint64) (Trial, error) {
 	if sc.DelayRate > 0 {
 		opts = append(opts, plurality.WithResponseDelay(sc.DelayRate))
 	}
+	if sc.Engine == "per-node" {
+		opts = append(opts, plurality.WithEngine(plurality.EnginePerNode))
+	}
 
 	switch sc.Protocol {
 	case "core":
@@ -345,4 +382,54 @@ func RunScenario(sc Scenario, seed uint64) (Trial, error) {
 	default:
 		return Trial{}, fmt.Errorf("exp: unknown protocol %q", sc.Protocol)
 	}
+}
+
+// runCountsScenario executes one occupancy-engine trial directly on the
+// color histogram (counts is freshly materialized per trial and consumed in
+// place).
+func runCountsScenario(sc Scenario, counts []int64, seed uint64) (Trial, error) {
+	// The workloads designate the most frequent color (lowest index on
+	// ties) as the plurality, same rule as Population.Plurality.
+	plurColor := 0
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > counts[plurColor] {
+			plurColor = c
+		}
+	}
+	m, err := sc.model()
+	if err != nil {
+		return Trial{}, err
+	}
+	opts := []plurality.Option{
+		plurality.WithSeed(seed),
+		plurality.WithModel(m),
+		plurality.WithEngine(plurality.EngineOccupancy),
+	}
+	if sc.MaxTime > 0 {
+		opts = append(opts, plurality.WithMaxTime(sc.MaxTime))
+	}
+	if sc.Churn > 0 {
+		opts = append(opts, plurality.WithChurn(sc.Churn))
+	}
+	var res plurality.AsyncResult
+	switch sc.Protocol {
+	case "two-choices":
+		res, err = plurality.RunTwoChoicesCounts(counts, opts...)
+	case "three-majority":
+		res, err = plurality.RunThreeMajorityCounts(counts, opts...)
+	case "voter":
+		res, err = plurality.RunVoterCounts(counts, opts...)
+	default:
+		return Trial{}, fmt.Errorf("exp: engine occupancy does not support protocol %q", sc.Protocol)
+	}
+	if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
+		return Trial{}, err
+	}
+	return Trial{
+		Done:   res.Done,
+		Time:   res.Time,
+		Ticks:  res.Ticks,
+		Win:    res.Done && int(res.Winner) == plurColor,
+		Churns: res.Churns,
+	}, nil
 }

@@ -24,7 +24,7 @@ type NamedSweep struct {
 
 // Named returns every registered sweep, in presentation order.
 func Named() []NamedSweep {
-	return []NamedSweep{lognScaling(), latencySweep(), churnSweep(), topologySweep()}
+	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), latencySweep(), churnSweep(), topologySweep()}
 }
 
 // NamedByName resolves one registered sweep.
@@ -108,6 +108,137 @@ func lognScaling() NamedSweep {
 			rep.addGate("logn-slope-stable", ratio >= 0.4 && ratio <= 2.5,
 				"half-grid slopes %.2f (lower) vs %.2f (upper), ratio %.2f (want in [0.4, 2.5])",
 				lower.Slope, upper.Slope, ratio)
+		},
+	}
+}
+
+// engineEquivalence runs the same Two-Choices grid under the per-node and
+// the count-collapsed occupancy engine. The collapse is exact, so at every
+// n the two engines' consensus-time statistics must agree — a live,
+// sweep-level restatement of the package-level KS equivalence gates that
+// also catches a silently diverging engine in CI.
+func engineEquivalence() NamedSweep {
+	return NamedSweep{
+		Name:        "engine-equivalence",
+		Description: "Two-Choices consensus time under the per-node vs the count-collapsed occupancy engine; gates on convergence and on the engines' means agreeing (the collapse is exact)",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			ns := []string{"65536", "262144", "1048576"}
+			def := 10
+			if smoke {
+				ns = []string{"4096", "16384", "65536"}
+				def = 8
+			}
+			return Sweep{
+				Name: "engine-equivalence",
+				Base: Scenario{
+					Protocol: "two-choices", K: 4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes: []Axis{
+					{Name: "n", Values: ns},
+					{Name: "engine", Values: []string{"per-node", "occupancy"}},
+				},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			agree := true
+			detail := ""
+			seen := map[string]bool{}
+			for _, c := range rep.Cells {
+				nv := c.Params["n"]
+				if seen[nv] {
+					continue
+				}
+				seen[nv] = true
+				var per, occ *CellResult
+				for i := range rep.Cells {
+					cc := &rep.Cells[i]
+					if cc.Params["n"] != nv {
+						continue
+					}
+					switch cc.Params["engine"] {
+					case "per-node":
+						per = cc
+					case "occupancy":
+						occ = cc
+					}
+				}
+				if per == nil || occ == nil || per.Trials == per.Failures || occ.Trials == occ.Failures {
+					agree = false
+					detail += fmt.Sprintf(" n=%s: missing or unconverged engine cell;", nv)
+					continue
+				}
+				// Same distribution, independent seeds: the bootstrap CIs
+				// should overlap; allow a relative-band fallback for the
+				// occasional narrow-CI draw.
+				overlap := per.CILo <= occ.CIHi && occ.CILo <= per.CIHi
+				rel := (per.Mean - occ.Mean) / per.Mean
+				if rel < 0 {
+					rel = -rel
+				}
+				if !overlap && rel > 0.35 {
+					agree = false
+					detail += fmt.Sprintf(" n=%s: per-node mean %.2f vs occupancy %.2f (rel %.2f, disjoint CIs);",
+						nv, per.Mean, occ.Mean, rel)
+				}
+			}
+			rep.addGate("engines-agree", agree, "per-node and occupancy statistics agree at every n;%s", detail)
+		},
+	}
+}
+
+// scaleSweep is the workload only the count-collapsed engine can carry: the
+// occupancy engine at population sizes far beyond what O(n) simulation
+// reaches, up to n = 10⁸ in the full grid (O(k) memory per cell). It keeps
+// the Θ(log n) shape of Theorem-1.3-adjacent dynamics observable at scale.
+func scaleSweep() NamedSweep {
+	return NamedSweep{
+		Name:        "scale",
+		Description: "count-collapsed occupancy engine at n up to 1e8 (O(k) memory; per-node engines stop near 1e6); gates on convergence, plurality wins, and consensus time growing with n",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			ns := []string{"1000000", "10000000", "100000000"}
+			def := 4
+			if smoke {
+				ns = []string{"262144", "1048576", "4194304"}
+			}
+			return Sweep{
+				Name: "scale",
+				Base: Scenario{
+					Protocol: "two-choices", K: 4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+					Engine: "occupancy",
+				},
+				Axes:   []Axis{{Name: "n", Values: ns}},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			wins := true
+			detail := ""
+			for _, c := range rep.Cells {
+				if conv := c.Trials - c.Failures; conv > 0 && c.PluralityWins < conv {
+					wins = false
+					detail += fmt.Sprintf(" %q: %d/%d;", c.Label, c.PluralityWins, conv)
+				}
+			}
+			rep.addGate("plurality-wins", wins, "plurality color won every converged trial;%s", detail)
+			if len(rep.Cells) >= 2 {
+				first, last := rep.Cells[0], rep.Cells[len(rep.Cells)-1]
+				if first.Trials-first.Failures > 0 && last.Trials-last.Failures > 0 {
+					rep.addGate("time-grows", last.Mean > first.Mean,
+						"mean consensus time %.2f at n=%d vs %.2f at n=%d (want growth with n)",
+						last.Mean, last.N, first.Mean, first.N)
+				} else {
+					rep.addGate("time-grows", false, "first or last cell unconverged")
+				}
+			}
 		},
 	}
 }

@@ -168,10 +168,10 @@ func TestReportGateHelpers(t *testing.T) {
 
 func TestNamedRegistry(t *testing.T) {
 	names := Named()
-	if len(names) != 4 {
-		t.Fatalf("want 4 named sweeps, got %d", len(names))
+	if len(names) != 6 {
+		t.Fatalf("want 6 named sweeps, got %d", len(names))
 	}
-	for _, want := range []string{"logn-scaling", "latency", "churn", "topology"} {
+	for _, want := range []string{"logn-scaling", "engine-equivalence", "scale", "latency", "churn", "topology"} {
 		ns, ok := NamedByName(want)
 		if !ok {
 			t.Fatalf("missing named sweep %q", want)

@@ -18,8 +18,8 @@ import (
 // self-describing.
 type Axis struct {
 	// Name selects the scenario field: "n", "k", "protocol", "bias",
-	// "topology", "model", "crash", "churn", "latency", "delay" or
-	// "maxtime".
+	// "topology", "model", "engine", "crash", "churn", "latency", "delay"
+	// or "maxtime".
 	Name string `json:"name"`
 	// Values are the grid points, applied textually.
 	Values []string `json:"values"`
@@ -75,6 +75,8 @@ func applyAxis(sc *Scenario, name, value string) error {
 		sc.Protocol = value
 	case "model":
 		sc.Model = value
+	case "engine":
+		sc.Engine = value
 	case "bias":
 		// "<profile>" or "<profile>:<param>".
 		profile, param, has := strings.Cut(value, ":")

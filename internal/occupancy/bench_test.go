@@ -1,0 +1,74 @@
+package occupancy
+
+import (
+	"fmt"
+	"testing"
+
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// BenchmarkOccupancyLeap measures full Two-Choices consensus runs in leap
+// mode (benchstat-comparable; the ns/tick metric counts every delivered
+// activation, skipped no-ops included, which is the apples-to-apples figure
+// against the per-node engine).
+func BenchmarkOccupancyLeap(b *testing.B) {
+	for _, n := range []int64{1_000_000, 100_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rn Runner
+			var ticks int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				counts := []int64{2 * n / 5, n / 5, n / 5, n - 2*n/5 - 2*(n/5)}
+				s, err := sched.NewPoisson(int(n), 1, rng.At(uint64(i), 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := rn.Run(counts, twoChoicesRule(), Config{
+					Scheduler: s,
+					Rand:      rng.At(uint64(i), 1),
+					MaxTime:   1e6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ticks += res.Ticks
+			}
+			b.StopTimer()
+			if ticks > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ticks), "ns/tick")
+				b.ReportMetric(float64(ticks)/float64(b.N), "ticks/run")
+			}
+		})
+	}
+}
+
+// BenchmarkOccupancyTick measures the activation-by-activation engine over
+// a fixed parallel-time budget (the run times out by design, so the figure
+// is a pure per-tick cost).
+func BenchmarkOccupancyTick(b *testing.B) {
+	const n = 1_000_000
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		var rn Runner
+		var ticks int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			counts := []int64{400_000, 200_000, 200_000, 200_000}
+			s, err := sched.NewPoisson(n, 1, rng.At(uint64(i), 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, _ := rn.Run(counts, twoChoicesRule(), Config{
+				Scheduler: s,
+				Rand:      rng.At(uint64(i), 1),
+				MaxTime:   2, // ~2M ticks, far short of consensus
+				ForceTick: true,
+			})
+			ticks += res.Ticks
+		}
+		b.StopTimer()
+		if ticks > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ticks), "ns/tick")
+		}
+	})
+}

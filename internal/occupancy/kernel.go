@@ -1,0 +1,271 @@
+package occupancy
+
+import (
+	"plurality/internal/rng"
+)
+
+// Kernel is the histogram-level transition law of a memoryless rule on the
+// complete graph: everything the leap engine needs to simulate the
+// occupancy process one *effective* activation at a time. An activation is
+// effective when it changes the color histogram; all other activations are
+// no-ops the engine skips in bulk.
+//
+// Both methods see the live counts (summing to n) and the sampling mode of
+// the clique (withSelf: neighbor draws include the activated node itself).
+// Probabilities are computed in float64 — exact up to rounding, the same
+// precision class as the Bernoulli/geometric draws of the per-node engines.
+type Kernel interface {
+	// EffectiveProb returns the probability that a single activation of a
+	// uniformly random node changes the histogram.
+	EffectiveProb(counts []int64, n int64, withSelf bool) float64
+	// SampleTransition draws the (from, to) color pair of a histogram
+	// change, conditioned on the activation being effective. from != to.
+	SampleTransition(r *rng.RNG, counts []int64, n int64, withSelf bool) (from, to int)
+}
+
+// Kerneled is implemented by rules that expose their exact count-level
+// transition law. A rule without a kernel still runs count-collapsed, just
+// activation by activation instead of transition by transition.
+type Kerneled interface {
+	OccupancyKernel() Kernel
+}
+
+// sumSquares returns Σ counts[c]² in float64 (exact up to rounding; the
+// kernels only ever use it inside float64 probabilities).
+func sumSquares(counts []int64) float64 {
+	var a float64
+	for _, v := range counts {
+		f := float64(v)
+		a += f * f
+	}
+	return a
+}
+
+// --- Two-Choices ---------------------------------------------------------
+
+// TwoChoicesKernel is the count-level law of the Two-Choices rule: sample
+// two neighbors with replacement, adopt their color iff they agree. With
+// own color c and both samples d ≠ c the histogram moves one node from c to
+// d; every other outcome is a no-op. Writing A = Σ n_d² and B = Σ n_d³, the
+// per-activation effective probability is (A·n − B)/(n·(n−1)²) without
+// self-sampling (the δ-correction for d = c cancels because d = c is never
+// effective) and (A·n − B)/n³ with it.
+type TwoChoicesKernel struct{}
+
+// EffectiveProb implements Kernel.
+func (TwoChoicesKernel) EffectiveProb(counts []int64, n int64, withSelf bool) float64 {
+	var a, b float64
+	for _, v := range counts {
+		f := float64(v)
+		f2 := f * f
+		a += f2
+		b += f2 * f
+	}
+	nf := float64(n)
+	qden := nf - 1
+	if withSelf {
+		qden = nf
+	}
+	return (a*nf - b) / (nf * qden * qden)
+}
+
+// SampleTransition implements Kernel: (from, to) with probability
+// proportional to n_from · n_to², to ≠ from. The weight total has the
+// closed form A·n − B, so no extra scan is needed before the pick.
+func (TwoChoicesKernel) SampleTransition(r *rng.RNG, counts []int64, n int64, withSelf bool) (from, to int) {
+	var a, b float64
+	for _, v := range counts {
+		f := float64(v)
+		f2 := f * f
+		a += f2
+		b += f2 * f
+	}
+	from = weightedPick(r, a*float64(n)-b, counts, func(c int, f float64) float64 { return f * (a - f*f) })
+	ff := float64(counts[from])
+	to = weightedPickExcept(r, a-ff*ff, counts, from, func(c int, f float64) float64 { return f * f })
+	return from, to
+}
+
+// --- Voter ---------------------------------------------------------------
+
+// VoterKernel is the count-level law of the Voter rule: sample one neighbor
+// and adopt its color unconditionally. The activation is effective iff the
+// sample differs from the own color, which happens with total probability
+// (n² − A)/(n(n−1)) without self-sampling and (n² − A)/n² with it.
+type VoterKernel struct{}
+
+// EffectiveProb implements Kernel.
+func (VoterKernel) EffectiveProb(counts []int64, n int64, withSelf bool) float64 {
+	a := sumSquares(counts)
+	nf := float64(n)
+	qden := nf - 1
+	if withSelf {
+		qden = nf
+	}
+	return (nf*nf - a) / (nf * qden)
+}
+
+// SampleTransition implements Kernel: (from, to) with probability
+// proportional to n_from · n_to, to ≠ from.
+func (VoterKernel) SampleTransition(r *rng.RNG, counts []int64, n int64, withSelf bool) (from, to int) {
+	nf := float64(n)
+	a := sumSquares(counts)
+	from = weightedPick(r, nf*nf-a, counts, func(c int, f float64) float64 { return f * (nf - f) })
+	to = weightedPickExcept(r, nf-float64(counts[from]), counts, from, func(c int, f float64) float64 { return f })
+	return from, to
+}
+
+// --- 3-Majority ----------------------------------------------------------
+
+// ThreeMajorityKernel is the count-level law of the 3-Majority rule: sample
+// three neighbors with replacement, adopt the majority color among the
+// samples, or the first sample when all three differ. Given the neighbor
+// distribution q of an activated node, the adopted color is d with
+// probability 3q_d²(1−q_d) + q_d³ + q_d[(1−q_d)² − (S₂ − q_d²)] where
+// S₂ = Σ q_e² (the three terms: exactly two matches anywhere, all three
+// match, first-sample tiebreak over three distinct colors).
+type ThreeMajorityKernel struct{}
+
+// threeMajAdopt returns P(adopted color = d) for a color with neighbor
+// probability q under sample second moment s2. Rounding can push the
+// all-distinct term slightly negative near consensus; the result is clamped
+// at 0.
+func threeMajAdopt(q, s2 float64) float64 {
+	p := 3*q*q*(1-q) + q*q*q + q*((1-q)*(1-q)-(s2-q*q))
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// neighborLaw returns the neighbor probability of color d and the sample
+// second moment S₂ for an activated node of color c, in either sampling
+// mode. a is Σ n_e².
+func neighborLaw(counts []int64, nf, a float64, c, d int, withSelf bool) (qd, s2 float64) {
+	if withSelf {
+		return float64(counts[d]) / nf, a / (nf * nf)
+	}
+	qden := nf - 1
+	nd := float64(counts[d])
+	if d == c {
+		nd--
+	}
+	fc := float64(counts[c])
+	return nd / qden, (a - 2*fc + 1) / (qden * qden)
+}
+
+// EffectiveProb implements Kernel.
+func (ThreeMajorityKernel) EffectiveProb(counts []int64, n int64, withSelf bool) float64 {
+	nf := float64(n)
+	a := sumSquares(counts)
+	var sum float64
+	for c, v := range counts {
+		if v == 0 {
+			continue
+		}
+		qc, s2 := neighborLaw(counts, nf, a, c, c, withSelf)
+		w := 1 - threeMajAdopt(qc, s2)
+		if w > 0 {
+			sum += float64(v) * w
+		}
+	}
+	return sum / nf
+}
+
+// SampleTransition implements Kernel: own color c with probability
+// proportional to n_c · P(adopt ≠ c), then the adopted color d ≠ c with
+// probability proportional to P(adopt = d). Unlike the product-form
+// kernels, the weight totals have no cheap closed form, so each stage
+// evaluates its weights twice (total, then pick) — the price of keeping
+// the kernel stateless and allocation-free; k is small, so the scan cost
+// stays negligible against the per-transition RNG work.
+func (ThreeMajorityKernel) SampleTransition(r *rng.RNG, counts []int64, n int64, withSelf bool) (from, to int) {
+	nf := float64(n)
+	a := sumSquares(counts)
+	var total float64
+	for c, v := range counts {
+		if v == 0 {
+			continue
+		}
+		qc, s2 := neighborLaw(counts, nf, a, c, c, withSelf)
+		if w := 1 - threeMajAdopt(qc, s2); w > 0 {
+			total += float64(v) * w
+		}
+	}
+	from = weightedPick(r, total, counts, func(c int, f float64) float64 {
+		if f == 0 {
+			return 0
+		}
+		qc, s2 := neighborLaw(counts, nf, a, c, c, withSelf)
+		w := 1 - threeMajAdopt(qc, s2)
+		if w < 0 {
+			return 0
+		}
+		return f * w
+	})
+	var dTotal float64
+	for d := range counts {
+		if d == from {
+			continue
+		}
+		qd, s2 := neighborLaw(counts, nf, a, from, d, withSelf)
+		dTotal += threeMajAdopt(qd, s2)
+	}
+	to = weightedPickExcept(r, dTotal, counts, from, func(d int, _ float64) float64 {
+		qd, s2 := neighborLaw(counts, nf, a, from, d, withSelf)
+		return threeMajAdopt(qd, s2)
+	})
+	return from, to
+}
+
+// --- weighted sampling helpers ------------------------------------------
+
+// weightedPick draws an index with probability proportional to weight(c,
+// float64(counts[c])), given the precomputed total. Rounding drift is
+// absorbed by returning the last positively weighted index when the scan
+// runs past the end.
+func weightedPick(r *rng.RNG, total float64, counts []int64, weight func(c int, f float64) float64) int {
+	x := r.Float64() * total
+	last := 0
+	for c := range counts {
+		w := weight(c, float64(counts[c]))
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return c
+		}
+		x -= w
+		last = c
+	}
+	return last
+}
+
+// weightedPickExcept is weightedPick over all indices but skip.
+func weightedPickExcept(r *rng.RNG, total float64, counts []int64, skip int, weight func(c int, f float64) float64) int {
+	x := r.Float64() * total
+	last := -1
+	for c := range counts {
+		if c == skip {
+			continue
+		}
+		w := weight(c, float64(counts[c]))
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return c
+		}
+		x -= w
+		last = c
+	}
+	if last >= 0 {
+		return last
+	}
+	// Degenerate weights (all zero by rounding): fall back to any index
+	// different from skip; callers guarantee k >= 2.
+	if skip == 0 {
+		return 1
+	}
+	return 0
+}

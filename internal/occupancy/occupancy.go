@@ -1,0 +1,480 @@
+// Package occupancy is the count-collapsed execution engine for memoryless
+// sampling dynamics on the complete graph. On the clique these processes
+// are fully exchangeable: which node holds which color is irrelevant, the
+// configuration *is* the color histogram. The engine therefore simulates
+// the k-dimensional occupancy (urn) process directly — O(k) memory instead
+// of O(n), which is what lets exact simulations reach n = 10⁸–10⁹ — the
+// same collapse that lets Becchetti et al. ("Plurality Consensus in the
+// Gossip Model") and Bankhamer et al. ("Positive Aging Admits Fast
+// Asynchronous Plurality Consensus") analyze these dynamics as urn chains.
+//
+// # Exactness
+//
+// The collapse is exact, not an approximation: under both asynchronous
+// models every activation hits a uniformly random node (for the Poisson
+// engines this follows from the memorylessness of exponential clocks), so
+// the activated node's color is distributed by the histogram and the
+// histogram evolves as a lumped Markov chain. The engine reproduces the
+// per-node engines' distributions of consensus time, tick counts and
+// winners — gated by the KS/chi-square equivalence tests in this package —
+// while consuming the RNG differently, so fixed-seed trajectories differ
+// between engines the way the Poisson and HeapPoisson schedulers differ.
+//
+// # Leap mode
+//
+// Rules that expose their count-level transition law (Kerneled: Voter,
+// Two-Choices, 3-Majority) run transition by transition instead of tick by
+// tick. Most activations are no-ops — Two-Choices near consensus changes
+// the histogram once in Θ(n) ticks — and the time to the next *effective*
+// activation is geometric in the per-tick effective probability p, so the
+// engine draws the skip length in O(1) instead of walking the no-ops. The
+// trick that keeps this exact end to end is that the *which tick is
+// effective* process is independent of the *when do ticks happen* process:
+// tick times are materialized lazily from Poisson order statistics (the
+// tick budget inside MaxTime is one Poisson(n·rate·MaxTime) draw, the time
+// of the m-th tick given the budget is a Beta order statistic; the
+// sequential model's grid m/n is deterministic), costing O(1) RNG work per
+// run rather than per tick.
+//
+// # Tick mode
+//
+// Rules without a kernel, churn injection, and the HeapPoisson reference
+// scheduler run activation by activation: the activated node's color and
+// the neighbor samples are drawn from the cumulative histogram in O(k),
+// still O(k) memory, with tick times consumed from the scheduler.
+package occupancy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// Rule is the sampling dynamic the engine executes; it is structurally
+// identical to dynamics.Rule (redeclared here so the dynamics package can
+// depend on this one without a cycle).
+type Rule interface {
+	// Name identifies the rule in traces and errors.
+	Name() string
+	// SampleCount is the number of neighbor samples per activation.
+	SampleCount() int
+	// Next returns the node's next color given its own color and the
+	// sampled colors; population.None keeps the own color.
+	Next(r *rng.RNG, own population.Color, sampled []population.Color) population.Color
+}
+
+// ErrTimeLimit reports a run that did not reach consensus within MaxTime.
+var ErrTimeLimit = errors.New("occupancy: time limit exceeded")
+
+// Config configures a count-collapsed run.
+type Config struct {
+	// WithSelf selects the clique sampling mode: true draws neighbors from
+	// all n nodes including the activated one (graph.Complete.WithSelf).
+	WithSelf bool
+	// Scheduler supplies the asynchronous time model. Leap mode reads only
+	// its type and parameters (*sched.Sequential grid or *sched.Poisson
+	// rate); tick mode consumes its tick stream. Required; its node count
+	// must equal the histogram total.
+	Scheduler sched.Scheduler
+	// Rand drives all engine sampling. Required.
+	Rand *rng.RNG
+	// MaxTime bounds the run in parallel time. Required (> 0).
+	MaxTime float64
+	// Churn is the per-activation probability of a churn event (the node
+	// is replaced by a fresh joiner with a uniformly random opinion).
+	// Churn > 0 forces tick mode.
+	Churn float64
+	// ForceTick disables the leap fast path, used by the equivalence tests
+	// to compare the two modes.
+	ForceTick bool
+}
+
+// Result describes a completed count-collapsed run; it mirrors
+// dynamics.AsyncResult.
+type Result struct {
+	// Time is the parallel time of the tick that completed consensus (or
+	// of the last tick inside the budget).
+	Time float64
+	// Ticks is the number of activations delivered, skipped no-ops
+	// included.
+	Ticks int64
+	// Done reports whether consensus was reached within MaxTime.
+	Done bool
+	// Winner is the consensus color if Done, else the current plurality.
+	Winner population.Color
+	// Churns is the number of churn events.
+	Churns int64
+}
+
+// Run executes rule on the histogram until one color holds everything or
+// MaxTime elapses. counts is mutated in place to the final histogram.
+func Run(counts []int64, rule Rule, cfg Config) (Result, error) {
+	var rn Runner
+	return rn.Run(counts, rule, cfg)
+}
+
+// Runner reuses the engine's small scratch buffers across runs so trial
+// loops are allocation-free. Not safe for concurrent use.
+type Runner struct {
+	sampled []population.Color
+	times   []float64
+	ticks   []sched.Tick
+}
+
+// Run is Runner's buffer-reusing equivalent of the package-level Run.
+func (rn *Runner) Run(counts []int64, rule Rule, cfg Config) (Result, error) {
+	n, err := validate(counts, rule, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for c, v := range counts {
+		if v == n {
+			return Result{Done: true, Winner: population.Color(c)}, nil
+		}
+	}
+	if !cfg.ForceTick && cfg.Churn == 0 {
+		if kr, ok := rule.(Kerneled); ok {
+			switch s := cfg.Scheduler.(type) {
+			case *sched.Sequential:
+				if budget, ok := sequentialBudget(cfg.MaxTime, n); ok {
+					return runLeap(counts, kr.OccupancyKernel(), cfg, n, budget, true)
+				}
+			case *sched.Poisson:
+				if lambda := float64(n) * s.Rate() * cfg.MaxTime; lambda < maxLeapBudget {
+					budget := cfg.Rand.PoissonInt64(lambda)
+					return runLeap(counts, kr.OccupancyKernel(), cfg, n, budget, false)
+				}
+			}
+		}
+	}
+	return rn.runTick(counts, rule, cfg, n)
+}
+
+// maxLeapBudget bounds the tick budget leap mode will materialize as an
+// int64 count. An effectively-unbounded MaxTime (n·rate·MaxTime beyond
+// ~4.6e18 ticks) would overflow the counters, so such runs fall back to
+// tick mode, which compares times instead of counting a budget — the same
+// semantics the per-node engine has always had.
+const maxLeapBudget = 1 << 62
+
+func validate(counts []int64, rule Rule, cfg Config) (int64, error) {
+	if rule == nil {
+		return 0, errors.New("occupancy: nil rule")
+	}
+	if cfg.Scheduler == nil {
+		return 0, errors.New("occupancy: nil scheduler")
+	}
+	if cfg.Rand == nil {
+		return 0, errors.New("occupancy: nil rand")
+	}
+	if cfg.MaxTime <= 0 {
+		return 0, fmt.Errorf("occupancy: MaxTime = %v, want > 0", cfg.MaxTime)
+	}
+	if cfg.Churn < 0 || cfg.Churn >= 1 {
+		return 0, fmt.Errorf("occupancy: Churn = %v, want [0, 1)", cfg.Churn)
+	}
+	if rule.SampleCount() <= 0 {
+		return 0, fmt.Errorf("occupancy: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
+	}
+	if len(counts) == 0 {
+		return 0, errors.New("occupancy: empty histogram")
+	}
+	var n int64
+	for c, v := range counts {
+		if v < 0 {
+			return 0, fmt.Errorf("occupancy: negative count %d for color %d", v, c)
+		}
+		n += v
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("occupancy: histogram total %d, want >= 2", n)
+	}
+	if int64(cfg.Scheduler.N()) != n {
+		return 0, fmt.Errorf("occupancy: scheduler has %d nodes, histogram %d", cfg.Scheduler.N(), n)
+	}
+	return n, nil
+}
+
+// plurality returns the index of the largest count (lowest index on ties),
+// matching population.Population.Plurality.
+func plurality(counts []int64) population.Color {
+	best := 0
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	return population.Color(best)
+}
+
+// --- leap mode -----------------------------------------------------------
+
+// sequentialBudget returns the number of sequential-model ticks whose time
+// m/n lies inside the MaxTime budget, matching the per-node engines' "stop
+// at the first tick with Time > MaxTime" rule bit for bit (the comparison
+// is carried out in the same float64 arithmetic). ok is false when the
+// budget would overflow the int64 tick counters (the caller then falls
+// back to tick mode).
+func sequentialBudget(maxTime float64, n int64) (budget int64, ok bool) {
+	nf := float64(n)
+	if maxTime*nf >= maxLeapBudget {
+		return 0, false
+	}
+	m := int64(maxTime * nf)
+	for m > 0 && float64(m)/nf > maxTime {
+		m--
+	}
+	for float64(m+1)/nf <= maxTime {
+		m++
+	}
+	return m + 1, true // ticks are indexed from 0
+}
+
+// leapTimeAt materializes the parallel time of the m-th delivered tick
+// (1-based), given the total tick budget inside MaxTime. Sequential ticks
+// sit on the deterministic grid (m−1)/n. Poisson ticks are the arrival
+// times of a rate-n·rate process: conditioned on budget arrivals in
+// [0, MaxTime] they are sorted uniforms, so the m-th is a Beta(m,
+// budget−m+1) order statistic — one O(1) draw instead of m exponential
+// gaps.
+func leapTimeAt(r *rng.RNG, m, budget, n int64, maxTime float64, sequential bool) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if sequential {
+		return float64(m-1) / float64(n)
+	}
+	ga := r.GammaFloat64(float64(m))
+	gb := r.GammaFloat64(float64(budget-m) + 1)
+	return maxTime * (ga / (ga + gb))
+}
+
+// runLeap executes the jump chain of the occupancy process: per iteration
+// one geometric skip over the no-op activations and one kernel-sampled
+// histogram transition. counts is mutated in place.
+func runLeap(counts []int64, kern Kernel, cfg Config, n, budget int64, sequential bool) (Result, error) {
+	r := cfg.Rand
+	var ticks int64
+	var res Result
+	for {
+		remaining := budget - ticks
+		if remaining <= 0 {
+			break
+		}
+		p := kern.EffectiveProb(counts, n, cfg.WithSelf)
+		if !(p > 0) {
+			// No transition can ever fire again (defensively guarded;
+			// off-consensus histograms of the built-in kernels always
+			// have p > 0): the rest of the budget is no-ops.
+			break
+		}
+		var g int64
+		if p >= 1 {
+			g = 1
+		} else {
+			// Geometric(p) skip: the index offset of the next effective
+			// activation. Computed in float64 so a microscopic p yields
+			// +Inf and lands in the timeout branch instead of
+			// overflowing.
+			u := 1 - r.Float64() // (0, 1]
+			gf := math.Floor(math.Log(u)/math.Log1p(-p)) + 1
+			if !(gf >= 1) {
+				gf = 1
+			}
+			if gf > float64(remaining) {
+				break
+			}
+			g = int64(gf)
+			if g > remaining {
+				break
+			}
+		}
+		ticks += g
+		from, to := kern.SampleTransition(r, counts, n, cfg.WithSelf)
+		if from == to {
+			continue
+		}
+		counts[from]--
+		counts[to]++
+		if counts[to] == n {
+			res.Done = true
+			res.Winner = population.Color(to)
+			res.Ticks = ticks
+			res.Time = leapTimeAt(r, ticks, budget, n, cfg.MaxTime, sequential)
+			return res, nil
+		}
+	}
+	res.Ticks = budget
+	res.Time = leapTimeAt(r, budget, budget, n, cfg.MaxTime, sequential)
+	res.Winner = plurality(counts)
+	return res, ErrTimeLimit
+}
+
+// --- tick mode -----------------------------------------------------------
+
+// tickRun is the per-activation count-collapsed engine state.
+type tickRun struct {
+	counts   []int64
+	n        int64
+	k        int
+	s        int
+	withSelf bool
+	churning bool
+	churn    float64
+	r        *rng.RNG
+	rule     Rule
+	sampled  []population.Color
+	res      Result
+	done     bool
+}
+
+// pick draws a color from the cumulative histogram over total nodes,
+// with one node of color deduct excluded (population.None excludes
+// nothing); this is exactly the law of a uniform draw over the clique
+// neighborhood.
+func (tr *tickRun) pick(total int64, deduct population.Color) population.Color {
+	x := int64(tr.r.Uint64n(uint64(total)))
+	for c, v := range tr.counts {
+		if population.Color(c) == deduct {
+			v--
+		}
+		if x < v {
+			return population.Color(c)
+		}
+		x -= v
+	}
+	return population.Color(tr.k - 1)
+}
+
+// step executes one activation on the histogram.
+func (tr *tickRun) step() {
+	if tr.churning && tr.r.Bernoulli(tr.churn) {
+		// Churn: the activated node (color ~ histogram) is replaced by a
+		// fresh joiner with a uniformly random opinion.
+		victim := tr.pick(tr.n, population.None)
+		fresh := population.Color(tr.r.Intn(tr.k))
+		tr.res.Churns++
+		if fresh != victim {
+			tr.counts[victim]--
+			tr.counts[fresh]++
+			if tr.counts[fresh] == tr.n {
+				tr.done = true
+				tr.res.Winner = fresh
+			}
+		}
+		return
+	}
+	own := tr.pick(tr.n, population.None)
+	for i := 0; i < tr.s; i++ {
+		if tr.withSelf {
+			tr.sampled[i] = tr.pick(tr.n, population.None)
+		} else {
+			tr.sampled[i] = tr.pick(tr.n-1, own)
+		}
+	}
+	next := tr.rule.Next(tr.r, own, tr.sampled)
+	if next != population.None && next != own {
+		tr.counts[own]--
+		tr.counts[next]++
+		if tr.counts[next] == tr.n {
+			tr.done = true
+			tr.res.Winner = next
+		}
+	}
+}
+
+// runTick executes the activation-by-activation engine, consuming tick
+// times from the scheduler in batches.
+func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64) (Result, error) {
+	s := rule.SampleCount()
+	if cap(rn.sampled) < s {
+		rn.sampled = make([]population.Color, s)
+	}
+	tr := tickRun{
+		counts:   counts,
+		n:        n,
+		k:        len(counts),
+		s:        s,
+		withSelf: cfg.WithSelf,
+		churning: cfg.Churn > 0,
+		churn:    cfg.Churn,
+		r:        cfg.Rand,
+		rule:     rule,
+		sampled:  rn.sampled[:s],
+	}
+	var (
+		ticks int64
+		last  float64
+	)
+	finish := func(timedOut bool) (Result, error) {
+		tr.res.Ticks = ticks
+		tr.res.Time = last
+		if tr.done {
+			tr.res.Done = true
+			return tr.res, nil
+		}
+		tr.res.Winner = plurality(counts)
+		if timedOut {
+			return tr.res, ErrTimeLimit
+		}
+		return tr.res, nil
+	}
+
+	switch sc := cfg.Scheduler.(type) {
+	case sched.TimeScheduler:
+		if cap(rn.times) < sched.BatchSize {
+			rn.times = make([]float64, sched.BatchSize)
+		}
+		buf := rn.times[:sched.BatchSize]
+		for {
+			sc.NextTimes(buf)
+			for _, now := range buf {
+				if now > cfg.MaxTime {
+					return finish(true)
+				}
+				ticks++
+				last = now
+				tr.step()
+				if tr.done {
+					return finish(false)
+				}
+			}
+		}
+	case sched.BatchScheduler:
+		if cap(rn.ticks) < sched.BatchSize {
+			rn.ticks = make([]sched.Tick, sched.BatchSize)
+		}
+		buf := rn.ticks[:sched.BatchSize]
+		for {
+			sc.NextBatch(buf)
+			for _, t := range buf {
+				if t.Time > cfg.MaxTime {
+					return finish(true)
+				}
+				ticks++
+				last = t.Time
+				tr.step()
+				if tr.done {
+					return finish(false)
+				}
+			}
+		}
+	default:
+		for {
+			t := cfg.Scheduler.Next()
+			if t.Time > cfg.MaxTime {
+				return finish(true)
+			}
+			ticks++
+			last = t.Time
+			tr.step()
+			if tr.done {
+				return finish(false)
+			}
+		}
+	}
+}

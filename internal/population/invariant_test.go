@@ -1,0 +1,100 @@
+package population
+
+import (
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+// recount recomputes the color histogram from the per-node vector.
+func recount(p *Population) []int64 {
+	counts := make([]int64, p.K())
+	for u := 0; u < p.N(); u++ {
+		counts[p.ColorOf(u)]++
+	}
+	return counts
+}
+
+func countsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSetColorPreservesHistogramInvariant is the property test of the
+// package's central invariant: after any sequence of SetColor mutations the
+// cached counts must equal the histogram of the color vector. The
+// count-collapsed engine leans on this — pop.Counts() is assumed to *be*
+// the configuration.
+func TestSetColorPreservesHistogramInvariant(t *testing.T) {
+	r := rng.New(91)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(60)
+		k := 1 + r.Intn(6)
+		initial := make([]int64, k)
+		initial[r.Intn(k)] = int64(n) // all nodes start on one random color
+		p, err := FromCounts(initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := r.Intn(400)
+		for i := 0; i < steps; i++ {
+			p.SetColor(r.Intn(n), Color(r.Intn(k)))
+		}
+		if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+			t.Fatalf("trial %d: counts %v drifted from histogram %v after %d SetColor calls",
+				trial, got, want, steps)
+		}
+		var total int64
+		for _, v := range p.Counts() {
+			total += v
+		}
+		if total != int64(n) {
+			t.Fatalf("trial %d: counts %v no longer sum to n=%d", trial, p.Counts(), n)
+		}
+	}
+}
+
+func TestSetCounts(t *testing.T) {
+	p, err := FromCounts([]int64{4, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetCounts([]int64{10, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.ConsensusOn(0) {
+		t.Fatalf("SetCounts did not rewrite the colors: counts %v", p.Counts())
+	}
+	if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+		t.Fatalf("counts %v inconsistent with histogram %v", got, want)
+	}
+	if err := p.SetCounts([]int64{2, 3, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+		t.Fatalf("counts %v inconsistent with histogram %v", got, want)
+	}
+
+	for _, bad := range [][]int64{
+		{10},         // wrong k
+		{4, 3, 2},    // wrong total
+		{11, 0, -1},  // negative
+		{4, 3, 3, 0}, // wrong k (extra color)
+		{0, 0, 0},    // zero total
+	} {
+		if err := p.SetCounts(bad); err == nil {
+			t.Errorf("SetCounts(%v): no error", bad)
+		}
+	}
+	// Failed calls must not have corrupted the state.
+	if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+		t.Fatalf("after rejected SetCounts: counts %v inconsistent with histogram %v", got, want)
+	}
+}

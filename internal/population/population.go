@@ -158,6 +158,37 @@ func (p *Population) ConsensusOn(c Color) bool {
 	return p.counts[c] == int64(len(p.colors))
 }
 
+// SetCounts overwrites the population in place so its histogram equals
+// counts, assigning colors to node indices in contiguous blocks exactly as
+// FromCounts does. It is how the count-collapsed occupancy engine writes a
+// finished run back into per-node form: on the clique, which node holds
+// which color is irrelevant, only the histogram matters. The shape (n, k)
+// must match.
+func (p *Population) SetCounts(counts []int64) error {
+	if len(counts) != len(p.counts) {
+		return fmt.Errorf("population: SetCounts got %d colors, want %d", len(counts), len(p.counts))
+	}
+	var n int64
+	for c, v := range counts {
+		if v < 0 {
+			return fmt.Errorf("population: SetCounts negative count %d for color %d", v, c)
+		}
+		n += v
+	}
+	if n != int64(len(p.colors)) {
+		return fmt.Errorf("population: SetCounts total %d, want %d", n, len(p.colors))
+	}
+	copy(p.counts, counts)
+	i := 0
+	for c, v := range counts {
+		for j := int64(0); j < v; j++ {
+			p.colors[i] = Color(c)
+			i++
+		}
+	}
+	return nil
+}
+
 // Shuffle permutes which node holds which color, uniformly at random,
 // preserving the histogram. Needed when the topology is not the clique.
 func (p *Population) Shuffle(r *rng.RNG) {

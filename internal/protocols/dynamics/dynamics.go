@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"plurality/internal/graph"
+	"plurality/internal/occupancy"
 	"plurality/internal/population"
 	"plurality/internal/rng"
 	"plurality/internal/sched"
@@ -131,6 +132,24 @@ func validateSync(pop *population.Population, rule Rule, cfg SyncConfig) error {
 	return nil
 }
 
+// Engine selects RunAsync's execution strategy.
+type Engine int
+
+const (
+	// EngineAuto (the default) picks the count-collapsed occupancy engine
+	// whenever the run is collapsible — complete graph, no response
+	// delays, no edge latencies, no per-tick observer — and the per-node
+	// engine otherwise. The two engines are distributionally equivalent
+	// (the collapse is exact) but consume the RNG differently, so
+	// fixed-seed trajectories differ between them.
+	EngineAuto Engine = iota
+	// EnginePerNode forces the per-node simulation.
+	EnginePerNode
+	// EngineOccupancy requires the count-collapsed engine; RunAsync fails
+	// with a descriptive error if the configuration is not collapsible.
+	EngineOccupancy
+)
+
 // AsyncConfig configures an asynchronous run.
 type AsyncConfig struct {
 	// Graph is the communication topology. Required.
@@ -159,8 +178,10 @@ type AsyncConfig struct {
 	// reachable only while Churn·n is o(1).
 	Churn float64
 	// OnTick, if set, observes every delivered tick (after the node's
-	// action).
+	// action). Setting it forces the per-node engine.
 	OnTick func(t sched.Tick, pop *population.Population)
+	// Engine selects the execution strategy (default EngineAuto).
+	Engine Engine
 }
 
 // AsyncResult describes a completed asynchronous run.
@@ -198,6 +219,19 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	}
 	if pop.IsUnanimous() {
 		return AsyncResult{Done: true, Winner: pop.Plurality()}, nil
+	}
+
+	// Count-collapsed fast path: on the clique with a memoryless rule the
+	// configuration is the color histogram, so the run can execute on k
+	// counts instead of n nodes (O(k) state, and kerneled rules leap over
+	// no-op activations entirely). The collapse is exact; see the
+	// occupancy package's equivalence gates.
+	if cfg.Engine != EnginePerNode {
+		if blocker := collapseBlocker(cfg); blocker == "" {
+			return runCollapsed(pop, rule, cfg)
+		} else if cfg.Engine == EngineOccupancy {
+			return AsyncResult{}, fmt.Errorf("dynamics: WithEngine(EngineOccupancy) needs a count-collapsible run, but %s", blocker)
+		}
 	}
 	var (
 		n        = pop.N()
@@ -322,6 +356,105 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	return res, nil
 }
 
+// collapseBlocker reports why cfg cannot run count-collapsed; "" means it
+// can. Churn composes fine (a churn event is itself a histogram
+// transition); per-node pending state — delays, latencies — and per-tick
+// population observers do not.
+func collapseBlocker(cfg AsyncConfig) string {
+	if _, ok := cfg.Graph.(graph.Complete); !ok {
+		return fmt.Sprintf("topology %T is not the complete graph", cfg.Graph)
+	}
+	if cfg.OnTick != nil {
+		return "an OnTick observer needs the per-node population"
+	}
+	if cfg.Latency != nil {
+		return "edge latencies need per-node pending state"
+	}
+	if cfg.Delay != nil {
+		if _, zero := cfg.Delay.(sched.ZeroDelay); !zero {
+			return "response delays need per-node pending state"
+		}
+	}
+	return ""
+}
+
+// runCollapsed executes the run on the color histogram and writes the final
+// histogram back into pop (on the clique, which node ends up with which
+// color carries no information).
+func runCollapsed(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
+	g := cfg.Graph.(graph.Complete)
+	counts := pop.Counts()
+	res, err := occupancy.Run(counts, rule, occupancy.Config{
+		WithSelf:  g.WithSelf,
+		Scheduler: cfg.Scheduler,
+		Rand:      cfg.Rand,
+		MaxTime:   cfg.MaxTime,
+		Churn:     cfg.Churn,
+	})
+	if serr := pop.SetCounts(counts); serr != nil {
+		return AsyncResult{}, serr
+	}
+	return collapsedResult(res, err, rule, cfg.MaxTime)
+}
+
+// RunAsyncCounts executes rule directly on a color histogram with the
+// count-collapsed occupancy engine — the O(k)-memory entry point for
+// populations too large to materialize per node (n = 10⁸–10⁹). counts is
+// mutated in place to the final histogram. cfg.Graph may be nil (the
+// complete graph on the histogram total is implied) or a graph.Complete
+// whose node count matches; everything collapseBlocker rejects is an error
+// here, as is EnginePerNode.
+func RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
+	if rule == nil {
+		return AsyncResult{}, errors.New("dynamics: nil rule")
+	}
+	if cfg.Engine == EnginePerNode {
+		return AsyncResult{}, errors.New("dynamics: counts runs are count-collapsed by definition; materialize a Population for the per-node engine")
+	}
+	withSelf := false
+	if cfg.Graph != nil {
+		g, ok := cfg.Graph.(graph.Complete)
+		if !ok {
+			return AsyncResult{}, fmt.Errorf("dynamics: counts runs need the complete graph, got %T", cfg.Graph)
+		}
+		var n int64
+		for _, v := range counts {
+			n += v
+		}
+		if int64(g.N()) != n {
+			return AsyncResult{}, fmt.Errorf("dynamics: graph has %d nodes, histogram %d", g.N(), n)
+		}
+		withSelf = g.WithSelf
+	}
+	if cfg.OnTick != nil || cfg.Latency != nil || cfg.Delay != nil {
+		return AsyncResult{}, errors.New("dynamics: counts runs support neither delays, latencies nor OnTick observers (per-node state)")
+	}
+	res, err := occupancy.Run(counts, rule, occupancy.Config{
+		WithSelf:  withSelf,
+		Scheduler: cfg.Scheduler,
+		Rand:      cfg.Rand,
+		MaxTime:   cfg.MaxTime,
+		Churn:     cfg.Churn,
+	})
+	return collapsedResult(res, err, rule, cfg.MaxTime)
+}
+
+// collapsedResult maps an occupancy result and error onto the package's
+// AsyncResult and sentinel conventions.
+func collapsedResult(res occupancy.Result, err error, rule Rule, maxTime float64) (AsyncResult, error) {
+	out := AsyncResult{
+		Time:   res.Time,
+		Ticks:  res.Ticks,
+		Done:   res.Done,
+		Winner: res.Winner,
+		Churns: res.Churns,
+	}
+	if errors.Is(err, occupancy.ErrTimeLimit) {
+		return out, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), maxTime, ErrTimeLimit)
+	}
+	return out, err
+}
+
 func validateAsync(pop *population.Population, rule Rule, cfg AsyncConfig) error {
 	switch {
 	case pop == nil:
@@ -344,6 +477,8 @@ func validateAsync(pop *population.Population, rule Rule, cfg AsyncConfig) error
 		return fmt.Errorf("dynamics: Churn = %v, want [0, 1)", cfg.Churn)
 	case rule.SampleCount() <= 0:
 		return fmt.Errorf("dynamics: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
+	case cfg.Engine < EngineAuto || cfg.Engine > EngineOccupancy:
+		return fmt.Errorf("dynamics: unknown engine %d", cfg.Engine)
 	}
 	return nil
 }

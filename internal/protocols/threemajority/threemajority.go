@@ -10,6 +10,7 @@
 package threemajority
 
 import (
+	"plurality/internal/occupancy"
 	"plurality/internal/population"
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/rng"
@@ -18,7 +19,15 @@ import (
 // Rule is the 3-Majority update rule.
 type Rule struct{}
 
-var _ dynamics.Rule = Rule{}
+var (
+	_ dynamics.Rule      = Rule{}
+	_ occupancy.Kerneled = Rule{}
+)
+
+// OccupancyKernel implements occupancy.Kerneled: the exact count-level
+// transition law that lets the count-collapsed engine leap over no-op
+// activations on the clique.
+func (Rule) OccupancyKernel() occupancy.Kernel { return occupancy.ThreeMajorityKernel{} }
 
 // Name implements dynamics.Rule.
 func (Rule) Name() string { return "3-majority" }

@@ -12,6 +12,7 @@
 package twochoices
 
 import (
+	"plurality/internal/occupancy"
 	"plurality/internal/population"
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/rng"
@@ -20,7 +21,15 @@ import (
 // Rule is the Two-Choices update rule.
 type Rule struct{}
 
-var _ dynamics.Rule = Rule{}
+var (
+	_ dynamics.Rule      = Rule{}
+	_ occupancy.Kerneled = Rule{}
+)
+
+// OccupancyKernel implements occupancy.Kerneled: the exact count-level
+// transition law that lets the count-collapsed engine leap over no-op
+// activations on the clique.
+func (Rule) OccupancyKernel() occupancy.Kernel { return occupancy.TwoChoicesKernel{} }
 
 // Name implements dynamics.Rule.
 func (Rule) Name() string { return "two-choices" }

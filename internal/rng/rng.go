@@ -159,6 +159,103 @@ func (r *RNG) NormFloat64() float64 {
 	return mag * math.Cos(2*math.Pi*v)
 }
 
+// GammaFloat64 returns a Gamma(alpha, 1)-distributed value for alpha > 0
+// using the Marsaglia–Tsang squeeze-rejection method (alpha >= 1) with the
+// standard U^(1/alpha) boost for alpha < 1. The sampler is exact up to
+// float64 evaluation of the acceptance test. Erlang(k) waiting times — the
+// sum of k unit exponentials — are GammaFloat64(k), which is how the
+// count-collapsed simulation engine materializes the elapsed time of k
+// Poisson-clock ticks in O(1).
+func (r *RNG) GammaFloat64(alpha float64) float64 {
+	if alpha <= 0 || math.IsNaN(alpha) {
+		panic("rng: GammaFloat64 with alpha <= 0")
+	}
+	boost := 1.0
+	if alpha < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a).
+		var u float64
+		for u == 0 {
+			u = r.Float64()
+		}
+		boost = math.Pow(u, 1/alpha)
+		alpha++
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return boost * d * v
+		}
+		if math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return boost * d * v
+		}
+	}
+}
+
+// PoissonInt64 returns a Poisson(lambda)-distributed count. Small rates use
+// Knuth's product-of-uniforms inversion; larger rates use Hörmann's PTRS
+// transformed-rejection sampler, which is exact (up to float64 evaluation of
+// the acceptance test) for arbitrarily large lambda. The count-collapsed
+// engine uses it to draw the number of scheduler ticks that land inside a
+// parallel-time budget without generating them individually.
+func (r *RNG) PoissonInt64(lambda float64) int64 {
+	switch {
+	case math.IsNaN(lambda) || lambda < 0:
+		panic("rng: PoissonInt64 with lambda < 0")
+	case lambda == 0:
+		return 0
+	case lambda < 30:
+		// Knuth: count uniforms until their product drops below e^-lambda.
+		limit := math.Exp(-lambda)
+		var k int64
+		p := r.Float64()
+		for p > limit {
+			k++
+			p *= r.Float64()
+		}
+		return k
+	default:
+		return r.poissonPTRS(lambda)
+	}
+}
+
+// poissonPTRS is the PTRS transformed-rejection Poisson sampler of Hörmann
+// (1993), valid for lambda >= 10.
+func (r *RNG) poissonPTRS(lambda float64) int64 {
+	logLambda := math.Log(lambda)
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-lg {
+			return int64(k)
+		}
+	}
+}
+
 // Perm returns a uniformly random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

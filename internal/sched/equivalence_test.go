@@ -2,10 +2,10 @@ package sched
 
 import (
 	"math"
-	"sort"
 	"testing"
 
 	"plurality/internal/rng"
+	"plurality/internal/stats"
 )
 
 // engines lists every scheduler engine under its construction at (n, rate 1).
@@ -26,33 +26,10 @@ func engines(t *testing.T, n int, seed uint64) map[string]BatchScheduler {
 	return map[string]BatchScheduler{"sequential": seq, "poisson": poi, "heap-poisson": hp}
 }
 
-// ksStatistic returns the two-sample Kolmogorov–Smirnov statistic
-// sup_x |F_a(x) − F_b(x)|. Both slices are sorted in place.
-func ksStatistic(a, b []float64) float64 {
-	sort.Float64s(a)
-	sort.Float64s(b)
-	var i, j int
-	var d float64
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			i++
-		} else {
-			j++
-		}
-		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
-		if diff > d {
-			d = diff
-		}
-	}
-	return d
-}
-
-// ksThreshold is the rejection threshold at significance α for sample sizes
-// m and n: c(α)·sqrt((m+n)/(m·n)) with c(α) = sqrt(−ln(α/2)/2).
-func ksThreshold(alpha float64, m, n int) float64 {
-	c := math.Sqrt(-math.Log(alpha/2) / 2)
-	return c * math.Sqrt(float64(m+n)/float64(m)/float64(n))
-}
+// ksStatistic and ksThreshold delegate to the shared implementations in
+// internal/stats (also used by the dynamics-engine equivalence tests).
+func ksStatistic(a, b []float64) float64          { return stats.KSStatistic(a, b) }
+func ksThreshold(alpha float64, m, n int) float64 { return stats.KSThreshold(alpha, m, n) }
 
 // perNodeGaps runs s for about total ticks and returns the pooled per-node
 // inter-activation times in parallel time. In every engine these should be

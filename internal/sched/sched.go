@@ -54,6 +54,20 @@ type BatchScheduler interface {
 	NextBatch(buf []Tick)
 }
 
+// TimeScheduler is a Scheduler whose activation times are generated
+// independently of which node activates, letting exchangeable simulations —
+// the count-collapsed occupancy engine, where node identities are
+// irrelevant — consume the tick-time stream without paying for the per-tick
+// node draw. NextTimes advances the schedule exactly as NextBatch would,
+// except that the node choices are never drawn (so the engine's RNG stream
+// diverges from NextBatch's after the first call; a run must stick to one
+// access mode).
+type TimeScheduler interface {
+	Scheduler
+	// NextTimes fills buf with the times of the next len(buf) activations.
+	NextTimes(buf []float64)
+}
+
 // Sequential is the paper's sequential asynchronous model: each step
 // activates a node chosen uniformly at random and advances parallel time by
 // 1/n.
@@ -96,6 +110,16 @@ func (s *Sequential) NextBatch(buf []Tick) {
 			Time: float64(s.seq) / n,
 			Seq:  s.seq,
 		}
+		s.seq++
+	}
+}
+
+// NextTimes implements TimeScheduler: sequential tick times are the
+// deterministic grid seq/n, so no randomness is consumed at all.
+func (s *Sequential) NextTimes(buf []float64) {
+	n := float64(s.n)
+	for i := range buf {
+		buf[i] = float64(s.seq) / n
 		s.seq++
 	}
 }
@@ -160,6 +184,21 @@ func (p *Poisson) NextBatch(buf []Tick) {
 	}
 	p.now = now
 }
+
+// NextTimes implements TimeScheduler: one exponential gap per tick, no node
+// draw.
+func (p *Poisson) NextTimes(buf []float64) {
+	now, r, invTotal := p.now, p.r, p.invTotal
+	for i := range buf {
+		now += r.ExpFloat64() * invTotal
+		buf[i] = now
+		p.seq++
+	}
+	p.now = now
+}
+
+// Rate returns the per-node Poisson clock rate.
+func (p *Poisson) Rate() float64 { return p.rate }
 
 // HeapPoisson is the event-heap formulation of the continuous model: every
 // node keeps its own next-event time in a priority queue and each delivery

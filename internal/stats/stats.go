@@ -246,6 +246,42 @@ func PowerFit(x, y []float64) (Fit, error) {
 	return LinearFit(lx, ly)
 }
 
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F_a(x) − F_b(x)|. Both slices are sorted in place. It is the
+// shared backbone of the engine-equivalence tests (scheduler engines,
+// per-node vs count-collapsed dynamics). Ties are handled correctly for
+// discrete data — both ECDFs are advanced past every copy of the current
+// value before their difference is taken, so two identical samples yield
+// exactly 0 (a mid-tie evaluation would instead report the tie mass).
+func KSStatistic(a, b []float64) float64 {
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	var d float64
+	for i < len(a) && j < len(b) {
+		x := math.Min(a[i], b[j])
+		for i < len(a) && a[i] == x {
+			i++
+		}
+		for j < len(b) && b[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSThreshold is the two-sample KS rejection threshold at significance
+// alpha for sample sizes m and n: c(alpha)·sqrt((m+n)/(m·n)) with
+// c(alpha) = sqrt(−ln(alpha/2)/2).
+func KSThreshold(alpha float64, m, n int) float64 {
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(m+n)/float64(m)/float64(n))
+}
+
 // ChiSquare returns the chi-square statistic of observed counts against
 // expected counts. Entries with expected ≤ 0 are skipped.
 func ChiSquare(observed []int, expected []float64) float64 {

@@ -296,3 +296,34 @@ func TestMedianMatchesQuantile(t *testing.T) {
 		t.Error("Median disagrees with Quantile(0.5)")
 	}
 }
+
+func TestKSStatistic(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical-singletons", []float64{1}, []float64{1}, 0},
+		{"identical-discrete", []float64{1, 1, 2, 2, 3}, []float64{1, 1, 2, 2, 3}, 0},
+		{"disjoint", []float64{1, 2, 3}, []float64{10, 11, 12}, 1},
+		{"half-shift", []float64{1, 2}, []float64{2, 3}, 0.5},
+		{"tie-cluster", []float64{1, 1, 1, 2}, []float64{1, 2, 2, 2}, 0.5},
+	}
+	for _, c := range cases {
+		if got := KSStatistic(append([]float64(nil), c.a...), append([]float64(nil), c.b...)); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: KSStatistic = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKSThreshold(t *testing.T) {
+	// c(0.05) = 1.3581; threshold for m = n = 100 is c*sqrt(2/100).
+	got := KSThreshold(0.05, 100, 100)
+	want := 1.3581015157406195 * math.Sqrt(0.02)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("KSThreshold(0.05,100,100) = %v, want %v", got, want)
+	}
+	if KSThreshold(0.001, 50, 50) <= got {
+		t.Error("stricter alpha must raise the threshold")
+	}
+}

@@ -2,6 +2,7 @@ package plurality
 
 import (
 	"fmt"
+	"sync"
 
 	"plurality/internal/core"
 	"plurality/internal/par"
@@ -19,7 +20,11 @@ import (
 // runs the sequential model on the complete graph until all (live) nodes
 // agree, every node halts, or the time budget elapses.
 func RunCore(pop *Population, opts ...Option) (CoreResult, error) {
-	o := newOptions(opts)
+	return runCore(core.NewRunner(), pop, newOptions(opts))
+}
+
+// runCore executes one core run on the given (possibly reused) runner.
+func runCore(rn *core.Runner, pop *Population, o *options) (CoreResult, error) {
 	g, err := o.topology(pop)
 	if err != nil {
 		return CoreResult{}, err
@@ -31,7 +36,7 @@ func RunCore(pop *Population, opts ...Option) (CoreResult, error) {
 	cfg := o.coreConfig(g)
 	cfg.Scheduler = s
 	cfg.Rand = rng.At(o.seed, 1)
-	return core.Run(pop, cfg)
+	return rn.Run(pop, cfg)
 }
 
 // RunTwoChoicesSync executes the synchronous Two-Choices dynamic
@@ -123,7 +128,86 @@ func runAsyncRule(pop *Population, rule dynamics.Rule, opts []Option) (AsyncResu
 	}
 	cfg.Latency = o.latency
 	cfg.Churn = o.churnRate
+	cfg.Engine = o.dynamicsEngine()
 	return dynamics.RunAsync(pop, rule, cfg)
+}
+
+// dynamicsEngine maps the public engine option onto the internal one.
+func (o *options) dynamicsEngine() dynamics.Engine {
+	switch o.engine {
+	case EnginePerNode:
+		return dynamics.EnginePerNode
+	case EngineOccupancy:
+		return dynamics.EngineOccupancy
+	default:
+		return dynamics.EngineAuto
+	}
+}
+
+// RunTwoChoicesCounts executes the asynchronous Two-Choices dynamic
+// directly on a color histogram with the count-collapsed occupancy engine:
+// counts[c] nodes initially hold color c, and the run needs O(k) memory
+// regardless of the population size, which is what lets exact simulations
+// reach n = 10⁸–10⁹. counts is mutated in place to the final histogram.
+// The topology is the complete graph on the histogram total (override with
+// WithGraph only to select a self-sampling Complete variant); per-node
+// extensions — WithResponseDelay, WithEdgeLatency, EnginePerNode — are
+// errors, WithChurn composes fine.
+func RunTwoChoicesCounts(counts []int64, opts ...Option) (AsyncResult, error) {
+	return runCountsRule(counts, twochoices.Rule{}, opts)
+}
+
+// RunVoterCounts executes the Voter baseline on a color histogram with the
+// count-collapsed occupancy engine; see RunTwoChoicesCounts.
+func RunVoterCounts(counts []int64, opts ...Option) (AsyncResult, error) {
+	return runCountsRule(counts, voter.Rule{}, opts)
+}
+
+// RunThreeMajorityCounts executes the 3-Majority baseline on a color
+// histogram with the count-collapsed occupancy engine; see
+// RunTwoChoicesCounts.
+func RunThreeMajorityCounts(counts []int64, opts ...Option) (AsyncResult, error) {
+	return runCountsRule(counts, threemajority.Rule{}, opts)
+}
+
+func runCountsRule(counts []int64, rule dynamics.Rule, opts []Option) (AsyncResult, error) {
+	o := newOptions(opts)
+	var n int64
+	for _, v := range counts {
+		if v < 0 {
+			return AsyncResult{}, fmt.Errorf("plurality: negative count %d", v)
+		}
+		n += v
+	}
+	if n < 2 {
+		return AsyncResult{}, fmt.Errorf("plurality: histogram total %d, want >= 2", n)
+	}
+	if n != int64(int(n)) {
+		return AsyncResult{}, fmt.Errorf("plurality: histogram total %d overflows the scheduler's node index", n)
+	}
+	if o.model == HeapPoisson {
+		// The event-heap reference scheduler keeps one pending event per
+		// node — O(n) state, which would silently break the counts API's
+		// O(k)-memory contract at exactly the sizes it exists for.
+		return AsyncResult{}, fmt.Errorf("plurality: counts runs promise O(k) memory, but the HeapPoisson scheduler is O(n); use Poisson (the same process) or Sequential")
+	}
+	s, err := o.scheduler(int(n))
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	cfg := dynamics.AsyncConfig{
+		Graph:     o.graph,
+		Scheduler: s,
+		Rand:      rng.At(o.seed, 1),
+		MaxTime:   o.maxTime,
+		Churn:     o.churnRate,
+		Engine:    o.dynamicsEngine(),
+	}
+	if o.delayRate > 0 {
+		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
+	}
+	cfg.Latency = o.latency
+	return dynamics.RunAsyncCounts(counts, rule, cfg)
 }
 
 // topology returns the configured graph or the default complete graph
@@ -160,19 +244,43 @@ func (o *options) scheduler(n int) (sched.Scheduler, error) {
 // count and of scheduling. Results are returned in trial order; the first
 // failing trial's error is returned alongside the full slice (later trials
 // still run, so the successful entries remain usable).
+//
+// Populations and protocol run state are pooled across trials: a trial
+// reuses the previous trial's ~seven O(n) buffers instead of reallocating
+// and rezeroing them, which is where sweep throughput at large n used to
+// go. Pooling cannot change results — a trial's outcome is a pure function
+// of its seed.
 func RunCoreTrials(counts []int64, trials int, opts ...Option) ([]CoreResult, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("plurality: trials = %d, want > 0", trials)
 	}
 	o := newOptions(opts)
+	base, err := NewPopulation(counts)
+	if err != nil {
+		return nil, err
+	}
+
+	// One pooled (population, runner) pair per concurrently active worker;
+	// sync.Pool keeps the pairs alive exactly as long as the trial loop
+	// needs them.
+	type trialState struct {
+		pop    *Population
+		runner *core.Runner
+	}
+	pool := sync.Pool{New: func() any {
+		return &trialState{pop: base.Clone(), runner: core.NewRunner()}
+	}}
+
 	results := make([]CoreResult, trials)
-	err := par.ForEach(o.trialWorkers, trials, func(trial int) error {
-		pop, err := NewPopulation(counts)
-		if err != nil {
+	err = par.ForEach(o.trialWorkers, trials, func(trial int) error {
+		ts := pool.Get().(*trialState)
+		defer pool.Put(ts)
+		if err := ts.pop.Reset(base); err != nil {
 			return err
 		}
-		trialOpts := append(append([]Option{}, opts...), WithSeed(TrialSeed(o.seed, trial)))
-		res, err := RunCore(pop, trialOpts...)
+		to := *o
+		to.seed = TrialSeed(o.seed, trial)
+		res, err := runCore(ts.runner, ts.pop, &to)
 		results[trial] = res
 		return err
 	})
