@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"plurality"
 )
@@ -28,33 +29,36 @@ func main() {
 }
 
 type flags struct {
-	protocol    string
-	model       string
-	engine      string
-	workload    string
-	n           int
-	k           int
-	bias        float64
-	z           float64
-	zipfS       float64
-	seed        uint64
-	trials      int
-	workers     int
-	maxTime     float64
-	delay       float64
-	crash       float64
-	desyncFrac  float64
-	desyncTicks int
-	noGadget    bool
-	traceOn     bool
-	jsonOut     bool
+	protocol      string
+	model         string
+	engine        string
+	workload      string
+	listProtocols bool
+	n             int
+	k             int
+	bias          float64
+	z             float64
+	zipfS         float64
+	seed          uint64
+	trials        int
+	workers       int
+	maxTime       float64
+	delay         float64
+	crash         float64
+	desyncFrac    float64
+	desyncTicks   int
+	noGadget      bool
+	traceOn       bool
+	jsonOut       bool
 }
 
 func parseFlags(args []string) (flags, error) {
 	var f flags
 	fs := flag.NewFlagSet("plurality", flag.ContinueOnError)
 	fs.StringVar(&f.protocol, "protocol", "core",
-		"protocol: core | two-choices-sync | two-choices-async | onebit | voter | 3-majority")
+		"protocol: core | onebit | two-choices-sync | any registered dynamic (see -list-protocols), e.g. two-choices-async, voter, 3-majority, usd, j-majority:5")
+	fs.BoolVar(&f.listProtocols, "list-protocols", false,
+		"list the registered sampling-dynamics protocols and exit")
 	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson | heap-poisson")
 	fs.StringVar(&f.engine, "engine", "auto",
 		"dynamics execution engine: auto | per-node | occupancy (count-collapsed O(k) state; async dynamics only)")
@@ -169,6 +173,42 @@ type outcome struct {
 	EndgameSafe   bool    `json:"endgameSafe,omitempty"`
 	Jumps         int64   `json:"jumps,omitempty"`
 	Phases        int     `json:"phases,omitempty"`
+	Undecided     int64   `json:"undecided,omitempty"`
+}
+
+// dynamicSpec maps the -protocol flag onto a registry spec for the
+// asynchronous sampling dynamics ("" when the protocol has a dedicated
+// runner instead). The historical "two-choices-async" spelling resolves by
+// trimming the suffix.
+func dynamicSpec(protocol string) string {
+	switch protocol {
+	case "core", "onebit", "two-choices-sync":
+		return ""
+	}
+	return strings.TrimSuffix(protocol, "-async")
+}
+
+// listProtocols prints the registry-driven protocol listing.
+func listProtocols(out io.Writer) error {
+	fmt.Fprintf(out, "%-18s %-8s %-10s %s\n", "PROTOCOL", "SAMPLES", "PLURALITY", "RULE")
+	for _, d := range plurality.Protocols() {
+		name := d.Name
+		if d.ParamName != "" {
+			name += ":<" + d.ParamName + ">"
+		}
+		plur := "-"
+		if d.PluralityWins {
+			plur = "yes"
+		}
+		fmt.Fprintf(out, "%-18s %-8s %-10s %s\n", name, d.Samples, plur, d.Summary)
+		if d.Param != "" {
+			fmt.Fprintf(out, "%-18s %-8s %-10s   param: %s\n", "", "", "", d.Param)
+		}
+		fmt.Fprintf(out, "%-18s %-8s %-10s   source: %s\n", "", "", "", d.Source)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "dedicated runners: core (Theorem 1.3), onebit (Theorem 1.2), two-choices-sync (synchronous engine)")
+	return nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -178,6 +218,9 @@ func run(args []string, out io.Writer) error {
 			return nil
 		}
 		return err
+	}
+	if f.listProtocols {
+		return listProtocols(out)
 	}
 	counts, err := makeCounts(f)
 	if err != nil {
@@ -209,11 +252,14 @@ func run(args []string, out io.Writer) error {
 	case "occupancy":
 		// Fail loudly instead of silently running a per-node protocol the
 		// count-collapsed engine cannot execute (same contract as the
-		// sweep compiler's engine validation).
-		switch f.protocol {
-		case "two-choices-async", "voter", "3-majority":
-		default:
-			return fmt.Errorf("-engine occupancy only applies to the asynchronous sampling dynamics (two-choices-async | voter | 3-majority), not %q", f.protocol)
+		// sweep compiler's engine validation). Any registry-resolvable
+		// dynamic qualifies.
+		spec := dynamicSpec(f.protocol)
+		if spec == "" {
+			return fmt.Errorf("-engine occupancy only applies to the asynchronous sampling dynamics (see -list-protocols), not %q", f.protocol)
+		}
+		if _, err := plurality.LookupProtocol(spec); err != nil {
+			return err
 		}
 		opts = append(opts, plurality.WithEngine(plurality.EngineOccupancy))
 	default:
@@ -272,15 +318,6 @@ func run(args []string, out io.Writer) error {
 		o.Done = res.Done
 		o.Winner = int32(res.Winner)
 		o.Rounds = res.Rounds
-	case "two-choices-async":
-		res, err := plurality.RunTwoChoicesAsync(pop, opts...)
-		if err != nil {
-			return err
-		}
-		o.Done = res.Done
-		o.Winner = int32(res.Winner)
-		o.Time = res.Time
-		o.Ticks = res.Ticks
 	case "onebit":
 		res, err := plurality.RunOneExtraBit(pop, opts...)
 		if err != nil {
@@ -290,26 +327,19 @@ func run(args []string, out io.Writer) error {
 		o.Winner = int32(res.Winner)
 		o.Rounds = res.Rounds
 		o.Phases = res.Phases
-	case "voter":
-		res, err := plurality.RunVoterAsync(pop, opts...)
-		if err != nil {
-			return err
-		}
-		o.Done = res.Done
-		o.Winner = int32(res.Winner)
-		o.Time = res.Time
-		o.Ticks = res.Ticks
-	case "3-majority":
-		res, err := plurality.RunThreeMajorityAsync(pop, opts...)
-		if err != nil {
-			return err
-		}
-		o.Done = res.Done
-		o.Winner = int32(res.Winner)
-		o.Time = res.Time
-		o.Ticks = res.Ticks
 	default:
-		return fmt.Errorf("unknown protocol %q", f.protocol)
+		// Every remaining protocol resolves through the registry — the
+		// asynchronous sampling dynamics, including parameterized specs
+		// like j-majority:5 (RunDynamic rejects unknown names).
+		res, err := plurality.RunDynamic(dynamicSpec(f.protocol), pop, opts...)
+		if err != nil {
+			return err
+		}
+		o.Done = res.Done
+		o.Winner = int32(res.Winner)
+		o.Time = res.Time
+		o.Ticks = res.Ticks
+		o.Undecided = res.Undecided
 	}
 	o.PluralityWon = o.Done && o.Winner == 0
 

@@ -47,6 +47,7 @@ func TestRunAllProtocols(t *testing.T) {
 	protocols := []string{
 		"core", "two-choices-sync", "two-choices-async",
 		"onebit", "voter", "3-majority",
+		"two-choices", "usd", "undecided-state", "j-majority:5", "j-majority:1",
 	}
 	for _, p := range protocols {
 		p := p
@@ -139,6 +140,9 @@ func TestRunErrors(t *testing.T) {
 		{name: "bad workload", args: []string{"-workload", "nope", "-n", "100"}},
 		{name: "bad model", args: []string{"-model", "nope", "-n", "100"}},
 		{name: "tiny n", args: []string{"-n", "1"}},
+		{name: "j-majority without j", args: []string{"-protocol", "j-majority", "-n", "100"}},
+		{name: "j-majority bad j", args: []string{"-protocol", "j-majority:x", "-n", "100"}},
+		{name: "occupancy core", args: []string{"-protocol", "core", "-engine", "occupancy", "-n", "100"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -166,6 +170,40 @@ func TestRunTrialsFlag(t *testing.T) {
 	}
 	if o.Trials != 4 || !o.AllDone || o.PluralityWins < 3 {
 		t.Fatalf("unexpected aggregate: %+v", o)
+	}
+}
+
+// TestListProtocolsFlag: the -list-protocols listing is registry-driven —
+// every registered family must appear, parameter and source included.
+func TestListProtocolsFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list-protocols"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"two-choices", "voter", "3-majority", "usd", "j-majority:<j>",
+		"param:", "source:", "core (Theorem 1.3)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunUSDOccupancyEngine: a registry protocol composes with -engine
+// occupancy, including USD's hidden undecided bucket.
+func TestRunUSDOccupancyEngine(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "usd", "-engine", "occupancy", "-model", "poisson",
+		"-n", "5000", "-k", "4", "-workload", "biased", "-bias", "1", "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "done=true") {
+		t.Fatalf("output:\n%s", buf.String())
 	}
 }
 

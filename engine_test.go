@@ -104,6 +104,91 @@ func TestOccupancyMatchesPerNodeTrajectory(t *testing.T) {
 	}
 }
 
+// runDynamicBySpec adapts the registry entry point to runEngineTrials.
+func runDynamicBySpec(spec string) func(*plurality.Population, ...plurality.Option) (plurality.AsyncResult, error) {
+	return func(pop *plurality.Population, opts ...plurality.Option) (plurality.AsyncResult, error) {
+		return plurality.RunDynamic(spec, pop, opts...)
+	}
+}
+
+// TestNewProtocolsMatchPerNodeDistributions extends the cross-engine
+// distributional-equivalence gate to the registry's new families: for USD
+// (whose undecided state rides in the occupancy engine's hidden bucket)
+// and a j-Majority instance off the anchor points, the count-collapsed
+// engine's consensus-time and tick-count distributions must be
+// KS-indistinguishable from the per-node engine's, under both time models.
+func TestNewProtocolsMatchPerNodeDistributions(t *testing.T) {
+	const trials = 200
+	counts := []int64{120, 60, 60}
+	for _, model := range []plurality.Model{plurality.Sequential, plurality.Poisson} {
+		for _, spec := range []string{"usd", "j-majority:4"} {
+			run := runDynamicBySpec(spec)
+			perT, perM := runEngineTrials(t, run, counts, plurality.EnginePerNode, model, trials, 100)
+			occT, occM := runEngineTrials(t, run, counts, plurality.EngineOccupancy, model, trials, 9000)
+			thresh := ksThresh(0.001, trials, trials) + 1.0/240
+			if d := ksStat(perT, occT); d > thresh {
+				t.Errorf("%s model=%d: consensus-time KS %.4f > %.4f", spec, model, d, thresh)
+			}
+			if d := ksStat(perM, occM); d > thresh {
+				t.Errorf("%s model=%d: tick-count KS %.4f > %.4f", spec, model, d, thresh)
+			}
+		}
+	}
+}
+
+// TestJMajorityOneIsVoterBitForBit: j = 1 adopts the single sample without
+// consuming any tie-break randomness, so under the per-node engine it must
+// reproduce Voter exactly, seed for seed — the strongest form of the j=1
+// anchor gate.
+func TestJMajorityOneIsVoterBitForBit(t *testing.T) {
+	counts := []int64{90, 60, 50}
+	for seed := uint64(0); seed < 20; seed++ {
+		popJ, err := plurality.NewPopulation(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		popV, err := plurality.NewPopulation(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []plurality.Option{
+			plurality.WithSeed(seed),
+			plurality.WithEngine(plurality.EnginePerNode),
+			plurality.WithModel(plurality.Poisson),
+			plurality.WithMaxTime(1e6),
+		}
+		resJ, errJ := plurality.RunDynamic("j-majority:1", popJ, opts...)
+		resV, errV := plurality.RunVoterAsync(popV, opts...)
+		if errJ != nil || errV != nil {
+			t.Fatalf("seed %d: errs %v / %v", seed, errJ, errV)
+		}
+		if resJ != resV {
+			t.Fatalf("seed %d: j-majority:1 %+v != voter %+v", seed, resJ, resV)
+		}
+	}
+}
+
+// TestJMajorityThreeMatchesThreeMajority: the j = 3 instance must be
+// KS-indistinguishable from the 3-Majority built-in (whose first-sample
+// tie-break is uniform over the tied colors by exchangeability) on
+// consensus times and tick counts. Fixed seeds; the kernels' exact
+// equality is separately pinned in the jmajority package.
+func TestJMajorityThreeMatchesThreeMajority(t *testing.T) {
+	const trials = 250
+	counts := []int64{120, 60, 60}
+	for _, engine := range []plurality.Engine{plurality.EnginePerNode, plurality.EngineOccupancy} {
+		jT, jM := runEngineTrials(t, runDynamicBySpec("j-majority:3"), counts, engine, plurality.Poisson, trials, 300)
+		mT, mM := runEngineTrials(t, plurality.RunThreeMajorityAsync, counts, engine, plurality.Poisson, trials, 7700)
+		thresh := ksThresh(0.001, trials, trials) + 1.0/240
+		if d := ksStat(jT, mT); d > thresh {
+			t.Errorf("engine=%d: consensus-time KS %.4f > %.4f", engine, d, thresh)
+		}
+		if d := ksStat(jM, mM); d > thresh {
+			t.Errorf("engine=%d: tick-count KS %.4f > %.4f", engine, d, thresh)
+		}
+	}
+}
+
 // TestCountsAPIMatchesPopulationRun: the O(k)-memory counts entry point and
 // the population entry point drive the identical engine off the identical
 // RNG streams, so for a fixed seed they must agree bit for bit.
@@ -132,6 +217,30 @@ func TestCountsAPIMatchesPopulationRun(t *testing.T) {
 	}
 	if !pop.ConsensusOn(fromPop.Winner) {
 		t.Fatal("population not written back to consensus")
+	}
+
+	// The same bit-for-bit identity must hold for USD, whose undecided
+	// state rides in the engine's hidden bucket on both paths.
+	popU, err := plurality.NewPopulation(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPopU, err := plurality.RunDynamic("usd", popU,
+		plurality.WithSeed(78), plurality.WithModel(plurality.Poisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csU := append([]int64(nil), counts...)
+	fromCountsU, err := plurality.RunDynamicCounts("usd", csU,
+		plurality.WithSeed(78), plurality.WithModel(plurality.Poisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromPopU != fromCountsU {
+		t.Fatalf("usd population run %+v != counts run %+v", fromPopU, fromCountsU)
+	}
+	if csU[fromCountsU.Winner] != 1000 || !popU.ConsensusOn(fromPopU.Winner) {
+		t.Fatalf("usd runs not driven to consensus: %v / %v", csU, popU.Counts())
 	}
 }
 

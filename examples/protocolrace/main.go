@@ -1,13 +1,15 @@
-// Protocolrace: all four asynchronous dynamics race on one workload.
+// Protocolrace: every registered sampling dynamic races on one workload.
 //
-// Same population, same clocks, four protocols: the paper's core protocol,
-// asynchronous Two-Choices, 3-Majority, and Voter. The table reports
-// parallel consensus time, whether the plurality color actually won, and
-// per-node work — making the trade-offs concrete: Voter is obliviously fast
-// to *a* consensus but elects the wrong color a quarter of the time on this
-// workload; Two-Choices and 3-Majority are quick while k is small; the core
-// protocol pays a constant-factor schedule overhead in exchange for its
-// Θ(log n) guarantee independent of k.
+// Same population, same clocks, every protocol the registry knows —
+// Two-Choices, Voter, 3-Majority, Undecided-State Dynamics, j-Majority —
+// plus the paper's core protocol. The racers come straight from
+// plurality.Protocols(), so a newly registered dynamic joins the race
+// without touching this file. The table reports parallel consensus time
+// and whether the plurality color actually won, making the trade-offs
+// concrete: Voter is obliviously fast to *a* consensus but has no
+// plurality guarantee; the sampling dynamics are quick while k is small;
+// the core protocol pays a constant-factor schedule overhead in exchange
+// for its Θ(log n) guarantee independent of k.
 //
 //	go run ./examples/protocolrace
 package main
@@ -21,9 +23,11 @@ import (
 )
 
 func main() {
+	// Small enough that the slowest racer (Voter's lazy random walk needs
+	// ~n² effective transitions) finishes in seconds.
 	const (
-		n   = 20_000
-		k   = 32
+		n   = 5_000
+		k   = 8
 		eps = 1.0
 	)
 	counts, err := plurality.Biased(n, k, eps)
@@ -35,6 +39,7 @@ func main() {
 
 	type racer struct {
 		name string
+		note string
 		run  func(pop *plurality.Population, seed uint64) (time float64, winner plurality.Color, done bool, err error)
 	}
 	racers := []racer{
@@ -42,18 +47,20 @@ func main() {
 			res, err := plurality.RunCore(pop, plurality.WithSeed(seed))
 			return res.ConsensusTime, res.Winner, res.Done, err
 		}},
-		{name: "two-choices", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
-			res, err := plurality.RunTwoChoicesAsync(pop, plurality.WithSeed(seed))
-			return res.Time, res.Winner, res.Done, err
-		}},
-		{name: "3-majority", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
-			res, err := plurality.RunThreeMajorityAsync(pop, plurality.WithSeed(seed))
-			return res.Time, res.Winner, res.Done, err
-		}},
-		{name: "voter", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
-			res, err := plurality.RunVoterAsync(pop, plurality.WithSeed(seed), plurality.WithMaxTime(1e6))
-			return res.Time, res.Winner, res.Done, err
-		}},
+	}
+	// Every registered sampling dynamic joins via its race spec.
+	for _, d := range plurality.Protocols() {
+		spec := d.RaceSpec
+		note := ""
+		if !d.PluralityWins {
+			note = "no plurality guarantee"
+		}
+		racers = append(racers, racer{name: spec, note: note,
+			run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
+				res, err := plurality.RunDynamic(spec, pop,
+					plurality.WithSeed(seed), plurality.WithMaxTime(1e6))
+				return res.Time, res.Winner, res.Done, err
+			}})
 	}
 
 	const trials = 3
@@ -75,11 +82,7 @@ func main() {
 			}
 			times = append(times, t)
 		}
-		note := ""
-		if r.name == "voter" {
-			note = "no plurality guarantee"
-		}
-		fmt.Printf("%-14s %-12.0f %d/%-8d %s\n", r.name, medianOf(times), wins, trials, note)
+		fmt.Printf("%-14s %-12.0f %d/%-8d %s\n", r.name, medianOf(times), wins, trials, r.note)
 	}
 }
 

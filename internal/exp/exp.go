@@ -37,8 +37,9 @@ import (
 // artifact self-describing.
 type Scenario struct {
 	// Protocol selects the runner: "core" (the paper's Theorem 1.3
-	// protocol), "two-choices", "three-majority" or "voter" (asynchronous
-	// sampling dynamics).
+	// protocol) or any registered sampling dynamic resolved through the
+	// protocol registry — "two-choices", "voter", "3-majority", "usd",
+	// "j-majority:<j>" and their aliases (plurality.Protocols lists them).
 	Protocol string `json:"protocol"`
 	// N is the number of nodes; K the number of colors.
 	N int `json:"n"`
@@ -98,10 +99,13 @@ type Trial struct {
 
 // Validate checks that the scenario names a runnable configuration.
 func (sc Scenario) Validate() error {
-	switch sc.Protocol {
-	case "core", "two-choices", "three-majority", "voter":
-	default:
-		return fmt.Errorf("exp: unknown protocol %q", sc.Protocol)
+	if sc.Protocol != "core" {
+		// Any registered sampling dynamic is a valid protocol; resolving
+		// the spec here validates parameterized families eagerly (the
+		// Compile contract), before any simulation runs.
+		if _, err := plurality.LookupProtocol(sc.Protocol); err != nil {
+			return fmt.Errorf("exp: protocol %q: %w", sc.Protocol, err)
+		}
 	}
 	if sc.N < 4 {
 		return fmt.Errorf("exp: n = %d, want >= 4", sc.N)
@@ -346,8 +350,7 @@ func RunScenario(sc Scenario, seed uint64) (Trial, error) {
 		opts = append(opts, plurality.WithEngine(plurality.EnginePerNode))
 	}
 
-	switch sc.Protocol {
-	case "core":
+	if sc.Protocol == "core" {
 		res, err := plurality.RunCore(pop, opts...)
 		if err != nil && !errors.Is(err, plurality.ErrNoConsensus) {
 			return Trial{}, err
@@ -359,29 +362,20 @@ func RunScenario(sc Scenario, seed uint64) (Trial, error) {
 			Win:    res.Done && res.Winner == plurColor,
 			Churns: res.Churns,
 		}, nil
-	case "two-choices", "three-majority", "voter":
-		var res plurality.AsyncResult
-		switch sc.Protocol {
-		case "two-choices":
-			res, err = plurality.RunTwoChoicesAsync(pop, opts...)
-		case "three-majority":
-			res, err = plurality.RunThreeMajorityAsync(pop, opts...)
-		default:
-			res, err = plurality.RunVoterAsync(pop, opts...)
-		}
-		if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
-			return Trial{}, err
-		}
-		return Trial{
-			Done:   res.Done,
-			Time:   res.Time,
-			Ticks:  res.Ticks,
-			Win:    res.Done && res.Winner == plurColor,
-			Churns: res.Churns,
-		}, nil
-	default:
-		return Trial{}, fmt.Errorf("exp: unknown protocol %q", sc.Protocol)
 	}
+	// Every other protocol is a registered sampling dynamic; the registry
+	// resolves the spec (including parameters such as "j-majority:5").
+	res, err := plurality.RunDynamic(sc.Protocol, pop, opts...)
+	if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
+		return Trial{}, err
+	}
+	return Trial{
+		Done:   res.Done,
+		Time:   res.Time,
+		Ticks:  res.Ticks,
+		Win:    res.Done && res.Winner == plurColor,
+		Churns: res.Churns,
+	}, nil
 }
 
 // runCountsScenario executes one occupancy-engine trial directly on the
@@ -411,17 +405,7 @@ func runCountsScenario(sc Scenario, counts []int64, seed uint64) (Trial, error) 
 	if sc.Churn > 0 {
 		opts = append(opts, plurality.WithChurn(sc.Churn))
 	}
-	var res plurality.AsyncResult
-	switch sc.Protocol {
-	case "two-choices":
-		res, err = plurality.RunTwoChoicesCounts(counts, opts...)
-	case "three-majority":
-		res, err = plurality.RunThreeMajorityCounts(counts, opts...)
-	case "voter":
-		res, err = plurality.RunVoterCounts(counts, opts...)
-	default:
-		return Trial{}, fmt.Errorf("exp: engine occupancy does not support protocol %q", sc.Protocol)
-	}
+	res, err := plurality.RunDynamicCounts(sc.Protocol, counts, opts...)
 	if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
 		return Trial{}, err
 	}

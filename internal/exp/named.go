@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"plurality"
 	"plurality/internal/stats"
 )
 
@@ -24,7 +25,7 @@ type NamedSweep struct {
 
 // Named returns every registered sweep, in presentation order.
 func Named() []NamedSweep {
-	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), latencySweep(), churnSweep(), topologySweep()}
+	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), protocolRace(), latencySweep(), churnSweep(), topologySweep()}
 }
 
 // NamedByName resolves one registered sweep.
@@ -239,6 +240,70 @@ func scaleSweep() NamedSweep {
 					rep.addGate("time-grows", false, "first or last cell unconverged")
 				}
 			}
+		},
+	}
+}
+
+// protocolRace runs every registered sampling dynamic on one biased
+// instance — the registry's race specs form the protocol axis, so a newly
+// registered protocol joins the race (and its gates) automatically. Gates:
+// every cell converges; every protocol with a plurality guarantee lets the
+// plurality win every converged trial (Voter is exempt — its winner is the
+// martingale draw); and Two-Choices beats Voter on mean consensus time
+// (drift versus a lazy random walk).
+func protocolRace() NamedSweep {
+	var specs []string
+	plur := map[string]bool{}
+	for _, d := range plurality.Protocols() {
+		specs = append(specs, d.RaceSpec)
+		plur[d.RaceSpec] = d.PluralityWins
+	}
+	return NamedSweep{
+		Name:        "protocol-race",
+		Description: "every registered sampling dynamic on one biased clique instance; gates on convergence, plurality wins (where guaranteed), and Two-Choices beating Voter",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			n, def := "8192", 8
+			if smoke {
+				n, def = "2048", 8
+			}
+			return Sweep{
+				Name: "protocol-race",
+				Base: Scenario{
+					K:    4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes: []Axis{
+					{Name: "n", Values: []string{n}},
+					{Name: "protocol", Values: specs},
+				},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			wins := true
+			detail := ""
+			for _, c := range rep.Cells {
+				if !plur[c.Params["protocol"]] {
+					continue
+				}
+				if conv := c.Trials - c.Failures; conv > 0 && c.PluralityWins < conv {
+					wins = false
+					detail += fmt.Sprintf(" %q: %d/%d;", c.Label, c.PluralityWins, conv)
+				}
+			}
+			rep.addGate("plurality-wins", wins,
+				"plurality color won every converged trial of every plurality-guaranteeing protocol;%s", detail)
+			tc := cellByParam(rep, "protocol", "two-choices")
+			vt := cellByParam(rep, "protocol", "voter")
+			if tc == nil || vt == nil || tc.Trials == tc.Failures || vt.Trials == vt.Failures {
+				rep.addGate("two-choices-beats-voter", false, "two-choices or voter cell missing/unconverged")
+				return
+			}
+			rep.addGate("two-choices-beats-voter", tc.Mean <= vt.Mean,
+				"mean(two-choices) = %.2f vs mean(voter) = %.2f (want two-choices <= voter)", tc.Mean, vt.Mean)
 		},
 	}
 }

@@ -126,6 +126,38 @@ func TestChurnGateOnSyntheticReports(t *testing.T) {
 	}
 }
 
+// TestProtocolRaceGatesOnSyntheticReports: the plurality-wins gate must
+// exempt Voter (its winner is the martingale draw) while holding every
+// guaranteed protocol to a perfect score, and the race must fail when
+// Two-Choices is slower than Voter.
+func TestProtocolRaceGatesOnSyntheticReports(t *testing.T) {
+	ns, _ := NamedByName("protocol-race")
+	mk := func(tcMean, voterMean float64, usdWins int) *Report {
+		tc := synthCell(2048, map[string]string{"protocol": "two-choices"}, tcMean)
+		tc.PluralityWins = tc.Trials
+		vt := synthCell(2048, map[string]string{"protocol": "voter"}, voterMean)
+		vt.PluralityWins = 2 // martingale: no guarantee, must not fail the gate
+		us := synthCell(2048, map[string]string{"protocol": "usd"}, tcMean*2)
+		us.PluralityWins = usdWins
+		return &Report{Schema: SchemaVersion, Cells: []CellResult{tc, vt, us}}
+	}
+	good := mk(30, 2000, 5)
+	ns.Check(good)
+	if failed := good.FailedGates(); len(failed) != 0 {
+		t.Errorf("healthy race failed: %v", failed)
+	}
+	slowTC := mk(3000, 2000, 5)
+	ns.Check(slowTC)
+	if failed := strings.Join(slowTC.FailedGates(), "\n"); !strings.Contains(failed, "two-choices-beats-voter") {
+		t.Errorf("slow two-choices should fail the race: %+v", slowTC.Gates)
+	}
+	usdLoses := mk(30, 2000, 4)
+	ns.Check(usdLoses)
+	if failed := strings.Join(usdLoses.FailedGates(), "\n"); !strings.Contains(failed, "plurality-wins") {
+		t.Errorf("USD losing a trial should fail plurality-wins: %+v", usdLoses.Gates)
+	}
+}
+
 func TestTopologyGateOnSyntheticReports(t *testing.T) {
 	ns, _ := NamedByName("topology")
 	rep := &Report{Schema: SchemaVersion, Cells: []CellResult{

@@ -98,6 +98,69 @@ func TestGNPSampleUniformChiSquare(t *testing.T) {
 	}
 }
 
+// TestCycleSampleUniformChiSquare: Cycle.Sample must pick each of the two
+// ring neighbors with equal probability (the RNG's Bool path), including at
+// the index-0 wraparound.
+func TestCycleSampleUniformChiSquare(t *testing.T) {
+	g, err := NewCycle(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	const draws = 60000
+	for _, u := range []int{0, 5, 16} {
+		left := (u - 1 + g.N()) % g.N()
+		right := (u + 1) % g.N()
+		counts := make([]int, 2)
+		for i := 0; i < draws; i++ {
+			switch v := g.Sample(r, u); v {
+			case left:
+				counts[0]++
+			case right:
+				counts[1]++
+			default:
+				t.Fatalf("node %d: sampled non-neighbor %d", u, v)
+			}
+		}
+		chiSquareUniform(t, fmt.Sprintf("cycle node %d", u), counts, draws)
+	}
+}
+
+// TestTorusSampleUniformChiSquare: Torus.Sample must pick each of the four
+// grid neighbors with equal probability, including across both wraparound
+// edges and on non-square tori.
+func TestTorusSampleUniformChiSquare(t *testing.T) {
+	g, err := NewTorus(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(29)
+	const draws = 80000
+	for _, u := range []int{0, 12, g.N() - 1} {
+		x, y := u%g.W, u/g.W
+		neighbors := []int{
+			y*g.W + (x+1)%g.W,
+			y*g.W + (x-1+g.W)%g.W,
+			((y+1)%g.H)*g.W + x,
+			((y-1+g.H)%g.H)*g.W + x,
+		}
+		index := make(map[int]int, 4)
+		for i, v := range neighbors {
+			index[v] = i
+		}
+		counts := make([]int, 4)
+		for i := 0; i < draws; i++ {
+			v := g.Sample(r, u)
+			slot, ok := index[v]
+			if !ok {
+				t.Fatalf("node %d: sampled non-neighbor %d", u, v)
+			}
+			counts[slot]++
+		}
+		chiSquareUniform(t, fmt.Sprintf("torus node %d", u), counts, draws)
+	}
+}
+
 // TestGNPDegreeDistributionChiSquare checks the generator itself: empirical
 // G(n,p) degrees must be consistent with Binomial(n-1, p) when bucketed
 // around the mean. This guards the Batagelj-Brandes skip sampling the sweep

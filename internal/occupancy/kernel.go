@@ -80,9 +80,9 @@ func (TwoChoicesKernel) SampleTransition(r *rng.RNG, counts []int64, n int64, wi
 		a += f2
 		b += f2 * f
 	}
-	from = weightedPick(r, a*float64(n)-b, counts, func(c int, f float64) float64 { return f * (a - f*f) })
+	from = WeightedPick(r, a*float64(n)-b, counts, func(c int, f float64) float64 { return f * (a - f*f) })
 	ff := float64(counts[from])
-	to = weightedPickExcept(r, a-ff*ff, counts, from, func(c int, f float64) float64 { return f * f })
+	to = WeightedPickExcept(r, a-ff*ff, counts, from, func(c int, f float64) float64 { return f * f })
 	return from, to
 }
 
@@ -110,8 +110,8 @@ func (VoterKernel) EffectiveProb(counts []int64, n int64, withSelf bool) float64
 func (VoterKernel) SampleTransition(r *rng.RNG, counts []int64, n int64, withSelf bool) (from, to int) {
 	nf := float64(n)
 	a := sumSquares(counts)
-	from = weightedPick(r, nf*nf-a, counts, func(c int, f float64) float64 { return f * (nf - f) })
-	to = weightedPickExcept(r, nf-float64(counts[from]), counts, from, func(c int, f float64) float64 { return f })
+	from = WeightedPick(r, nf*nf-a, counts, func(c int, f float64) float64 { return f * (nf - f) })
+	to = WeightedPickExcept(r, nf-float64(counts[from]), counts, from, func(c int, f float64) float64 { return f })
 	return from, to
 }
 
@@ -192,7 +192,7 @@ func (ThreeMajorityKernel) SampleTransition(r *rng.RNG, counts []int64, n int64,
 			total += float64(v) * w
 		}
 	}
-	from = weightedPick(r, total, counts, func(c int, f float64) float64 {
+	from = WeightedPick(r, total, counts, func(c int, f float64) float64 {
 		if f == 0 {
 			return 0
 		}
@@ -211,7 +211,7 @@ func (ThreeMajorityKernel) SampleTransition(r *rng.RNG, counts []int64, n int64,
 		qd, s2 := neighborLaw(counts, nf, a, from, d, withSelf)
 		dTotal += threeMajAdopt(qd, s2)
 	}
-	to = weightedPickExcept(r, dTotal, counts, from, func(d int, _ float64) float64 {
+	to = WeightedPickExcept(r, dTotal, counts, from, func(d int, _ float64) float64 {
 		qd, s2 := neighborLaw(counts, nf, a, from, d, withSelf)
 		return threeMajAdopt(qd, s2)
 	})
@@ -219,12 +219,14 @@ func (ThreeMajorityKernel) SampleTransition(r *rng.RNG, counts []int64, n int64,
 }
 
 // --- weighted sampling helpers ------------------------------------------
+// Exported so kernel implementations in the protocol packages (usd,
+// jmajority) share the same rounding-drift handling as the built-ins.
 
-// weightedPick draws an index with probability proportional to weight(c,
+// WeightedPick draws an index with probability proportional to weight(c,
 // float64(counts[c])), given the precomputed total. Rounding drift is
 // absorbed by returning the last positively weighted index when the scan
 // runs past the end.
-func weightedPick(r *rng.RNG, total float64, counts []int64, weight func(c int, f float64) float64) int {
+func WeightedPick(r *rng.RNG, total float64, counts []int64, weight func(c int, f float64) float64) int {
 	x := r.Float64() * total
 	last := 0
 	for c := range counts {
@@ -241,8 +243,8 @@ func weightedPick(r *rng.RNG, total float64, counts []int64, weight func(c int, 
 	return last
 }
 
-// weightedPickExcept is weightedPick over all indices but skip.
-func weightedPickExcept(r *rng.RNG, total float64, counts []int64, skip int, weight func(c int, f float64) float64) int {
+// WeightedPickExcept is WeightedPick over all indices but skip.
+func WeightedPickExcept(r *rng.RNG, total float64, counts []int64, skip int, weight func(c int, f float64) float64) int {
 	x := r.Float64() * total
 	last := -1
 	for c := range counts {

@@ -63,8 +63,27 @@ type Rule interface {
 	// SampleCount is the number of neighbor samples per activation.
 	SampleCount() int
 	// Next returns the node's next color given its own color and the
-	// sampled colors; population.None keeps the own color.
+	// sampled colors. Histogram buckets are the only valid colors here: a
+	// rule whose per-node form returns population.None (go undecided) must
+	// implement Undecided so the engine can give that state a bucket — a
+	// None returned to the engine itself is a contract violation the tick
+	// mode fails loudly on, because silently mapping it to "keep" would
+	// diverge from the per-node engines' go-undecided semantics.
 	Next(r *rng.RNG, own population.Color, sampled []population.Color) population.Color
+}
+
+// Undecided is implemented by rules with an undecided (population.None)
+// state, such as Undecided-State Dynamics. A histogram cannot store None,
+// so the engine appends one hidden bucket for the undecided holders and
+// executes the histogram-convention rule returned by UndecidedRule, in
+// which bucket k (the last) plays the undecided state. Plurality and
+// winners are evaluated over the k opinion buckets only; the final
+// undecided count is reported in Result.Undecided.
+type Undecided interface {
+	// UndecidedRule returns the rule over k+1 histogram buckets that is
+	// distributionally identical to the per-node rule over k colors plus
+	// None.
+	UndecidedRule(k int) Rule
 }
 
 // ErrTimeLimit reports a run that did not reach consensus within MaxTime.
@@ -88,6 +107,11 @@ type Config struct {
 	// is replaced by a fresh joiner with a uniformly random opinion).
 	// Churn > 0 forces tick mode.
 	Churn float64
+	// Undecided is the number of initially undecided (None-holding) nodes;
+	// they occupy the hidden bucket the engine appends for rules
+	// implementing the Undecided interface. Must be 0 for rules without an
+	// undecided state.
+	Undecided int64
 	// ForceTick disables the leap fast path, used by the equivalence tests
 	// to compare the two modes.
 	ForceTick bool
@@ -104,10 +128,14 @@ type Result struct {
 	Ticks int64
 	// Done reports whether consensus was reached within MaxTime.
 	Done bool
-	// Winner is the consensus color if Done, else the current plurality.
+	// Winner is the consensus color if Done, else the current plurality
+	// over the opinion colors (undecided nodes never win).
 	Winner population.Color
 	// Churns is the number of churn events.
 	Churns int64
+	// Undecided is the number of nodes left undecided when the run ended;
+	// always 0 for rules without an undecided state.
+	Undecided int64
 }
 
 // Run executes rule on the histogram until one color holds everything or
@@ -123,10 +151,62 @@ type Runner struct {
 	sampled []population.Color
 	times   []float64
 	ticks   []sched.Tick
+	hist    []int64
 }
 
 // Run is Runner's buffer-reusing equivalent of the package-level Run.
 func (rn *Runner) Run(counts []int64, rule Rule, cfg Config) (Result, error) {
+	if rule == nil {
+		return Result{}, errors.New("occupancy: nil rule")
+	}
+	if ur, ok := rule.(Undecided); ok {
+		return rn.runUndecided(counts, ur, cfg)
+	}
+	if cfg.Undecided != 0 {
+		return Result{}, fmt.Errorf("occupancy: rule %s has no undecided state, but Undecided = %d", rule.Name(), cfg.Undecided)
+	}
+	return rn.exec(counts, rule, cfg, len(counts))
+}
+
+// runUndecided executes a rule with an undecided state: the k-color
+// histogram gains one hidden bucket holding the undecided nodes, the run
+// executes the histogram-convention rule on the extended histogram, and the
+// opinion buckets are written back with the undecided count reported
+// separately (winners and timeout pluralities never name the hidden
+// bucket).
+func (rn *Runner) runUndecided(counts []int64, ur Undecided, cfg Config) (Result, error) {
+	if cfg.Undecided < 0 {
+		return Result{}, fmt.Errorf("occupancy: Undecided = %d, want >= 0", cfg.Undecided)
+	}
+	var decided int64
+	for _, v := range counts {
+		decided += v
+	}
+	if decided <= 0 && cfg.Undecided > 0 {
+		// All-undecided is an absorbing dead state: no node can ever seed
+		// an opinion again, so the run could only burn its whole budget.
+		return Result{}, errors.New("occupancy: undecided-state run needs at least one decided holder")
+	}
+	k := len(counts)
+	if cap(rn.hist) < k+1 {
+		rn.hist = make([]int64, k+1)
+	}
+	hist := rn.hist[:0]
+	hist = append(hist, counts...)
+	hist = append(hist, cfg.Undecided)
+	res, err := rn.exec(hist, ur.UndecidedRule(k), cfg, k)
+	copy(counts, hist[:k])
+	res.Undecided = hist[k]
+	if !res.Done {
+		res.Winner = plurality(hist[:k])
+	}
+	return res, err
+}
+
+// exec is the engine core: counts may include hidden buckets beyond the
+// colors opinion buckets (churn draws fresh opinions from the colors
+// prefix only).
+func (rn *Runner) exec(counts []int64, rule Rule, cfg Config, colors int) (Result, error) {
 	n, err := validate(counts, rule, cfg)
 	if err != nil {
 		return Result{}, err
@@ -151,7 +231,7 @@ func (rn *Runner) Run(counts []int64, rule Rule, cfg Config) (Result, error) {
 			}
 		}
 	}
-	return rn.runTick(counts, rule, cfg, n)
+	return rn.runTick(counts, rule, cfg, n, colors)
 }
 
 // maxLeapBudget bounds the tick budget leap mode will materialize as an
@@ -316,11 +396,15 @@ func runLeap(counts []int64, kern Kernel, cfg Config, n, budget int64, sequentia
 
 // --- tick mode -----------------------------------------------------------
 
-// tickRun is the per-activation count-collapsed engine state.
+// tickRun is the per-activation count-collapsed engine state. k is the
+// number of histogram buckets; colors is the number of opinion colors
+// (fewer than k when a hidden undecided bucket is appended) — churn's
+// fresh joiners draw their opinion from the colors prefix only.
 type tickRun struct {
 	counts   []int64
 	n        int64
 	k        int
+	colors   int
 	s        int
 	withSelf bool
 	churning bool
@@ -330,6 +414,7 @@ type tickRun struct {
 	sampled  []population.Color
 	res      Result
 	done     bool
+	badNone  bool
 }
 
 // pick draws a color from the cumulative histogram over total nodes,
@@ -356,7 +441,7 @@ func (tr *tickRun) step() {
 		// Churn: the activated node (color ~ histogram) is replaced by a
 		// fresh joiner with a uniformly random opinion.
 		victim := tr.pick(tr.n, population.None)
-		fresh := population.Color(tr.r.Intn(tr.k))
+		fresh := population.Color(tr.r.Intn(tr.colors))
 		tr.res.Churns++
 		if fresh != victim {
 			tr.counts[victim]--
@@ -377,7 +462,14 @@ func (tr *tickRun) step() {
 		}
 	}
 	next := tr.rule.Next(tr.r, own, tr.sampled)
-	if next != population.None && next != own {
+	if next == population.None {
+		// See Rule: only a rule with an undeclared undecided state emits
+		// None here; mapping it to "keep" would silently diverge from the
+		// per-node engines.
+		tr.badNone = true
+		return
+	}
+	if next != own {
 		tr.counts[own]--
 		tr.counts[next]++
 		if tr.counts[next] == tr.n {
@@ -387,9 +479,15 @@ func (tr *tickRun) step() {
 	}
 }
 
+// badNoneErr reports a rule that returned population.None to the
+// histogram engine — an undecided state it never declared via Undecided.
+func badNoneErr(rule Rule) error {
+	return fmt.Errorf("occupancy: rule %s returned population.None; rules with an undecided state must implement occupancy.Undecided", rule.Name())
+}
+
 // runTick executes the activation-by-activation engine, consuming tick
 // times from the scheduler in batches.
-func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64) (Result, error) {
+func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors int) (Result, error) {
 	s := rule.SampleCount()
 	if cap(rn.sampled) < s {
 		rn.sampled = make([]population.Color, s)
@@ -398,6 +496,7 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64) (Resul
 		counts:   counts,
 		n:        n,
 		k:        len(counts),
+		colors:   colors,
 		s:        s,
 		withSelf: cfg.WithSelf,
 		churning: cfg.Churn > 0,
@@ -439,6 +538,9 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64) (Resul
 				ticks++
 				last = now
 				tr.step()
+				if tr.badNone {
+					return Result{}, badNoneErr(rule)
+				}
 				if tr.done {
 					return finish(false)
 				}
@@ -458,6 +560,9 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64) (Resul
 				ticks++
 				last = t.Time
 				tr.step()
+				if tr.badNone {
+					return Result{}, badNoneErr(rule)
+				}
 				if tr.done {
 					return finish(false)
 				}
@@ -472,6 +577,9 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64) (Resul
 			ticks++
 			last = t.Time
 			tr.step()
+			if tr.badNone {
+				return Result{}, badNoneErr(rule)
+			}
 			if tr.done {
 				return finish(false)
 			}

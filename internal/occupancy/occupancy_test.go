@@ -2,6 +2,7 @@ package occupancy
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"plurality/internal/population"
@@ -266,6 +267,29 @@ func TestVoterWinnerMartingale(t *testing.T) {
 			t.Errorf("forceTick=%v: winner chi-square %.1f > 13.8 (observed %v, counts %v)",
 				force, stat, observed, counts)
 		}
+	}
+}
+
+// noneRule emits population.None without declaring an undecided state —
+// the contract violation the tick engine must fail loudly on instead of
+// silently diverging from the per-node engines' go-undecided semantics.
+type noneRule struct{}
+
+func (noneRule) Name() string     { return "none-emitter" }
+func (noneRule) SampleCount() int { return 1 }
+func (noneRule) Next(*rng.RNG, population.Color, []population.Color) population.Color {
+	return population.None
+}
+
+func TestTickModeRejectsUndeclaredNone(t *testing.T) {
+	counts := []int64{5, 5}
+	_, err := Run(counts, noneRule{}, Config{
+		Scheduler: mkSched(t, "poisson", 10, 1),
+		Rand:      rng.At(1, 1),
+		MaxTime:   10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "occupancy.Undecided") {
+		t.Fatalf("err = %v, want the undeclared-None contract error", err)
 	}
 }
 

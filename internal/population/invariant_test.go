@@ -6,13 +6,19 @@ import (
 	"plurality/internal/rng"
 )
 
-// recount recomputes the color histogram from the per-node vector.
-func recount(p *Population) []int64 {
+// recount recomputes the color histogram from the per-node vector,
+// returning the per-color counts and the number of undecided (None) nodes.
+func recount(p *Population) ([]int64, int64) {
 	counts := make([]int64, p.K())
+	var undecided int64
 	for u := 0; u < p.N(); u++ {
-		counts[p.ColorOf(u)]++
+		if c := p.ColorOf(u); c == None {
+			undecided++
+		} else {
+			counts[c]++
+		}
 	}
-	return counts
+	return counts, undecided
 }
 
 func countsEqual(a, b []int64) bool {
@@ -45,18 +51,30 @@ func TestSetColorPreservesHistogramInvariant(t *testing.T) {
 		}
 		steps := r.Intn(400)
 		for i := 0; i < steps; i++ {
-			p.SetColor(r.Intn(n), Color(r.Intn(k)))
+			// Mix undecided transitions (USD's None state) into the walk:
+			// roughly one mutation in five parks a node in the undecided
+			// bucket instead of a color.
+			c := Color(r.Intn(k))
+			if r.Intn(5) == 0 {
+				c = None
+			}
+			p.SetColor(r.Intn(n), c)
 		}
-		if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+		want, wantUnd := recount(p)
+		if got := p.Counts(); !countsEqual(got, want) {
 			t.Fatalf("trial %d: counts %v drifted from histogram %v after %d SetColor calls",
 				trial, got, want, steps)
 		}
-		var total int64
+		if got := p.Undecided(); got != wantUnd {
+			t.Fatalf("trial %d: undecided bucket %d drifted from histogram %d", trial, got, wantUnd)
+		}
+		total := p.Undecided()
 		for _, v := range p.Counts() {
 			total += v
 		}
 		if total != int64(n) {
-			t.Fatalf("trial %d: counts %v no longer sum to n=%d", trial, p.Counts(), n)
+			t.Fatalf("trial %d: holders + undecided = %d no longer sum to n=%d (counts %v)",
+				trial, total, n, p.Counts())
 		}
 	}
 }
@@ -72,13 +90,13 @@ func TestSetCounts(t *testing.T) {
 	if !p.ConsensusOn(0) {
 		t.Fatalf("SetCounts did not rewrite the colors: counts %v", p.Counts())
 	}
-	if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+	if got, want := p.Counts(), mustRecount(t, p); !countsEqual(got, want) {
 		t.Fatalf("counts %v inconsistent with histogram %v", got, want)
 	}
 	if err := p.SetCounts([]int64{2, 3, 5}); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+	if got, want := p.Counts(), mustRecount(t, p); !countsEqual(got, want) {
 		t.Fatalf("counts %v inconsistent with histogram %v", got, want)
 	}
 
@@ -94,7 +112,51 @@ func TestSetCounts(t *testing.T) {
 		}
 	}
 	// Failed calls must not have corrupted the state.
-	if got, want := p.Counts(), recount(p); !countsEqual(got, want) {
+	if got, want := p.Counts(), mustRecount(t, p); !countsEqual(got, want) {
 		t.Fatalf("after rejected SetCounts: counts %v inconsistent with histogram %v", got, want)
+	}
+}
+
+// mustRecount recomputes the histogram and fails if any node is undecided
+// (for tests of the fully decided write-back path).
+func mustRecount(t *testing.T, p *Population) []int64 {
+	t.Helper()
+	counts, undecided := recount(p)
+	if undecided != 0 {
+		t.Fatalf("unexpected undecided nodes: %d", undecided)
+	}
+	return counts
+}
+
+func TestSetCountsUndecided(t *testing.T) {
+	p, err := FromCounts([]int64{4, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetCountsUndecided([]int64{5, 2, 0}, 3); err != nil {
+		t.Fatal(err)
+	}
+	want, wantUnd := recount(p)
+	if got := p.Counts(); !countsEqual(got, want) || p.Undecided() != wantUnd || wantUnd != 3 {
+		t.Fatalf("counts %v (undecided %d) inconsistent with histogram %v (undecided %d)",
+			got, p.Undecided(), want, wantUnd)
+	}
+	if p.IsUnanimous() {
+		t.Fatal("population with undecided nodes cannot be unanimous")
+	}
+	if got := p.Count(None); got != 3 {
+		t.Fatalf("Count(None) = %d, want 3", got)
+	}
+	for _, bad := range []struct {
+		counts    []int64
+		undecided int64
+	}{
+		{[]int64{5, 2, 0}, 4},  // wrong total
+		{[]int64{5, 2, 0}, -1}, // negative undecided
+		{[]int64{10, 0, 0}, 1}, // wrong total
+	} {
+		if err := p.SetCountsUndecided(bad.counts, bad.undecided); err == nil {
+			t.Errorf("SetCountsUndecided(%v, %d): no error", bad.counts, bad.undecided)
+		}
 	}
 }

@@ -10,6 +10,9 @@
 //
 // A Population maintains the invariant that counts always equal the
 // histogram of the color vector; SetColor is the only mutation point.
+// Nodes may also hold no opinion at all — the undecided state of
+// Undecided-State Dynamics, stored as None and tracked in a separate
+// undecided bucket so that holders + undecided always equals n.
 package population
 
 import (
@@ -20,17 +23,19 @@ import (
 )
 
 // Color identifies an opinion. Valid colors are 0 … K()-1; None marks a node
-// with no opinion (used by protocol intermediates, never stored in a
-// Population).
+// with no opinion — used both as a protocol intermediate and as the stored
+// undecided state of Undecided-State Dynamics (see SetColor).
 type Color int32
 
 // None is the absence of a color.
 const None Color = -1
 
-// Population is the opinion state of n nodes over k colors.
+// Population is the opinion state of n nodes over k colors, plus the
+// number of nodes currently undecided (holding None).
 type Population struct {
-	colors []Color
-	counts []int64
+	colors    []Color
+	counts    []int64
+	undecided int64
 }
 
 // New creates a population of n nodes over k colors, all initially holding
@@ -91,19 +96,39 @@ func (p *Population) K() int { return len(p.counts) }
 // ColorOf returns node u's current color.
 func (p *Population) ColorOf(u int) Color { return p.colors[u] }
 
-// SetColor changes node u's color to c, maintaining the count invariant.
+// SetColor changes node u's color to c, maintaining the invariant that
+// counts plus the undecided bucket always equal the histogram of the color
+// vector. c may be None: the node moves to the undecided state
+// (Undecided-State Dynamics), leaving every per-color count untouched.
 func (p *Population) SetColor(u int, c Color) {
 	old := p.colors[u]
 	if old == c {
 		return
 	}
-	p.counts[old]--
-	p.counts[c]++
+	if old == None {
+		p.undecided--
+	} else {
+		p.counts[old]--
+	}
+	if c == None {
+		p.undecided++
+	} else {
+		p.counts[c]++
+	}
 	p.colors[u] = c
 }
 
-// Count returns the number of nodes holding color c.
-func (p *Population) Count(c Color) int64 { return p.counts[c] }
+// Count returns the number of nodes holding color c; Count(None) returns
+// the number of undecided nodes.
+func (p *Population) Count(c Color) int64 {
+	if c == None {
+		return p.undecided
+	}
+	return p.counts[c]
+}
+
+// Undecided returns the number of nodes currently holding no opinion.
+func (p *Population) Undecided() int64 { return p.undecided }
 
 // Counts returns a copy of the per-color histogram.
 func (p *Population) Counts() []int64 {
@@ -165,10 +190,20 @@ func (p *Population) ConsensusOn(c Color) bool {
 // which color is irrelevant, only the histogram matters. The shape (n, k)
 // must match.
 func (p *Population) SetCounts(counts []int64) error {
+	return p.SetCountsUndecided(counts, 0)
+}
+
+// SetCountsUndecided is SetCounts for populations with undecided nodes
+// (Undecided-State Dynamics): counts[c] nodes hold color c, the trailing
+// undecided nodes hold None, and counts total plus undecided must equal n.
+func (p *Population) SetCountsUndecided(counts []int64, undecided int64) error {
 	if len(counts) != len(p.counts) {
 		return fmt.Errorf("population: SetCounts got %d colors, want %d", len(counts), len(p.counts))
 	}
-	var n int64
+	if undecided < 0 {
+		return fmt.Errorf("population: SetCounts negative undecided count %d", undecided)
+	}
+	n := undecided
 	for c, v := range counts {
 		if v < 0 {
 			return fmt.Errorf("population: SetCounts negative count %d for color %d", v, c)
@@ -179,12 +214,16 @@ func (p *Population) SetCounts(counts []int64) error {
 		return fmt.Errorf("population: SetCounts total %d, want %d", n, len(p.colors))
 	}
 	copy(p.counts, counts)
+	p.undecided = undecided
 	i := 0
 	for c, v := range counts {
 		for j := int64(0); j < v; j++ {
 			p.colors[i] = Color(c)
 			i++
 		}
+	}
+	for ; i < len(p.colors); i++ {
+		p.colors[i] = None
 	}
 	return nil
 }
@@ -200,8 +239,9 @@ func (p *Population) Shuffle(r *rng.RNG) {
 // Clone returns a deep copy.
 func (p *Population) Clone() *Population {
 	cp := &Population{
-		colors: make([]Color, len(p.colors)),
-		counts: make([]int64, len(p.counts)),
+		colors:    make([]Color, len(p.colors)),
+		counts:    make([]int64, len(p.counts)),
+		undecided: p.undecided,
 	}
 	copy(cp.colors, p.colors)
 	copy(cp.counts, p.counts)
@@ -216,6 +256,7 @@ func (p *Population) Reset(src *Population) error {
 	}
 	copy(p.colors, src.colors)
 	copy(p.counts, src.counts)
+	p.undecided = src.undecided
 	return nil
 }
 

@@ -39,7 +39,11 @@ type Rule interface {
 	SampleCount() int
 	// Next returns the node's next color given its own color and the
 	// sampled colors (len == SampleCount()). Returning own keeps the
-	// opinion. r is available for randomized tie-breaking.
+	// opinion; returning population.None moves the node to the *undecided*
+	// state (Undecided-State Dynamics — such rules also see None in own
+	// and sampled, and should implement occupancy.Undecided so the
+	// count-collapsed engine can represent the extra state). r is
+	// available for randomized tie-breaking.
 	Next(r *rng.RNG, own population.Color, sampled []population.Color) population.Color
 }
 
@@ -63,6 +67,9 @@ type SyncResult struct {
 	Done bool
 	// Winner is the consensus color if Done, else the current plurality.
 	Winner population.Color
+	// Undecided is the number of nodes USD's undecided state holds when
+	// the run ends; always 0 for rules without an undecided state.
+	Undecided int64
 }
 
 // RunSync executes the rule in the synchronous model until consensus or
@@ -83,28 +90,29 @@ func RunSync(pop *population.Population, rule Rule, cfg SyncConfig) (SyncResult,
 	)
 	res, err := syncsim.Run(cfg.MaxRounds, func(round int) (bool, error) {
 		// Stage through the buffer's backing slice directly: one bounds
-		// check instead of a method call per node on the hot loop.
+		// check instead of a method call per node on the hot loop. Every
+		// node is staged, so the literal CommitAll applies: a staged None
+		// commits the node to the undecided state (USD) rather than
+		// meaning "keep" — rules without an undecided state never stage
+		// it.
 		next := buf.Slice()
 		for u := 0; u < n; u++ {
 			for i := 0; i < s; i++ {
 				sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
 			}
-			c := rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
-			if c == population.None {
-				c = pop.ColorOf(u)
-			}
-			next[u] = c
+			next[u] = rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
 		}
-		buf.Commit(pop)
+		buf.CommitAll(pop)
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, pop)
 		}
 		return pop.IsUnanimous(), nil
 	})
 	out := SyncResult{
-		Rounds: res.Rounds,
-		Done:   res.Done,
-		Winner: pop.Plurality(),
+		Rounds:    res.Rounds,
+		Done:      res.Done,
+		Winner:    pop.Plurality(),
+		Undecided: pop.Undecided(),
 	}
 	if errors.Is(err, syncsim.ErrRoundLimit) {
 		return out, fmt.Errorf("dynamics: %s did not converge in %d rounds: %w", rule.Name(), cfg.MaxRounds, ErrTimeLimit)
@@ -128,6 +136,19 @@ func validateSync(pop *population.Population, rule Rule, cfg SyncConfig) error {
 		return fmt.Errorf("dynamics: graph has %d nodes, population %d", cfg.Graph.N(), pop.N())
 	case rule.SampleCount() <= 0:
 		return fmt.Errorf("dynamics: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
+	}
+	return validateUndecided(pop, rule)
+}
+
+// validateUndecided rejects populations holding undecided (None) nodes
+// under rules without an undecided state: such a rule has no defined
+// semantics for None samples — it would adopt the "color" and the run
+// could absorb into an undetectable all-undecided state.
+func validateUndecided(pop *population.Population, rule Rule) error {
+	if u := pop.Undecided(); u > 0 {
+		if _, ok := rule.(occupancy.Undecided); !ok {
+			return fmt.Errorf("dynamics: population holds %d undecided nodes, but rule %s has no undecided state", u, rule.Name())
+		}
 	}
 	return nil
 }
@@ -197,6 +218,9 @@ type AsyncResult struct {
 	Winner population.Color
 	// Churns is the total number of churn events (node replacements).
 	Churns int64
+	// Undecided is the number of nodes USD's undecided state holds when
+	// the run ends; always 0 for rules without an undecided state.
+	Undecided int64
 }
 
 // pendingUpdate is a decided but not yet applied opinion change, waiting for
@@ -257,11 +281,12 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 
 	var res AsyncResult
 	apply := func(u int, next population.Color) {
-		if next == population.None || next == pop.ColorOf(u) {
+		if next == pop.ColorOf(u) {
 			return
 		}
+		// next == None moves the node to the undecided state (USD).
 		pop.SetColor(u, next)
-		if pop.Count(next) == int64(n) {
+		if next != population.None && pop.Count(next) == int64(n) {
 			res.Done = true
 		}
 	}
@@ -280,6 +305,7 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 					res.Time = last.Time
 					res.Ticks = last.Seq + 1
 					res.Winner = pop.Plurality()
+					res.Undecided = pop.Undecided()
 					return res, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), cfg.MaxTime, ErrTimeLimit)
 				}
 				last = t
@@ -296,6 +322,7 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 		res.Time = last.Time
 		res.Ticks = last.Seq + 1
 		res.Winner = pop.Plurality()
+		res.Undecided = pop.Undecided()
 		return res, nil
 	}
 
@@ -350,16 +377,20 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	res.Time = last.Time
 	res.Ticks = last.Seq + 1
 	res.Winner = pop.Plurality()
+	res.Undecided = pop.Undecided()
 	if !stopped {
 		return res, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), cfg.MaxTime, ErrTimeLimit)
 	}
 	return res, nil
 }
 
-// collapseBlocker reports why cfg cannot run count-collapsed; "" means it
-// can. Churn composes fine (a churn event is itself a histogram
-// transition); per-node pending state — delays, latencies — and per-tick
-// population observers do not.
+// collapseBlocker reports why the run cannot execute count-collapsed; ""
+// means it can. Churn composes fine (a churn event is itself a histogram
+// transition), and so does an undecided state when the rule declares it
+// (occupancy.Undecided gives it a histogram bucket; undecided populations
+// under other rules are already rejected by validateUndecided); per-node
+// pending state — delays, latencies — and per-tick population observers do
+// not.
 func collapseBlocker(cfg AsyncConfig) string {
 	if _, ok := cfg.Graph.(graph.Complete); !ok {
 		return fmt.Sprintf("topology %T is not the complete graph", cfg.Graph)
@@ -380,7 +411,8 @@ func collapseBlocker(cfg AsyncConfig) string {
 
 // runCollapsed executes the run on the color histogram and writes the final
 // histogram back into pop (on the clique, which node ends up with which
-// color carries no information).
+// color carries no information). Rules with an undecided state carry it in
+// the hidden bucket the occupancy engine appends (occupancy.Undecided).
 func runCollapsed(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
 	g := cfg.Graph.(graph.Complete)
 	counts := pop.Counts()
@@ -390,8 +422,15 @@ func runCollapsed(pop *population.Population, rule Rule, cfg AsyncConfig) (Async
 		Rand:      cfg.Rand,
 		MaxTime:   cfg.MaxTime,
 		Churn:     cfg.Churn,
+		Undecided: pop.Undecided(),
 	})
-	if serr := pop.SetCounts(counts); serr != nil {
+	if err != nil && !errors.Is(err, occupancy.ErrTimeLimit) {
+		// A hard error means the run never executed: surface it and leave
+		// the population untouched (a write-back of the zero-valued result
+		// would only mask the cause with a shape error).
+		return AsyncResult{}, err
+	}
+	if serr := pop.SetCountsUndecided(counts, res.Undecided); serr != nil {
 		return AsyncResult{}, serr
 	}
 	return collapsedResult(res, err, rule, cfg.MaxTime)
@@ -443,11 +482,12 @@ func RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (AsyncResult, er
 // AsyncResult and sentinel conventions.
 func collapsedResult(res occupancy.Result, err error, rule Rule, maxTime float64) (AsyncResult, error) {
 	out := AsyncResult{
-		Time:   res.Time,
-		Ticks:  res.Ticks,
-		Done:   res.Done,
-		Winner: res.Winner,
-		Churns: res.Churns,
+		Time:      res.Time,
+		Ticks:     res.Ticks,
+		Done:      res.Done,
+		Winner:    res.Winner,
+		Churns:    res.Churns,
+		Undecided: res.Undecided,
 	}
 	if errors.Is(err, occupancy.ErrTimeLimit) {
 		return out, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), maxTime, ErrTimeLimit)
@@ -480,5 +520,5 @@ func validateAsync(pop *population.Population, rule Rule, cfg AsyncConfig) error
 	case cfg.Engine < EngineAuto || cfg.Engine > EngineOccupancy:
 		return fmt.Errorf("dynamics: unknown engine %d", cfg.Engine)
 	}
-	return nil
+	return validateUndecided(pop, rule)
 }

@@ -8,6 +8,7 @@ import (
 	"plurality/internal/population"
 	dynamics "plurality/internal/protocols/dynamics"
 	"plurality/internal/protocols/twochoices"
+	"plurality/internal/protocols/usd"
 	"plurality/internal/rng"
 	"plurality/internal/sched"
 )
@@ -96,6 +97,82 @@ func TestAsyncChurnValidation(t *testing.T) {
 	_, err := dynamics.RunAsync(pop, twochoices.Rule{}, cfg)
 	if err == nil || !strings.Contains(err.Error(), "Churn") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestUndecidedPopulationNeedsUndecidedRule: a population holding
+// undecided (None) nodes is only runnable under a rule with an undecided
+// state — a rule like Two-Choices would adopt None as a color and the run
+// could absorb into an undetectable all-undecided state, so both engines
+// must reject the combination at validation.
+func TestUndecidedPopulationNeedsUndecidedRule(t *testing.T) {
+	mkPop := func() *population.Population {
+		pop, err := population.FromCounts([]int64{50, 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pop.SetCountsUndecided([]int64{30, 30}, 40); err != nil {
+			t.Fatal(err)
+		}
+		return pop
+	}
+	g, err := graph.NewComplete(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.NewPoisson(100, 1, rng.At(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dynamics.RunAsync(mkPop(), twochoices.Rule{}, dynamics.AsyncConfig{
+		Graph: g, Scheduler: s, Rand: rng.At(1, 1), MaxTime: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "undecided") {
+		t.Errorf("async: err = %v, want undecided-state validation error", err)
+	}
+	_, err = dynamics.RunSync(mkPop(), twochoices.Rule{}, dynamics.SyncConfig{
+		Graph: g, Rand: rng.At(1, 1), MaxRounds: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "undecided") {
+		t.Errorf("sync: err = %v, want undecided-state validation error", err)
+	}
+	// USD itself accepts the same population (and converges).
+	res, err := dynamics.RunAsync(mkPop(), usd.Rule{}, dynamics.AsyncConfig{
+		Graph: g, Scheduler: s, Rand: rng.At(1, 1), MaxTime: 1e6,
+	})
+	if err != nil || !res.Done {
+		t.Errorf("usd on a partly undecided population: res = %+v, err = %v", res, err)
+	}
+}
+
+// TestAllUndecidedStartSurfacesOccupancyError: a USD population with no
+// decided holder is an absorbing dead state; the collapsed path must
+// surface the occupancy engine's informative error rather than masking it
+// with a write-back shape error.
+func TestAllUndecidedStartSurfacesOccupancyError(t *testing.T) {
+	pop, err := population.FromCounts([]int64{50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.SetCountsUndecided([]int64{0, 0}, 100); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewComplete(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.NewPoisson(100, 1, rng.At(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dynamics.RunAsync(pop, usd.Rule{}, dynamics.AsyncConfig{
+		Graph: g, Scheduler: s, Rand: rng.At(2, 1), MaxTime: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "decided holder") {
+		t.Errorf("err = %v, want the occupancy engine's decided-holder error", err)
+	}
+	if pop.Undecided() != 100 {
+		t.Errorf("failed run mutated the population: undecided %d", pop.Undecided())
 	}
 }
 

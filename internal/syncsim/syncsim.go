@@ -75,13 +75,38 @@ func (b *Buffer) StageKeep(u int) { b.next[u] = population.None }
 func (b *Buffer) Slice() []population.Color { return b.next }
 
 // Commit applies all staged colors to pop and resets the buffer for the
-// next round. It returns the number of nodes that changed color.
+// next round, treating a staged population.None as "keep the current
+// color" (the sparse-staging convention: only changed nodes need staging).
+// It returns the number of nodes that changed color.
+//
+// Commit is only correct for rules without an undecided state: it can
+// never move a node to None. A runner whose rule treats None as "go
+// undecided" (Undecided-State Dynamics) must stage every node and use
+// CommitAll instead — picking Commit there would silently turn every
+// go-undecided decision into a keep.
 func (b *Buffer) Commit(pop *population.Population) int {
 	changed := 0
 	for u, c := range b.next {
 		if c == population.None {
 			continue
 		}
+		if pop.ColorOf(u) != c {
+			pop.SetColor(u, c)
+			changed++
+		}
+		b.next[u] = population.None
+	}
+	return changed
+}
+
+// CommitAll applies every staged color literally: population.None commits
+// the node to the *undecided* state (see population.SetColor) instead of
+// meaning "keep". Used by rules with an undecided state, such as
+// Undecided-State Dynamics, whose rounds stage every node explicitly. It
+// returns the number of nodes that changed state.
+func (b *Buffer) CommitAll(pop *population.Population) int {
+	changed := 0
+	for u, c := range b.next {
 		if pop.ColorOf(u) != c {
 			pop.SetColor(u, c)
 			changed++

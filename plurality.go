@@ -32,6 +32,7 @@ import (
 	"plurality/internal/core"
 	"plurality/internal/graph"
 	"plurality/internal/population"
+	"plurality/internal/protocols"
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/protocols/onebit"
 	"plurality/internal/rng"
@@ -68,7 +69,29 @@ type (
 	// EdgeLatency is a per-edge message-latency model for the asynchronous
 	// edge-latency extension (after Bankhamer et al.); see WithEdgeLatency.
 	EdgeLatency = sched.LatencyModel
+
+	// Protocol describes one registered sampling-dynamics family: its
+	// names, update rule, source paper, engine support and the hooks the
+	// runners resolve. See Protocols and RunDynamic.
+	Protocol = protocols.Descriptor
 )
+
+// Protocols returns the registry of sampling-dynamics protocol families in
+// presentation order: Two-Choices, Voter, 3-Majority, Undecided-State
+// Dynamics and parameterized j-Majority. Every name-based entry point —
+// RunDynamic, the experiment harness's protocol axis, the CLIs — resolves
+// against this registry, so the slice is also the authoritative answer to
+// "which protocols does this library run?". (The paper's core protocol and
+// OneExtraBit are not sampling dynamics and keep their dedicated runners.)
+func Protocols() []Protocol { return protocols.Registry() }
+
+// LookupProtocol resolves a protocol spec — "name" or "name:param", e.g.
+// "usd" or "j-majority:5" — against the registry, validating the parameter
+// without running anything.
+func LookupProtocol(spec string) (Protocol, error) {
+	d, _, err := protocols.Lookup(spec)
+	return d, err
+}
 
 // ExpEdgeLatency returns an edge-latency model drawing i.i.d. exponential
 // latencies with the given mean, the distribution Bankhamer et al. analyze.

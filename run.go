@@ -6,11 +6,9 @@ import (
 
 	"plurality/internal/core"
 	"plurality/internal/par"
+	"plurality/internal/protocols"
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/protocols/onebit"
-	"plurality/internal/protocols/threemajority"
-	"plurality/internal/protocols/twochoices"
-	"plurality/internal/protocols/voter"
 	"plurality/internal/rng"
 	"plurality/internal/sched"
 )
@@ -39,37 +37,81 @@ func runCore(rn *core.Runner, pop *Population, o *options) (CoreResult, error) {
 	return rn.Run(pop, cfg)
 }
 
+// RunDynamic executes the named sampling dynamic from the protocol
+// registry (see Protocols) in the asynchronous model. The spec is the
+// registry name, optionally with a parameter — "two-choices", "voter",
+// "3-majority", "usd", "j-majority:5".
+func RunDynamic(protocol string, pop *Population, opts ...Option) (AsyncResult, error) {
+	_, rule, err := protocols.Lookup(protocol)
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	return runAsyncRule(pop, rule, opts)
+}
+
+// RunDynamicSync executes the named sampling dynamic in the synchronous
+// model (discrete simultaneous rounds); see RunDynamic for the spec
+// syntax.
+func RunDynamicSync(protocol string, pop *Population, opts ...Option) (SyncResult, error) {
+	_, rule, err := protocols.Lookup(protocol)
+	if err != nil {
+		return SyncResult{}, err
+	}
+	return runSyncRule(pop, rule, opts)
+}
+
+// RunDynamicCounts executes the named sampling dynamic directly on a color
+// histogram with the count-collapsed occupancy engine: counts[c] nodes
+// initially hold color c, and the run needs O(k) memory regardless of the
+// population size, which is what lets exact simulations reach n = 10⁸–10⁹.
+// counts is mutated in place to the final histogram (USD's undecided
+// leftovers, if any, are reported in AsyncResult.Undecided). The topology
+// is the complete graph on the histogram total (override with WithGraph
+// only to select a self-sampling Complete variant); per-node extensions —
+// WithResponseDelay, WithEdgeLatency, EnginePerNode — are errors, WithChurn
+// composes fine.
+func RunDynamicCounts(protocol string, counts []int64, opts ...Option) (AsyncResult, error) {
+	d, rule, err := protocols.Lookup(protocol)
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	return runCountsRule(counts, d, rule, opts)
+}
+
+// The per-protocol wrappers below predate the registry and remain as thin
+// compatibility shims over the generic RunDynamic entry points.
+
 // RunTwoChoicesSync executes the synchronous Two-Choices dynamic
 // (Theorem 1.1) until consensus or the round budget.
 func RunTwoChoicesSync(pop *Population, opts ...Option) (SyncResult, error) {
-	return runSyncRule(pop, twochoices.Rule{}, opts)
+	return RunDynamicSync("two-choices", pop, opts...)
 }
 
 // RunTwoChoicesAsync executes Two-Choices in the asynchronous model.
 func RunTwoChoicesAsync(pop *Population, opts ...Option) (AsyncResult, error) {
-	return runAsyncRule(pop, twochoices.Rule{}, opts)
+	return RunDynamic("two-choices", pop, opts...)
 }
 
 // RunVoterSync executes the Voter baseline in the synchronous model.
 func RunVoterSync(pop *Population, opts ...Option) (SyncResult, error) {
-	return runSyncRule(pop, voter.Rule{}, opts)
+	return RunDynamicSync("voter", pop, opts...)
 }
 
 // RunVoterAsync executes the Voter baseline in the asynchronous model.
 func RunVoterAsync(pop *Population, opts ...Option) (AsyncResult, error) {
-	return runAsyncRule(pop, voter.Rule{}, opts)
+	return RunDynamic("voter", pop, opts...)
 }
 
 // RunThreeMajoritySync executes the 3-Majority baseline in the synchronous
 // model.
 func RunThreeMajoritySync(pop *Population, opts ...Option) (SyncResult, error) {
-	return runSyncRule(pop, threemajority.Rule{}, opts)
+	return RunDynamicSync("3-majority", pop, opts...)
 }
 
 // RunThreeMajorityAsync executes the 3-Majority baseline in the
 // asynchronous model.
 func RunThreeMajorityAsync(pop *Population, opts ...Option) (AsyncResult, error) {
-	return runAsyncRule(pop, threemajority.Rule{}, opts)
+	return RunDynamic("3-majority", pop, opts...)
 }
 
 // RunOneExtraBit executes the synchronous OneExtraBit protocol
@@ -144,52 +186,33 @@ func (o *options) dynamicsEngine() dynamics.Engine {
 	}
 }
 
-// RunTwoChoicesCounts executes the asynchronous Two-Choices dynamic
-// directly on a color histogram with the count-collapsed occupancy engine:
-// counts[c] nodes initially hold color c, and the run needs O(k) memory
-// regardless of the population size, which is what lets exact simulations
-// reach n = 10⁸–10⁹. counts is mutated in place to the final histogram.
-// The topology is the complete graph on the histogram total (override with
-// WithGraph only to select a self-sampling Complete variant); per-node
-// extensions — WithResponseDelay, WithEdgeLatency, EnginePerNode — are
-// errors, WithChurn composes fine.
+// RunTwoChoicesCounts executes the asynchronous Two-Choices dynamic on a
+// color histogram with the count-collapsed occupancy engine; see
+// RunDynamicCounts.
 func RunTwoChoicesCounts(counts []int64, opts ...Option) (AsyncResult, error) {
-	return runCountsRule(counts, twochoices.Rule{}, opts)
+	return RunDynamicCounts("two-choices", counts, opts...)
 }
 
 // RunVoterCounts executes the Voter baseline on a color histogram with the
-// count-collapsed occupancy engine; see RunTwoChoicesCounts.
+// count-collapsed occupancy engine; see RunDynamicCounts.
 func RunVoterCounts(counts []int64, opts ...Option) (AsyncResult, error) {
-	return runCountsRule(counts, voter.Rule{}, opts)
+	return RunDynamicCounts("voter", counts, opts...)
 }
 
 // RunThreeMajorityCounts executes the 3-Majority baseline on a color
 // histogram with the count-collapsed occupancy engine; see
-// RunTwoChoicesCounts.
+// RunDynamicCounts.
 func RunThreeMajorityCounts(counts []int64, opts ...Option) (AsyncResult, error) {
-	return runCountsRule(counts, threemajority.Rule{}, opts)
+	return RunDynamicCounts("3-majority", counts, opts...)
 }
 
-func runCountsRule(counts []int64, rule dynamics.Rule, opts []Option) (AsyncResult, error) {
+func runCountsRule(counts []int64, d protocols.Descriptor, rule dynamics.Rule, opts []Option) (AsyncResult, error) {
 	o := newOptions(opts)
-	var n int64
-	for _, v := range counts {
-		if v < 0 {
-			return AsyncResult{}, fmt.Errorf("plurality: negative count %d", v)
-		}
-		n += v
-	}
-	if n < 2 {
-		return AsyncResult{}, fmt.Errorf("plurality: histogram total %d, want >= 2", n)
-	}
-	if n != int64(int(n)) {
-		return AsyncResult{}, fmt.Errorf("plurality: histogram total %d overflows the scheduler's node index", n)
-	}
-	if o.model == HeapPoisson {
-		// The event-heap reference scheduler keeps one pending event per
-		// node — O(n) state, which would silently break the counts API's
-		// O(k)-memory contract at exactly the sizes it exists for.
-		return AsyncResult{}, fmt.Errorf("plurality: counts runs promise O(k) memory, but the HeapPoisson scheduler is O(n); use Poisson (the same process) or Sequential")
+	// The O(k)-memory guards live on the registry descriptor so every
+	// protocol — including newly registered ones — shares them.
+	n, err := d.ValidateCounts(counts, o.model == HeapPoisson)
+	if err != nil {
+		return AsyncResult{}, err
 	}
 	s, err := o.scheduler(int(n))
 	if err != nil {
