@@ -11,10 +11,22 @@ COVER_MIN ?= 85
 
 .PHONY: build test test-short test-race cover bench bench-smoke schedbench \
 	scalebench scale-smoke scale-baseline \
-	sweep-smoke sweep-baseline sweep-nightly lint fmt
+	sweep-smoke sweep-baseline sweep-nightly lint fmt api api-check
 
 build:
 	$(GO) build ./...
+
+# Regenerate the committed public-API surface record (run after an
+# intentional API change; commit the result).
+api:
+	$(GO) doc -all . > api.txt
+
+# CI gate: the public surface of the root package must match the committed
+# api.txt, so accidental exports — or accidentally dropped deprecated shims
+# — fail the build instead of shipping silently.
+api-check:
+	@$(GO) doc -all . | diff -u api.txt - \
+		|| { echo "public API surface drifted: run 'make api' and commit api.txt"; exit 1; }
 
 test:
 	$(GO) test ./...

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		smoke    = fs.Bool("smoke", false, "use the down-scaled smoke grids (CI size)")
 		trials   = fs.Int("trials", 0, "override the per-cell trial count (0 = sweep default)")
 		workers  = fs.Int("workers", 0, "worker goroutines for sweep cells (0 = GOMAXPROCS)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the sweep run; simulations are canceled mid-engine-loop when it expires (0 = none)")
 		sweepOut = fs.String("out", "", "write the sweep bundle as JSON to this file (e.g. BENCH_exp.json)")
 		baseline = fs.String("baseline", "", "diff sweep results against this bundle; regressions beyond -tol fail")
 		tol      = fs.Float64("tol", 0.25, "relative tolerance band for -baseline comparison")
@@ -82,6 +84,7 @@ func run(args []string, out io.Writer) error {
 			smoke:    *smoke,
 			trials:   *trials,
 			workers:  *workers,
+			timeout:  *timeout,
 			seed:     *seed,
 			outPath:  *sweepOut,
 			baseline: *baseline,
@@ -139,6 +142,7 @@ type sweepConfig struct {
 	smoke    bool
 	trials   int
 	workers  int
+	timeout  time.Duration
 	seed     uint64
 	outPath  string
 	baseline string
@@ -178,6 +182,15 @@ func runSweeps(out io.Writer, cfg sweepConfig) error {
 		}
 	}
 
+	// One wall-clock budget for the whole selection; expiry cancels the
+	// running simulations inside their engine loops.
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	bundle := exp.NewBundle()
 	var failures []string
 	for _, ns := range selected {
@@ -188,7 +201,7 @@ func runSweeps(out io.Writer, cfg sweepConfig) error {
 		fmt.Fprintf(out, "== sweep %s [%s]\n", ns.Name, mode)
 		start := time.Now()
 		sw := ns.Build(cfg.smoke, cfg.seed, cfg.trials)
-		rep, err := sw.Run(exp.Options{Workers: cfg.workers, Log: out})
+		rep, err := sw.Run(exp.Options{Workers: cfg.workers, Log: out, Context: ctx})
 		if err != nil {
 			return err
 		}

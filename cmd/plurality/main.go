@@ -1,14 +1,20 @@
 // Command plurality runs one plurality-consensus protocol instance and
-// reports the outcome as text or JSON.
+// reports the outcome as text or JSON. It is a thin front end over the
+// library's Job API: the -protocol flag compiles to a plurality.Job, runs
+// under a context governed by -timeout, and every protocol — core, onebit,
+// synchronous and asynchronous dynamics — supports pooled multi-trial
+// execution via -trials.
 //
 // Examples:
 //
 //	plurality -protocol core -n 100000 -k 8 -workload biased -bias 0.5
 //	plurality -protocol two-choices-sync -n 50000 -k 4 -workload gapsqrt -z 1.5
+//	plurality -protocol voter -engine occupancy -n 10000000 -trials 8 -timeout 30s
 //	plurality -protocol core -model poisson -delay 1 -trace
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -17,6 +23,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"plurality"
 )
@@ -43,6 +50,7 @@ type flags struct {
 	trials        int
 	workers       int
 	maxTime       float64
+	timeout       time.Duration
 	delay         float64
 	crash         float64
 	desyncFrac    float64
@@ -50,6 +58,12 @@ type flags struct {
 	noGadget      bool
 	traceOn       bool
 	jsonOut       bool
+
+	// explicit records which flags the command line actually set, so the
+	// Job receives only deliberate options — Job.Validate rejects options
+	// the selected protocol ignores, and a default-valued -maxtime must not
+	// fail a synchronous run.
+	explicit map[string]bool
 }
 
 func parseFlags(args []string) (flags, error) {
@@ -70,9 +84,10 @@ func parseFlags(args []string) (flags, error) {
 	fs.Float64Var(&f.z, "z", 1, "gap multiplier z for the gap workloads")
 	fs.Float64Var(&f.zipfS, "zipf-s", 1.1, "zipf exponent for the zipf workload")
 	fs.Uint64Var(&f.seed, "seed", 1, "random seed (runs are deterministic per seed)")
-	fs.IntVar(&f.trials, "trials", 1, "independent runs with derived seeds, sharded across workers (core protocol only)")
+	fs.IntVar(&f.trials, "trials", 1, "independent runs with derived seeds, sharded across workers (any protocol)")
 	fs.IntVar(&f.workers, "workers", 0, "worker goroutines for -trials (0 = GOMAXPROCS)")
 	fs.Float64Var(&f.maxTime, "maxtime", plurality.DefaultMaxTime, "parallel-time budget for async runs")
+	fs.DurationVar(&f.timeout, "timeout", 0, "wall-clock budget; the run is canceled mid-simulation when it expires (0 = none)")
 	fs.Float64Var(&f.delay, "delay", 0, "response-delay rate theta (>0 enables Exp(theta) delays)")
 	fs.Float64Var(&f.crash, "crash", 0, "fraction of nodes that never act (core protocol only)")
 	fs.Float64Var(&f.desyncFrac, "desync-frac", 0, "fraction of nodes starting desynchronized (core protocol only)")
@@ -83,6 +98,8 @@ func parseFlags(args []string) (flags, error) {
 	if err := fs.Parse(args); err != nil {
 		return flags{}, err
 	}
+	f.explicit = make(map[string]bool)
+	fs.Visit(func(fl *flag.Flag) { f.explicit[fl.Name] = true })
 	return f, nil
 }
 
@@ -105,6 +122,79 @@ func makeCounts(f flags) ([]int64, error) {
 	}
 }
 
+// jobSpec maps the -protocol flag onto a Job protocol spec plus any options
+// the spelling implies ("two-choices-sync" selects the synchronous model;
+// the historical "-async" suffix is trimmed).
+func jobSpec(protocol string) (spec string, implied []plurality.Option) {
+	switch protocol {
+	case "core", "onebit":
+		return protocol, nil
+	case "two-choices-sync":
+		return "two-choices", []plurality.Option{plurality.WithModel(plurality.Synchronous)}
+	}
+	return strings.TrimSuffix(protocol, "-async"), nil
+}
+
+// jobOptions assembles the option list from the explicitly set flags; see
+// flags.explicit.
+func jobOptions(f flags, out io.Writer) ([]plurality.Option, error) {
+	opts := []plurality.Option{plurality.WithSeed(f.seed)}
+	if f.explicit["maxtime"] {
+		opts = append(opts, plurality.WithMaxTime(f.maxTime))
+	}
+	if f.explicit["model"] {
+		switch f.model {
+		case "sequential":
+			opts = append(opts, plurality.WithModel(plurality.Sequential))
+		case "poisson":
+			opts = append(opts, plurality.WithModel(plurality.Poisson))
+		case "heap-poisson":
+			opts = append(opts, plurality.WithModel(plurality.HeapPoisson))
+		default:
+			return nil, fmt.Errorf("unknown model %q", f.model)
+		}
+	}
+	switch f.engine {
+	case "", "auto":
+	case "per-node":
+		// The protocols with a single execution strategy (core, the
+		// synchronous runners) always run per node; keep the redundant
+		// spelling accepted, as it always has been, instead of letting the
+		// strict Job validation reject the no-op option.
+		switch f.protocol {
+		case "core", "onebit", "two-choices-sync":
+		default:
+			opts = append(opts, plurality.WithEngine(plurality.EnginePerNode))
+		}
+	case "occupancy":
+		opts = append(opts, plurality.WithEngine(plurality.EngineOccupancy))
+	default:
+		return nil, fmt.Errorf("unknown engine %q", f.engine)
+	}
+	if f.workers != 0 {
+		opts = append(opts, plurality.WithTrialWorkers(f.workers))
+	}
+	if f.delay > 0 {
+		opts = append(opts, plurality.WithResponseDelay(f.delay))
+	}
+	if f.crash > 0 {
+		opts = append(opts, plurality.WithCrashes(f.crash))
+	}
+	if f.desyncFrac > 0 || f.explicit["desync-ticks"] {
+		opts = append(opts, plurality.WithDesync(f.desyncFrac, f.desyncTicks))
+	}
+	if f.noGadget {
+		opts = append(opts, plurality.WithoutSyncGadget())
+	}
+	if f.traceOn {
+		opts = append(opts, plurality.WithProbe(10, func(p plurality.CoreProbe) {
+			fmt.Fprintf(out, "t=%8.1f plurality=%.3f spread90=%-5d poorly-synced=%d/%d halted=%d\n",
+				p.Time, p.PluralityFraction, p.Spread90, p.PoorlySynced, p.Active, p.Halted)
+		}))
+	}
+	return opts, nil
+}
+
 // trialsOutcome is the JSON-friendly aggregate over a multi-trial run.
 type trialsOutcome struct {
 	Protocol            string  `json:"protocol"`
@@ -115,36 +205,40 @@ type trialsOutcome struct {
 	AllDone             bool    `json:"allDone"`
 	MedianTime          float64 `json:"medianTime"`
 	MedianConsensusTime float64 `json:"medianConsensusTime"`
+	MedianRounds        float64 `json:"medianRounds,omitempty"`
 	TotalTicks          int64   `json:"totalTicks"`
 }
 
-// runTrials executes the parallel multi-trial driver and prints the
-// aggregate.
-func runTrials(f flags, counts []int64, opts []plurality.Option, out io.Writer) error {
-	opts = append(opts, plurality.WithTrialWorkers(f.workers))
-	results, err := plurality.RunCoreTrials(counts, f.trials, opts...)
-	if err != nil && !errors.Is(err, plurality.ErrNoConsensus) {
+// runTrials executes the pooled multi-trial driver — Job.Trials, so every
+// protocol and engine is supported — and prints the aggregate.
+func runTrials(ctx context.Context, f flags, job *plurality.Job, out io.Writer) error {
+	results, err := job.Trials(ctx, f.trials)
+	if err != nil && !errors.Is(err, plurality.ErrNoConsensus) && !errors.Is(err, plurality.ErrTimeLimit) && !errors.Is(err, plurality.ErrPhaseLimit) {
 		return err
 	}
-	// Trials that exhausted their budget (ErrNoConsensus) still produced
-	// results; report them through the aggregate (allDone=false) rather
-	// than discarding the successful trials.
+	// Trials that exhausted their budget still produced reports; fold them
+	// into the aggregate (allDone=false) rather than discarding the
+	// successful trials.
 	agg := trialsOutcome{Protocol: f.protocol, N: f.n, K: f.k, Trials: f.trials, AllDone: true}
 	times := make([]float64, 0, len(results))
 	ctimes := make([]float64, 0, len(results))
+	rounds := make([]float64, 0, len(results))
 	for _, r := range results {
-		if r.Done && r.Winner == 0 {
+		if r.Converged && r.Winner == 0 {
 			agg.PluralityWins++
 		}
-		agg.AllDone = agg.AllDone && r.Done
+		agg.AllDone = agg.AllDone && r.Converged
 		agg.TotalTicks += r.Ticks
 		times = append(times, r.Time)
 		ctimes = append(ctimes, r.ConsensusTime)
+		rounds = append(rounds, float64(r.Rounds))
 	}
 	sort.Float64s(times)
 	sort.Float64s(ctimes)
+	sort.Float64s(rounds)
 	agg.MedianTime = times[len(times)/2]
 	agg.MedianConsensusTime = ctimes[len(ctimes)/2]
+	agg.MedianRounds = rounds[len(rounds)/2]
 
 	if f.jsonOut {
 		enc := json.NewEncoder(out)
@@ -155,6 +249,9 @@ func runTrials(f flags, counts []int64, opts []plurality.Option, out io.Writer) 
 		agg.Protocol, agg.N, agg.K, agg.Trials, agg.PluralityWins, agg.Trials, agg.AllDone)
 	fmt.Fprintf(out, "medianTime=%.1f medianConsensusTime=%.1f totalTicks=%d\n",
 		agg.MedianTime, agg.MedianConsensusTime, agg.TotalTicks)
+	if agg.MedianRounds > 0 {
+		fmt.Fprintf(out, "medianRounds=%.0f\n", agg.MedianRounds)
+	}
 	return nil
 }
 
@@ -174,18 +271,6 @@ type outcome struct {
 	Jumps         int64   `json:"jumps,omitempty"`
 	Phases        int     `json:"phases,omitempty"`
 	Undecided     int64   `json:"undecided,omitempty"`
-}
-
-// dynamicSpec maps the -protocol flag onto a registry spec for the
-// asynchronous sampling dynamics ("" when the protocol has a dedicated
-// runner instead). The historical "two-choices-async" spelling resolves by
-// trimming the suffix.
-func dynamicSpec(protocol string) string {
-	switch protocol {
-	case "core", "onebit", "two-choices-sync":
-		return ""
-	}
-	return strings.TrimSuffix(protocol, "-async")
 }
 
 // listProtocols prints the registry-driven protocol listing.
@@ -226,120 +311,59 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pop, err := plurality.NewPopulation(counts)
+	opts, err := jobOptions(f, out)
+	if err != nil {
+		return err
+	}
+	spec, implied := jobSpec(f.protocol)
+	job, err := plurality.NewJob(spec, counts, append(opts, implied...)...)
 	if err != nil {
 		return err
 	}
 
-	opts := []plurality.Option{
-		plurality.WithSeed(f.seed),
-		plurality.WithMaxTime(f.maxTime),
-	}
-	switch f.model {
-	case "sequential":
-		opts = append(opts, plurality.WithModel(plurality.Sequential))
-	case "poisson":
-		opts = append(opts, plurality.WithModel(plurality.Poisson))
-	case "heap-poisson":
-		opts = append(opts, plurality.WithModel(plurality.HeapPoisson))
-	default:
-		return fmt.Errorf("unknown model %q", f.model)
-	}
-	switch f.engine {
-	case "", "auto":
-	case "per-node":
-		opts = append(opts, plurality.WithEngine(plurality.EnginePerNode))
-	case "occupancy":
-		// Fail loudly instead of silently running a per-node protocol the
-		// count-collapsed engine cannot execute (same contract as the
-		// sweep compiler's engine validation). Any registry-resolvable
-		// dynamic qualifies.
-		spec := dynamicSpec(f.protocol)
-		if spec == "" {
-			return fmt.Errorf("-engine occupancy only applies to the asynchronous sampling dynamics (see -list-protocols), not %q", f.protocol)
-		}
-		if _, err := plurality.LookupProtocol(spec); err != nil {
-			return err
-		}
-		opts = append(opts, plurality.WithEngine(plurality.EngineOccupancy))
-	default:
-		return fmt.Errorf("unknown engine %q", f.engine)
-	}
-	if f.delay > 0 {
-		opts = append(opts, plurality.WithResponseDelay(f.delay))
-	}
-	if f.crash > 0 {
-		opts = append(opts, plurality.WithCrashes(f.crash))
-	}
-	if f.desyncFrac > 0 {
-		opts = append(opts, plurality.WithDesync(f.desyncFrac, f.desyncTicks))
-	}
-	if f.noGadget {
-		opts = append(opts, plurality.WithoutSyncGadget())
-	}
-	if f.traceOn {
-		opts = append(opts, plurality.WithProbe(10, func(p plurality.CoreProbe) {
-			fmt.Fprintf(out, "t=%8.1f plurality=%.3f spread90=%-5d poorly-synced=%d/%d halted=%d\n",
-				p.Time, p.PluralityFraction, p.Spread90, p.PoorlySynced, p.Active, p.Halted)
-		}))
+	ctx := context.Background()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
 	}
 
 	if f.trials > 1 {
-		if f.protocol != "core" {
-			return fmt.Errorf("-trials > 1 is only supported for -protocol core, got %q", f.protocol)
-		}
 		if f.traceOn {
 			// Trials run concurrently; interleaved, unattributed probe
 			// lines (and concurrent writes to out) would be useless.
 			return fmt.Errorf("-trace is not supported with -trials > 1")
 		}
-		return runTrials(f, counts, opts, out)
+		return runTrials(ctx, f, job, out)
 	}
 
-	o := outcome{Protocol: f.protocol, N: f.n, K: f.k}
-	switch f.protocol {
-	case "core":
-		res, err := plurality.RunCore(pop, opts...)
-		if err != nil {
-			return err
-		}
-		o.Done = res.Done
-		o.Winner = int32(res.Winner)
+	rep, err := job.Run(ctx)
+	if err != nil {
+		return err
+	}
+	o := outcome{
+		Protocol:  f.protocol,
+		N:         f.n,
+		K:         f.k,
+		Done:      rep.Converged,
+		Winner:    int32(rep.Winner),
+		Rounds:    rep.Rounds,
+		Ticks:     rep.Ticks,
+		Undecided: rep.Undecided,
+	}
+	switch rep.Kind {
+	case plurality.KindCore:
+		res, _ := rep.Core()
 		o.Time = res.Time
-		o.Ticks = res.Ticks
 		o.ConsensusTime = res.ConsensusTime
 		o.EndgameSafe = res.EndgameSafe
 		o.Jumps = res.Jumps
-	case "two-choices-sync":
-		res, err := plurality.RunTwoChoicesSync(pop, opts...)
-		if err != nil {
-			return err
-		}
-		o.Done = res.Done
-		o.Winner = int32(res.Winner)
-		o.Rounds = res.Rounds
-	case "onebit":
-		res, err := plurality.RunOneExtraBit(pop, opts...)
-		if err != nil {
-			return err
-		}
-		o.Done = res.Done
-		o.Winner = int32(res.Winner)
-		o.Rounds = res.Rounds
+		o.Undecided = 0
+	case plurality.KindDynamic:
+		o.Time = rep.Time
+	case plurality.KindOneExtraBit:
+		res, _ := rep.Phases()
 		o.Phases = res.Phases
-	default:
-		// Every remaining protocol resolves through the registry — the
-		// asynchronous sampling dynamics, including parameterized specs
-		// like j-majority:5 (RunDynamic rejects unknown names).
-		res, err := plurality.RunDynamic(dynamicSpec(f.protocol), pop, opts...)
-		if err != nil {
-			return err
-		}
-		o.Done = res.Done
-		o.Winner = int32(res.Winner)
-		o.Time = res.Time
-		o.Ticks = res.Ticks
-		o.Undecided = res.Undecided
 	}
 	o.PluralityWon = o.Done && o.Winner == 0
 

@@ -207,11 +207,42 @@ func TestRunUSDOccupancyEngine(t *testing.T) {
 	}
 }
 
-func TestRunTrialsRejectsNonCore(t *testing.T) {
+// TestRunTrialsEveryProtocol: -trials rides on Job.Trials, so pooled
+// multi-trial execution works for every protocol family, not just core.
+func TestRunTrialsEveryProtocol(t *testing.T) {
+	for _, p := range []string{"voter", "two-choices-sync", "onebit", "usd"} {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			err := run([]string{
+				"-protocol", p, "-n", "800", "-k", "3", "-workload", "biased",
+				"-bias", "1", "-seed", "5", "-trials", "3", "-workers", "2", "-json",
+			}, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var o trialsOutcome
+			if err := json.Unmarshal(buf.Bytes(), &o); err != nil {
+				t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+			}
+			if o.Trials != 3 || !o.AllDone {
+				t.Fatalf("unexpected aggregate: %+v", o)
+			}
+		})
+	}
+}
+
+// TestRunTimeoutFlag: an expiring -timeout cancels the simulation
+// mid-flight and surfaces as an error instead of hanging.
+func TestRunTimeoutFlag(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-protocol", "voter", "-n", "500", "-trials", "3"}, &buf)
-	if err == nil || !strings.Contains(err.Error(), "core") {
-		t.Fatalf("want trials-only-for-core error, got %v", err)
+	err := run([]string{
+		"-protocol", "voter", "-engine", "per-node", "-n", "200000", "-k", "2",
+		"-workload", "uniform", "-maxtime", "1000000000", "-timeout", "50ms",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("want deadline error, got %v", err)
 	}
 }
 
@@ -255,5 +286,40 @@ func TestRunTrialsReportsNoConsensusAggregate(t *testing.T) {
 	}
 	if o.AllDone || o.Trials != 3 {
 		t.Fatalf("unexpected aggregate: %+v", o)
+	}
+}
+
+// TestRunCorePerNodeEngineAccepted: the redundant -engine per-node spelling
+// on protocols that always run per node stays accepted, as it has been
+// since the flag was introduced.
+func TestRunCorePerNodeEngineAccepted(t *testing.T) {
+	for _, p := range []string{"core", "onebit", "two-choices-sync"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-protocol", p, "-engine", "per-node", "-n", "1000", "-k", "2",
+			"-workload", "biased", "-bias", "1", "-seed", "3",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+// TestRunWorkersFlagApplied: -workers must be translated into a
+// WithTrialWorkers option (a silently dropped flag cannot be caught by the
+// determinism checks, since results are worker-count independent by
+// design). With only -workers set, the built options are exactly WithSeed
+// plus WithTrialWorkers.
+func TestRunWorkersFlagApplied(t *testing.T) {
+	f, err := parseFlags([]string{"-workers", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := jobOptions(f, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 2 {
+		t.Fatalf("built %d options, want 2 (seed + trial workers)", len(opts))
 	}
 }

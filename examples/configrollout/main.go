@@ -5,12 +5,16 @@
 // leads but holds only a sliver of the fleet. With many candidate values,
 // plain Two-Choices needs Ω(k) rounds (Theorem 1.1's lower bound), while
 // OneExtraBit — one extra bit per replica — finishes in polylog rounds
-// (Theorem 1.2). This example races them, plus the 3-Majority baseline.
+// (Theorem 1.2). This example races them, plus the 3-Majority baseline, as
+// three Jobs sharing one initial histogram: the synchronous dynamics select
+// WithModel(Synchronous), OneExtraBit is its own protocol spec, and the
+// unified Report makes the round counts directly comparable.
 //
 //	go run ./examples/configrollout
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,34 +39,29 @@ func main() {
 
 	type entry struct {
 		name string
-		run  func(pop *plurality.Population) (rounds int, winner plurality.Color, err error)
+		spec string
+		opts []plurality.Option
 	}
 	protocols := []entry{
-		{name: "two-choices", run: func(pop *plurality.Population) (int, plurality.Color, error) {
-			res, err := plurality.RunTwoChoicesSync(pop, plurality.WithSeed(1))
-			return res.Rounds, res.Winner, err
-		}},
-		{name: "3-majority", run: func(pop *plurality.Population) (int, plurality.Color, error) {
-			res, err := plurality.RunThreeMajoritySync(pop, plurality.WithSeed(1))
-			return res.Rounds, res.Winner, err
-		}},
-		{name: "one-extra-bit", run: func(pop *plurality.Population) (int, plurality.Color, error) {
-			res, err := plurality.RunOneExtraBit(pop, plurality.WithSeed(1))
-			return res.Rounds, res.Winner, err
-		}},
+		{name: "two-choices", spec: "two-choices",
+			opts: []plurality.Option{plurality.WithModel(plurality.Synchronous)}},
+		{name: "3-majority", spec: "3-majority",
+			opts: []plurality.Option{plurality.WithModel(plurality.Synchronous)}},
+		{name: "one-extra-bit", spec: "onebit"},
 	}
 
+	ctx := context.Background()
 	fmt.Printf("%-15s %-8s %-8s %s\n", "protocol", "rounds", "winner", "right version?")
 	for _, p := range protocols {
-		pop, err := plurality.NewPopulation(counts)
+		job, err := plurality.NewJob(p.spec, counts, append(p.opts, plurality.WithSeed(1))...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rounds, winner, err := p.run(pop)
+		rep, err := job.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-15s %-8d v%-7d %v\n", p.name, rounds, winner, winner == 0)
+		fmt.Printf("%-15s %-8d v%-7d %v\n", p.name, rep.Rounds, rep.Winner, rep.Winner == 0)
 	}
 	fmt.Println("\nOneExtraBit's single memory bit turns Omega(k) gossip rounds into polylog.")
 }

@@ -1,0 +1,89 @@
+// Earlystop: stop a run the moment it is "good enough", using the two
+// halves of the Run API v2 together — streaming observation and context
+// cancellation.
+//
+// An Undecided-State Dynamics run at n = 10⁷ executes on the
+// count-collapsed occupancy engine (O(k) memory, so ten million nodes cost
+// nothing to set up). The observer streams a histogram snapshot every two
+// units of parallel time; as soon as the leading color holds 95% support it
+// cancels the context, and the engine returns mid-simulation with the
+// progress made so far — no polling, no waiting for exact consensus.
+//
+// Why not the Voter baseline? Voter is a neutral martingale: moving the
+// leader from its initial 22% to 95% support takes Θ(n) parallel time —
+// about 10¹⁴ activations at this n — so "early" never arrives. Early
+// stopping needs a dynamic with drift; any other registry spec
+// ("two-choices", "3-majority", "j-majority:5") works the same way here.
+//
+//	go run ./examples/earlystop
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+func main() {
+	const (
+		n         = 10_000_000
+		k         = 8
+		threshold = 0.95
+	)
+	counts, err := plurality.Biased(n, k, 1) // c1 = 2·c2
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: n=%d, k=%d, leader=%d (%.1f%%)\n\n",
+		n, k, counts[0], 100*float64(counts[0])/float64(n))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The observer sees (time, histogram, undecided, converged-fraction)
+	// snapshots from inside the occupancy engine and pulls the plug at 95%
+	// support. Snapshot.Counts is engine-owned scratch, so only scalar
+	// fields are retained.
+	type point struct {
+		t, frac   float64
+		undecided int64
+	}
+	var trail []point
+	observer := plurality.WithObserver(2, func(s plurality.Snapshot) {
+		trail = append(trail, point{t: s.Time, frac: s.ConvergedFraction, undecided: s.Undecided})
+		if s.ConvergedFraction >= threshold {
+			cancel()
+		}
+	})
+
+	job, err := plurality.NewJob("usd", counts,
+		plurality.WithSeed(42),
+		plurality.WithModel(plurality.Poisson),
+		plurality.WithEngine(plurality.EngineOccupancy), // O(k) state at n = 10⁷
+		plurality.WithMaxTime(1e4),
+		observer,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := job.Run(ctx)
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("stopped early at t=%.1f (%d activations): leader holds >= %.0f%%\n",
+			rep.Time, rep.Ticks, 100*threshold)
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("full consensus at t=%.1f before the threshold tripped\n", rep.ConsensusTime)
+	}
+	fmt.Printf("leading color: C%d, undecided nodes left: %d\n\n", rep.Winner, rep.Undecided)
+
+	fmt.Println("support trajectory (one snapshot per 2 time units):")
+	for _, p := range trail {
+		fmt.Printf("  t=%6.1f  leader=%.3f  undecided=%d\n", p.t, p.frac, p.undecided)
+	}
+}

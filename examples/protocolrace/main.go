@@ -4,17 +4,19 @@
 // Two-Choices, Voter, 3-Majority, Undecided-State Dynamics, j-Majority —
 // plus the paper's core protocol. The racers come straight from
 // plurality.Protocols(), so a newly registered dynamic joins the race
-// without touching this file. The table reports parallel consensus time
-// and whether the plurality color actually won, making the trade-offs
-// concrete: Voter is obliviously fast to *a* consensus but has no
-// plurality guarantee; the sampling dynamics are quick while k is small;
-// the core protocol pays a constant-factor schedule overhead in exchange
-// for its Θ(log n) guarantee independent of k.
+// without touching this file, and each racer is one plurality.Job whose
+// pooled Trials fan the repetitions across cores. The table reports
+// parallel consensus time and whether the plurality color actually won,
+// making the trade-offs concrete: Voter is obliviously fast to *a*
+// consensus but has no plurality guarantee; the sampling dynamics are quick
+// while k is small; the core protocol pays a constant-factor schedule
+// overhead in exchange for its Θ(log n) guarantee independent of k.
 //
 //	go run ./examples/protocolrace
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -26,9 +28,10 @@ func main() {
 	// Small enough that the slowest racer (Voter's lazy random walk needs
 	// ~n² effective transitions) finishes in seconds.
 	const (
-		n   = 5_000
-		k   = 8
-		eps = 1.0
+		n      = 5_000
+		k      = 8
+		eps    = 1.0
+		trials = 3
 	)
 	counts, err := plurality.Biased(n, k, eps)
 	if err != nil {
@@ -40,45 +43,47 @@ func main() {
 	type racer struct {
 		name string
 		note string
-		run  func(pop *plurality.Population, seed uint64) (time float64, winner plurality.Color, done bool, err error)
+		job  *plurality.Job
 	}
-	racers := []racer{
-		{name: "core (paper)", run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
-			res, err := plurality.RunCore(pop, plurality.WithSeed(seed))
-			return res.ConsensusTime, res.Winner, res.Done, err
-		}},
+	newJob := func(spec string, opts ...plurality.Option) *plurality.Job {
+		job, err := plurality.NewJob(spec, counts, append(opts, plurality.WithSeed(100))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return job
 	}
+	racers := []racer{{name: "core (paper)", job: newJob("core")}}
 	// Every registered sampling dynamic joins via its race spec.
 	for _, d := range plurality.Protocols() {
-		spec := d.RaceSpec
 		note := ""
 		if !d.PluralityWins {
 			note = "no plurality guarantee"
 		}
-		racers = append(racers, racer{name: spec, note: note,
-			run: func(pop *plurality.Population, seed uint64) (float64, plurality.Color, bool, error) {
-				res, err := plurality.RunDynamic(spec, pop,
-					plurality.WithSeed(seed), plurality.WithMaxTime(1e6))
-				return res.Time, res.Winner, res.Done, err
-			}})
+		racers = append(racers, racer{
+			name: d.RaceSpec,
+			note: note,
+			job:  newJob(d.RaceSpec, plurality.WithMaxTime(1e6)),
+		})
 	}
 
-	const trials = 3
+	ctx := context.Background()
 	fmt.Printf("%-14s %-12s %-10s %s\n", "protocol", "median time", "plurality", "notes")
 	for _, r := range racers {
+		reps, err := r.job.Trials(ctx, trials)
+		if err != nil && !errors.Is(err, plurality.ErrTimeLimit) && !errors.Is(err, plurality.ErrNoConsensus) {
+			log.Fatal(err)
+		}
 		var times []float64
 		wins := 0
-		for trial := 0; trial < trials; trial++ {
-			pop, err := plurality.NewPopulation(counts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			t, winner, done, err := r.run(pop, uint64(100+trial))
-			if err != nil && !errors.Is(err, plurality.ErrTimeLimit) && !errors.Is(err, plurality.ErrNoConsensus) {
-				log.Fatal(err)
-			}
-			if done && winner == 0 {
+		for _, rep := range reps {
+			if rep.Converged && rep.Winner == 0 {
 				wins++
+			}
+			t := rep.ConsensusTime
+			if !rep.Converged {
+				// A timed-out trial consumed its whole budget; recording 0
+				// would make the slowest racer look fastest.
+				t = rep.Time
 			}
 			times = append(times, t)
 		}

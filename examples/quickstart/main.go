@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,14 +27,7 @@ func main() {
 	}
 	fmt.Printf("initial supports: %v\n", counts)
 
-	// 2. Materialize the population. Node colors, per-color counts and
-	//    consensus detection all live here.
-	pop, err := plurality.NewPopulation(counts)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. Inspect the schedule the protocol will run: block length Delta,
+	// 2. Inspect the schedule the protocol will run: block length Delta,
 	//    phase structure, endgame budget — all Θ(log n)-sized.
 	spec, err := plurality.PlanCore(n)
 	if err != nil {
@@ -42,18 +36,28 @@ func main() {
 	fmt.Printf("schedule: Delta=%d, %d phases of %d ticks, endgame=%d ticks\n",
 		spec.Delta, spec.Phases, spec.PhaseTicks, spec.EndgameTicks)
 
+	// 3. Compile the job: protocol spec × initial counts × options,
+	//    validated eagerly. The job is reusable and safe to share.
+	job, err := plurality.NewJob("core", counts, plurality.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// 4. Run. Each node carries a unit-rate Poisson clock (simulated by
-	//    the sequential model); runs are deterministic for a fixed seed.
-	res, err := plurality.RunCore(pop, plurality.WithSeed(42))
+	//    the sequential model); runs are deterministic for a fixed seed,
+	//    and the context would let us cancel mid-run.
+	rep, err := job.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 5. Report: the plurality color should win in Θ(log n) parallel
 	//    time, i.e. a few thousand time units at this size — each node
-	//    was activated only ~ConsensusTime times.
+	//    was activated only ~ConsensusTime times. The unified Report
+	//    carries the cross-protocol fields; Core() has the paper detail.
+	core, _ := rep.Core()
 	fmt.Printf("consensus on color %d after %.1f time units (%d total activations)\n",
-		res.Winner, res.ConsensusTime, res.Ticks)
+		rep.Winner, rep.ConsensusTime, rep.Ticks)
 	fmt.Printf("plurality won: %v; sync-gadget jumps executed: %d\n",
-		res.Winner == 0, res.Jumps)
+		rep.Winner == 0, core.Jumps)
 }

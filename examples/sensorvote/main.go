@@ -5,15 +5,20 @@
 // far from a majority. The sensors have no shared clock — each wakes up on
 // its own Poisson timer — and radio responses take exponentially
 // distributed time. This is exactly the paper's §4 setting: the core
-// protocol still converges on the plurality bucket in Θ(log n) time.
+// protocol still converges on the plurality bucket in Θ(log n) time. The
+// support trajectory is recorded with the uniform WithObserver stream via
+// the Trajectory helper, and a deadline on the context bounds the wall
+// clock.
 //
 //	go run ./examples/sensorvote
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"plurality"
 )
@@ -35,33 +40,36 @@ func main() {
 		fmt.Printf("  bucket %2d: %5d sensors %s\n", b, c, bar(c, counts[0], 40))
 	}
 
-	pop, err := plurality.NewPopulation(counts)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// Poisson wake-ups (the continuous model) and Exp(2) radio latency:
-	// mean response delay of half a wake-up interval.
-	var history []float64
-	res, err := plurality.RunCore(pop,
+	// mean response delay of half a wake-up interval. The trajectory
+	// recorder observes the plurality support every 200 time units.
+	traj := plurality.NewTrajectory()
+	job, err := plurality.NewJob("core", counts,
 		plurality.WithSeed(7),
 		plurality.WithModel(plurality.Poisson),
 		plurality.WithResponseDelay(2),
-		plurality.WithProbe(200, func(p plurality.CoreProbe) {
-			history = append(history, p.PluralityFraction)
-		}),
+		traj.Observer(200),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nnetwork agreed on bucket %d after %.0f time units (wake-ups per sensor: ~%.0f)\n",
-		res.Winner, res.ConsensusTime, res.ConsensusTime)
-	fmt.Printf("plurality reading won: %v\n", res.Winner == 0)
-	fmt.Printf("\nplurality support over time:\n")
-	for i, f := range history {
-		fmt.Printf("  t=%6.0f  %.3f %s\n", float64(i)*200, f, bar(int64(f*1000), 1000, 40))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := job.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	fmt.Printf("\nnetwork agreed on bucket %d after %.0f time units (wake-ups per sensor: ~%.0f)\n",
+		rep.Winner, rep.ConsensusTime, rep.ConsensusTime)
+	fmt.Printf("plurality reading won: %v\n", rep.Winner == 0)
+	fmt.Printf("\nplurality support over time:\n")
+	times, fracs := traj.Series(plurality.SeriesConverged)
+	for i, f := range fracs {
+		fmt.Printf("  t=%6.0f  %.3f %s\n", times[i], f, bar(int64(f*1000), 1000, 40))
+	}
+	fmt.Printf("\nsparkline: %s\n", traj.Sparkline(40))
 }
 
 // bar renders v/max as a fixed-width ASCII bar.

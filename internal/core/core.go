@@ -75,6 +75,10 @@ const (
 // without reaching consensus.
 var ErrNoConsensus = errors.New("core: no consensus within time budget")
 
+// ErrStopped reports a run interrupted by its Stop hook (context
+// cancellation at the public layer) before completing.
+var ErrStopped = errors.New("core: run stopped")
+
 // Config configures one protocol run.
 type Config struct {
 	// Graph is the communication topology; the paper analyzes the
@@ -162,6 +166,19 @@ type Config struct {
 	ProbeInterval float64
 	// OnProbe observes periodic synchronization-quality snapshots.
 	OnProbe func(Probe)
+
+	// Stop, if non-nil, is polled at a coarse stride (every tick batch or
+	// stopCheckStride ticks); returning true abandons the run with
+	// ErrStopped and the progress made so far.
+	Stop func() bool
+	// OnObserve, if set, is invoked every ObserveInterval units of parallel
+	// time (an interval <= 0 observes every tick) with the current time and
+	// delivered tick count. It is the streaming-observation hook of the
+	// public layer, which reads the population histogram during the
+	// callback; it is independent of the probe stream, so both can be
+	// active with different periods.
+	ObserveInterval float64
+	OnObserve       func(now float64, ticks int64)
 }
 
 // Spec is the fully resolved schedule layout of a run. All quantities are

@@ -66,8 +66,28 @@ func (rn *Runner) Run(pop *population.Population, cfg Config) (Result, error) {
 	last := st.run()
 	st.res.Time = last.Time
 	st.res.Ticks = last.Seq + 1
+	switch {
+	case st.noTicks:
+		// Stopped at a batch boundary before anything was delivered.
+		st.res.Ticks = 0
+	case st.interruptSeq >= 0:
+		// The tick the stop poll fired on never applied.
+		st.res.Ticks = st.interruptSeq
+	}
 	st.res.EndgameSafe = st.res.Done &&
 		(st.res.FirstHaltTime == 0 || st.res.ConsensusTime <= st.res.FirstHaltTime)
+	if cfg.OnObserve != nil {
+		// Close the observation stream with the state the run ended in
+		// (the per-tick observations fire at tick start, so the final
+		// state is otherwise never seen).
+		cfg.OnObserve(st.res.Time, st.res.Ticks)
+	}
+	if st.stopped {
+		if !st.res.Done {
+			st.res.Winner = pop.Plurality()
+		}
+		return st.res, fmt.Errorf("core: run stopped at time %v: %w", st.res.Time, ErrStopped)
+	}
 	if !st.res.Done {
 		// Either the time budget ran out or every live node halted
 		// without agreement; both are protocol failures.
@@ -162,9 +182,21 @@ type state struct {
 	delaying    bool
 	crashing    bool
 
-	nextProbe float64
-	probeBuf  []int32
-	tickBuf   []sched.Tick
+	// Stop-hook state: stopCheck counts ticks down to the next poll,
+	// stopped records that the hook fired, and interruptSeq (-1 when
+	// unset) the Seq of the tick the hook fired on — that tick never
+	// applied, so Result.Ticks reports the activations delivered before
+	// it. noTicks marks a batch-boundary stop before any delivery (the
+	// zero-value tick's Seq+1 must not be reported).
+	stopCheck    int
+	stopped      bool
+	noTicks      bool
+	interruptSeq int64
+
+	nextProbe   float64
+	nextObserve float64
+	probeBuf    []int32
+	tickBuf     []sched.Tick
 }
 
 // grow returns buf resized to n and zeroed, reusing its backing array when
@@ -268,6 +300,11 @@ func (st *state) reset(pop *population.Population, cfg Config, spec Spec) error 
 	if cfg.ProbeInterval < 0 {
 		st.nextProbe = -1
 	}
+	st.nextObserve = 0
+	st.stopCheck = 0
+	st.stopped = false
+	st.noTicks = false
+	st.interruptSeq = -1
 	return nil
 }
 
@@ -356,15 +393,21 @@ func (st *state) run() sched.Tick {
 		return last
 	}
 	probing := st.nextProbe >= 0 && st.cfg.OnProbe != nil
-	if st.delaying || probing {
+	if st.delaying || probing || st.cfg.OnObserve != nil {
 		last, _ := sched.RunBatch(st.cfg.Scheduler, st.cfg.MaxTime, st.tick)
 		return last
 	}
 	var last sched.Tick
+	ran := false
 	maxTime := st.cfg.MaxTime
 	st.tickBuf = grow(st.tickBuf, sched.BatchSize)
 	buf := st.tickBuf
 	for {
+		if st.cfg.Stop != nil && st.cfg.Stop() {
+			st.stopped = true
+			st.noTicks = !ran
+			return last
+		}
 		bs.NextBatch(buf)
 		for _, t := range buf {
 			if t.Time > maxTime {
@@ -375,14 +418,37 @@ func (st *state) run() sched.Tick {
 				return last
 			}
 		}
+		ran = true
 	}
 }
+
+// stopCheckStride is how many ticks pass between Stop polls on the general
+// (per-tick) run path.
+const stopCheckStride = 1024
 
 // tick handles one scheduler activation. It returns false once the run can
 // stop: consensus reached, or every live node has halted.
 func (st *state) tick(t sched.Tick) bool {
+	if st.cfg.Stop != nil {
+		if st.stopCheck--; st.stopCheck <= 0 {
+			st.stopCheck = stopCheckStride
+			if st.cfg.Stop() {
+				st.stopped = true
+				st.interruptSeq = t.Seq
+				return false
+			}
+		}
+	}
 	if st.nextProbe >= 0 && t.Time >= st.nextProbe && st.cfg.OnProbe != nil {
 		st.probe(t.Time)
+	}
+	if st.cfg.OnObserve != nil && t.Time >= st.nextObserve {
+		// Observed at tick start, before this activation applies: the
+		// population reflects exactly t.Seq completed activations, so that
+		// is the reported tick count (and the end-of-run observation in
+		// Run, labeled with the full count, can never collide with it).
+		st.cfg.OnObserve(t.Time, t.Seq)
+		st.nextObserve = t.Time + st.cfg.ObserveInterval
 	}
 
 	u := t.Node

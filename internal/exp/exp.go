@@ -21,6 +21,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -282,11 +283,18 @@ func (sc Scenario) model() (plurality.Model, error) {
 	}
 }
 
-// RunScenario executes one trial of the scenario under the given seed. A
-// run that exhausts its time budget is not an error: it returns a Trial
-// with Done == false so sweeps can record the failure rate. Any other error
-// (an invalid configuration) aborts.
+// RunScenario executes one trial of the scenario under the given seed with
+// a background context; see RunScenarioCtx.
 func RunScenario(sc Scenario, seed uint64) (Trial, error) {
+	return RunScenarioCtx(context.Background(), sc, seed)
+}
+
+// RunScenarioCtx executes one trial of the scenario under the given seed
+// through the Job API, honoring ctx inside every engine loop (the CLI's
+// -timeout flag lands here). A run that exhausts its time budget is not an
+// error: it returns a Trial with Done == false so sweeps can record the
+// failure rate. Cancellation and invalid configurations abort.
+func RunScenarioCtx(ctx context.Context, sc Scenario, seed uint64) (Trial, error) {
 	if err := sc.Validate(); err != nil {
 		return Trial{}, err
 	}
@@ -299,7 +307,7 @@ func RunScenario(sc Scenario, seed uint64) (Trial, error) {
 		// memory regardless of n, so a 10⁸-node cell costs as much as a
 		// 10³-node one. Node placement is irrelevant on the clique, hence
 		// no Shuffle either.
-		return runCountsScenario(sc, counts, seed)
+		return runCountsScenario(ctx, sc, counts, seed)
 	}
 	pop, err := plurality.NewPopulation(counts)
 	if err != nil {
@@ -346,48 +354,34 @@ func RunScenario(sc Scenario, seed uint64) (Trial, error) {
 	if sc.DelayRate > 0 {
 		opts = append(opts, plurality.WithResponseDelay(sc.DelayRate))
 	}
-	if sc.Engine == "per-node" {
+	if sc.Engine == "per-node" && sc.Protocol != "core" {
+		// The core protocol always runs per node (Scenario.Validate accepts
+		// the redundant engine spelling for it, as it always has); the
+		// strict Job layer would reject the no-op option.
 		opts = append(opts, plurality.WithEngine(plurality.EnginePerNode))
 	}
 
-	if sc.Protocol == "core" {
-		res, err := plurality.RunCore(pop, opts...)
-		if err != nil && !errors.Is(err, plurality.ErrNoConsensus) {
-			return Trial{}, err
-		}
-		return Trial{
-			Done:   res.Done,
-			Time:   res.ConsensusTime,
-			Ticks:  res.Ticks,
-			Win:    res.Done && res.Winner == plurColor,
-			Churns: res.Churns,
-		}, nil
-	}
-	// Every other protocol is a registered sampling dynamic; the registry
-	// resolves the spec (including parameters such as "j-majority:5").
-	res, err := plurality.RunDynamic(sc.Protocol, pop, opts...)
-	if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
+	// The shuffled placement matters on spatial topologies, so the job
+	// runs on the prepared population (RunOn) rather than from its bound
+	// counts; fixed-seed results are bit-identical to the legacy RunX
+	// calls, which share the same execution layer.
+	job, err := plurality.NewJob(sc.Protocol, counts, opts...)
+	if err != nil {
 		return Trial{}, err
 	}
-	return Trial{
-		Done:   res.Done,
-		Time:   res.Time,
-		Ticks:  res.Ticks,
-		Win:    res.Done && res.Winner == plurColor,
-		Churns: res.Churns,
-	}, nil
+	rep, err := job.RunOn(ctx, pop)
+	return trialFromReport(sc, rep, plurColor, err)
 }
 
 // runCountsScenario executes one occupancy-engine trial directly on the
-// color histogram (counts is freshly materialized per trial and consumed in
-// place).
-func runCountsScenario(sc Scenario, counts []int64, seed uint64) (Trial, error) {
+// color histogram.
+func runCountsScenario(ctx context.Context, sc Scenario, counts []int64, seed uint64) (Trial, error) {
 	// The workloads designate the most frequent color (lowest index on
 	// ties) as the plurality, same rule as Population.Plurality.
-	plurColor := 0
+	plurColor := plurality.Color(0)
 	for c := 1; c < len(counts); c++ {
 		if counts[c] > counts[plurColor] {
-			plurColor = c
+			plurColor = plurality.Color(c)
 		}
 	}
 	m, err := sc.model()
@@ -405,15 +399,33 @@ func runCountsScenario(sc Scenario, counts []int64, seed uint64) (Trial, error) 
 	if sc.Churn > 0 {
 		opts = append(opts, plurality.WithChurn(sc.Churn))
 	}
-	res, err := plurality.RunDynamicCounts(sc.Protocol, counts, opts...)
-	if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
+	job, err := plurality.NewJob(sc.Protocol, counts, opts...)
+	if err != nil {
 		return Trial{}, err
 	}
-	return Trial{
-		Done:   res.Done,
-		Time:   res.Time,
-		Ticks:  res.Ticks,
-		Win:    res.Done && int(res.Winner) == plurColor,
-		Churns: res.Churns,
-	}, nil
+	rep, err := job.Run(ctx)
+	return trialFromReport(sc, rep, plurColor, err)
+}
+
+// trialFromReport maps a Job report onto the harness's Trial, tolerating
+// the convergence-failure sentinels (a timed-out cell is data, not an
+// error) while surfacing cancellation and configuration errors.
+func trialFromReport(sc Scenario, rep plurality.Report, plurColor plurality.Color, err error) (Trial, error) {
+	if err != nil && !errors.Is(err, plurality.ErrNoConsensus) && !errors.Is(err, plurality.ErrTimeLimit) {
+		return Trial{}, err
+	}
+	tr := Trial{
+		Done:   rep.Converged,
+		Time:   rep.Time,
+		Ticks:  rep.Ticks,
+		Win:    rep.Converged && rep.Winner == plurColor,
+		Churns: rep.Churns,
+	}
+	if sc.Protocol == "core" {
+		// The core protocol reports the consensus instant separately from
+		// the last delivered tick; the harness has always recorded the
+		// former.
+		tr.Time = rep.ConsensusTime
+	}
+	return tr, nil
 }

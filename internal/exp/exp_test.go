@@ -174,3 +174,19 @@ func TestRunScenarioChurnCounted(t *testing.T) {
 		t.Fatalf("churn rate 5e-4 over a full run should fire at least once: %+v", tr)
 	}
 }
+
+// TestRunScenarioCorePerNodeEngine: the redundant engine "per-node" on the
+// core protocol (which always runs per node) stays runnable — the strict
+// Job validation layer must not reject the no-op spelling Scenario.Validate
+// accepts.
+func TestRunScenarioCorePerNodeEngine(t *testing.T) {
+	sc := Scenario{Protocol: "core", N: 600, K: 2, Bias: "biased", BiasParam: 1,
+		Topology: "complete", Model: "sequential", Engine: "per-node"}
+	tr, err := RunScenario(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done {
+		t.Fatalf("trial = %+v, want Done", tr)
+	}
+}

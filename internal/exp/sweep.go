@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -196,6 +197,10 @@ type Options struct {
 	Workers int
 	// Log, if non-nil, receives one progress line per completed cell.
 	Log io.Writer
+	// Context, if non-nil, cancels the sweep: expiry or cancellation is
+	// honored inside every simulation's engine loop (the CLI -timeout flag
+	// lands here). nil means context.Background().
+	Context context.Context
 }
 
 // bootstrapResamples is the resample count behind every cell's confidence
@@ -216,11 +221,15 @@ func (s Sweep) Run(opt Options) (*Report, error) {
 	for i := range trials {
 		trials[i] = make([]Trial, s.Trials)
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jobs := len(cells) * s.Trials
 	err = par.ForEach(opt.Workers, jobs, func(j int) error {
 		ci, t := j/s.Trials, j%s.Trials
 		cellSeed := rng.At(s.Seed, ci).Uint64()
-		tr, err := RunScenario(cells[ci].Scenario, plurality.TrialSeed(cellSeed, t))
+		tr, err := RunScenarioCtx(ctx, cells[ci].Scenario, plurality.TrialSeed(cellSeed, t))
 		if err != nil {
 			return fmt.Errorf("cell %q trial %d: %w", cells[ci].Label, t, err)
 		}

@@ -89,6 +89,27 @@ type Undecided interface {
 // ErrTimeLimit reports a run that did not reach consensus within MaxTime.
 var ErrTimeLimit = errors.New("occupancy: time limit exceeded")
 
+// ErrStopped reports a run interrupted by its Stop hook (context
+// cancellation at the public layer) before consensus or MaxTime.
+var ErrStopped = errors.New("occupancy: run stopped")
+
+// Snapshot is one streamed observation of a running histogram, delivered to
+// Config.OnObserve. Counts aliases engine-owned memory and is valid only
+// for the duration of the callback; copy it to retain it.
+type Snapshot struct {
+	// Time is the parallel time of the activation that triggered the
+	// snapshot.
+	Time float64
+	// Ticks is the number of activations delivered so far.
+	Ticks int64
+	// Counts is the current histogram over the opinion colors (hidden
+	// buckets excluded).
+	Counts []int64
+	// Undecided is the current number of undecided (hidden-bucket) nodes;
+	// 0 for rules without an undecided state.
+	Undecided int64
+}
+
 // Config configures a count-collapsed run.
 type Config struct {
 	// WithSelf selects the clique sampling mode: true draws neighbors from
@@ -115,6 +136,19 @@ type Config struct {
 	// ForceTick disables the leap fast path, used by the equivalence tests
 	// to compare the two modes.
 	ForceTick bool
+	// Stop, if non-nil, is polled at a coarse stride (every batch in tick
+	// mode, every stopCheckStride transitions in leap mode); returning true
+	// abandons the run with ErrStopped and the progress made so far. The
+	// hook must be cheap but need not be trivially so — it is never called
+	// per activation.
+	Stop func() bool
+	// OnObserve, if set, streams periodic Snapshot observations every
+	// ObserveInterval units of parallel time (an interval <= 0 observes
+	// every activation). Observation needs materialized per-tick times, so
+	// it forces tick mode — leap mode's lazily drawn order-statistic times
+	// cannot be queried per transition without changing the RNG stream.
+	ObserveInterval float64
+	OnObserve       func(Snapshot)
 }
 
 // Result describes a completed count-collapsed run; it mirrors
@@ -216,7 +250,7 @@ func (rn *Runner) exec(counts []int64, rule Rule, cfg Config, colors int) (Resul
 			return Result{Done: true, Winner: population.Color(c)}, nil
 		}
 	}
-	if !cfg.ForceTick && cfg.Churn == 0 {
+	if !cfg.ForceTick && cfg.Churn == 0 && cfg.OnObserve == nil {
 		if kr, ok := rule.(Kerneled); ok {
 			switch s := cfg.Scheduler.(type) {
 			case *sched.Sequential:
@@ -333,6 +367,11 @@ func leapTimeAt(r *rng.RNG, m, budget, n int64, maxTime float64, sequential bool
 	return maxTime * (ga / (ga + gb))
 }
 
+// stopCheckStride is how many leap transitions (or non-batch ticks) pass
+// between Stop polls: coarse enough that the poll never shows up in the hot
+// loop, fine enough that cancellation lands within microseconds.
+const stopCheckStride = 1024
+
 // runLeap executes the jump chain of the occupancy process: per iteration
 // one geometric skip over the no-op activations and one kernel-sampled
 // histogram transition. counts is mutated in place.
@@ -340,7 +379,19 @@ func runLeap(counts []int64, kern Kernel, cfg Config, n, budget int64, sequentia
 	r := cfg.Rand
 	var ticks int64
 	var res Result
+	stopCheck := 0
 	for {
+		if cfg.Stop != nil {
+			if stopCheck--; stopCheck <= 0 {
+				stopCheck = stopCheckStride
+				if cfg.Stop() {
+					res.Ticks = ticks
+					res.Time = leapTimeAt(r, ticks, budget, n, cfg.MaxTime, sequential)
+					res.Winner = plurality(counts)
+					return res, ErrStopped
+				}
+			}
+		}
 		remaining := budget - ticks
 		if remaining <= 0 {
 			break
@@ -415,6 +466,48 @@ type tickRun struct {
 	res      Result
 	done     bool
 	badNone  bool
+
+	// Streaming observation (Config.OnObserve): the next parallel time a
+	// snapshot is due, starting at 0 so the first delivered activation is
+	// always observed. lastEmit dedupes the guaranteed final snapshot
+	// against a periodic one that already covered the closing tick; -1
+	// means nothing was emitted yet, so even a run that ends before its
+	// first activation closes the stream.
+	observing   bool
+	nextObserve float64
+	observeGap  float64
+	lastEmit    int64 // initialized to -1
+	onObserve   func(Snapshot)
+}
+
+// emit delivers one Snapshot of the current histogram.
+func (tr *tickRun) emit(now float64, ticks int64) {
+	var und int64
+	for _, v := range tr.counts[tr.colors:] {
+		und += v
+	}
+	tr.lastEmit = ticks
+	tr.onObserve(Snapshot{Time: now, Ticks: ticks, Counts: tr.counts[:tr.colors], Undecided: und})
+}
+
+// maybeObserve emits a Snapshot when the current activation crossed the
+// next observation instant.
+func (tr *tickRun) maybeObserve(now float64, ticks int64) {
+	if !tr.observing || now < tr.nextObserve {
+		return
+	}
+	tr.emit(now, ticks)
+	tr.nextObserve = now + tr.observeGap
+}
+
+// finalObserve closes the stream with a snapshot of the state the run ended
+// in (consensus, timeout or stop), unless the closing tick was already
+// observed.
+func (tr *tickRun) finalObserve(now float64, ticks int64) {
+	if !tr.observing || tr.lastEmit == ticks {
+		return
+	}
+	tr.emit(now, ticks)
 }
 
 // pick draws a color from the cumulative histogram over total nodes,
@@ -493,34 +586,36 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 		rn.sampled = make([]population.Color, s)
 	}
 	tr := tickRun{
-		counts:   counts,
-		n:        n,
-		k:        len(counts),
-		colors:   colors,
-		s:        s,
-		withSelf: cfg.WithSelf,
-		churning: cfg.Churn > 0,
-		churn:    cfg.Churn,
-		r:        cfg.Rand,
-		rule:     rule,
-		sampled:  rn.sampled[:s],
+		counts:     counts,
+		n:          n,
+		k:          len(counts),
+		colors:     colors,
+		s:          s,
+		withSelf:   cfg.WithSelf,
+		churning:   cfg.Churn > 0,
+		churn:      cfg.Churn,
+		r:          cfg.Rand,
+		rule:       rule,
+		sampled:    rn.sampled[:s],
+		observing:  cfg.OnObserve != nil,
+		observeGap: cfg.ObserveInterval,
+		lastEmit:   -1,
+		onObserve:  cfg.OnObserve,
 	}
 	var (
 		ticks int64
 		last  float64
 	)
-	finish := func(timedOut bool) (Result, error) {
+	finish := func(err error) (Result, error) {
 		tr.res.Ticks = ticks
 		tr.res.Time = last
+		tr.finalObserve(last, ticks)
 		if tr.done {
 			tr.res.Done = true
 			return tr.res, nil
 		}
 		tr.res.Winner = plurality(counts)
-		if timedOut {
-			return tr.res, ErrTimeLimit
-		}
-		return tr.res, nil
+		return tr.res, err
 	}
 
 	switch sc := cfg.Scheduler.(type) {
@@ -530,10 +625,13 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 		}
 		buf := rn.times[:sched.BatchSize]
 		for {
+			if cfg.Stop != nil && cfg.Stop() {
+				return finish(ErrStopped)
+			}
 			sc.NextTimes(buf)
 			for _, now := range buf {
 				if now > cfg.MaxTime {
-					return finish(true)
+					return finish(ErrTimeLimit)
 				}
 				ticks++
 				last = now
@@ -541,8 +639,9 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 				if tr.badNone {
 					return Result{}, badNoneErr(rule)
 				}
+				tr.maybeObserve(now, ticks)
 				if tr.done {
-					return finish(false)
+					return finish(nil)
 				}
 			}
 		}
@@ -552,10 +651,13 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 		}
 		buf := rn.ticks[:sched.BatchSize]
 		for {
+			if cfg.Stop != nil && cfg.Stop() {
+				return finish(ErrStopped)
+			}
 			sc.NextBatch(buf)
 			for _, t := range buf {
 				if t.Time > cfg.MaxTime {
-					return finish(true)
+					return finish(ErrTimeLimit)
 				}
 				ticks++
 				last = t.Time
@@ -563,16 +665,26 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 				if tr.badNone {
 					return Result{}, badNoneErr(rule)
 				}
+				tr.maybeObserve(t.Time, ticks)
 				if tr.done {
-					return finish(false)
+					return finish(nil)
 				}
 			}
 		}
 	default:
+		stopCheck := 0
 		for {
+			if cfg.Stop != nil {
+				if stopCheck--; stopCheck <= 0 {
+					stopCheck = stopCheckStride
+					if cfg.Stop() {
+						return finish(ErrStopped)
+					}
+				}
+			}
 			t := cfg.Scheduler.Next()
 			if t.Time > cfg.MaxTime {
-				return finish(true)
+				return finish(ErrTimeLimit)
 			}
 			ticks++
 			last = t.Time
@@ -580,8 +692,9 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 			if tr.badNone {
 				return Result{}, badNoneErr(rule)
 			}
+			tr.maybeObserve(t.Time, ticks)
 			if tr.done {
-				return finish(false)
+				return finish(nil)
 			}
 		}
 	}

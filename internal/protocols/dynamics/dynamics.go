@@ -29,6 +29,31 @@ import (
 // within its time budget.
 var ErrTimeLimit = errors.New("dynamics: time limit exceeded")
 
+// ErrStopped reports a run interrupted by its Stop hook (context
+// cancellation at the public layer) before consensus or its budget.
+var ErrStopped = errors.New("dynamics: run stopped")
+
+// Snapshot is one streamed observation of a running configuration — the
+// shared currency of the engines' OnSnapshot hooks. It is the occupancy
+// engine's snapshot type re-exported so per-node and count-collapsed runs
+// deliver identical observations.
+type Snapshot = occupancy.Snapshot
+
+// Runner executes dynamics runs while pooling the per-run scratch state —
+// the neighbor-sample buffer, the per-node pending-update slice of blocking
+// runs, the synchronous staging buffer and the count-collapsed engine's
+// histogram scratch — so trial loops stop paying an allocation-and-zero
+// cost per run. A Runner is not safe for concurrent use; parallel drivers
+// keep one per worker. Buffer reuse cannot change results: every buffer is
+// (re)initialized before the run consumes it.
+type Runner struct {
+	sampled []population.Color
+	pending []pendingUpdate
+	buf     *syncsim.Buffer
+	snap    []int64
+	occ     occupancy.Runner
+}
+
 // Rule is one sampling dynamic. Implementations must be stateless: the
 // engine may call Next concurrently for distinct trials.
 type Rule interface {
@@ -57,6 +82,9 @@ type SyncConfig struct {
 	MaxRounds int
 	// OnRound, if set, observes the population after each committed round.
 	OnRound func(round int, pop *population.Population)
+	// Stop, if non-nil, is polled at every round boundary; returning true
+	// abandons the run with ErrStopped and the rounds completed so far.
+	Stop func() bool
 }
 
 // SyncResult describes a completed synchronous run.
@@ -76,6 +104,13 @@ type SyncResult struct {
 // MaxRounds. On round exhaustion it returns the partial result together
 // with ErrTimeLimit-compatible syncsim.ErrRoundLimit.
 func RunSync(pop *population.Population, rule Rule, cfg SyncConfig) (SyncResult, error) {
+	var rn Runner
+	return rn.RunSync(pop, rule, cfg)
+}
+
+// RunSync is Runner's scratch-pooling equivalent of the package-level
+// RunSync; results for a fixed seed are bit-identical.
+func (rn *Runner) RunSync(pop *population.Population, rule Rule, cfg SyncConfig) (SyncResult, error) {
 	if err := validateSync(pop, rule, cfg); err != nil {
 		return SyncResult{}, err
 	}
@@ -85,10 +120,10 @@ func RunSync(pop *population.Population, rule Rule, cfg SyncConfig) (SyncResult,
 	var (
 		n       = pop.N()
 		s       = rule.SampleCount()
-		buf     = syncsim.NewBuffer(pop)
-		sampled = make([]population.Color, s)
+		buf     = rn.syncBuffer(pop)
+		sampled = rn.sampleBuffer(s)
 	)
-	res, err := syncsim.Run(cfg.MaxRounds, func(round int) (bool, error) {
+	res, err := syncsim.RunStop(cfg.MaxRounds, cfg.Stop, func(round int) (bool, error) {
 		// Stage through the buffer's backing slice directly: one bounds
 		// check instead of a method call per node on the hot loop. Every
 		// node is staged, so the literal CommitAll applies: a staged None
@@ -117,7 +152,29 @@ func RunSync(pop *population.Population, rule Rule, cfg SyncConfig) (SyncResult,
 	if errors.Is(err, syncsim.ErrRoundLimit) {
 		return out, fmt.Errorf("dynamics: %s did not converge in %d rounds: %w", rule.Name(), cfg.MaxRounds, ErrTimeLimit)
 	}
+	if errors.Is(err, syncsim.ErrStopped) {
+		return out, fmt.Errorf("dynamics: %s stopped after %d rounds: %w", rule.Name(), out.Rounds, ErrStopped)
+	}
 	return out, err
+}
+
+// syncBuffer returns the pooled synchronous staging buffer resized for pop.
+func (rn *Runner) syncBuffer(pop *population.Population) *syncsim.Buffer {
+	if rn.buf == nil {
+		rn.buf = syncsim.NewBuffer(pop)
+		return rn.buf
+	}
+	rn.buf.Fit(pop.N())
+	return rn.buf
+}
+
+// sampleBuffer returns the pooled neighbor-sample buffer with capacity for
+// s samples.
+func (rn *Runner) sampleBuffer(s int) []population.Color {
+	if cap(rn.sampled) < s {
+		rn.sampled = make([]population.Color, s)
+	}
+	return rn.sampled[:s]
 }
 
 func validateSync(pop *population.Population, rule Rule, cfg SyncConfig) error {
@@ -203,6 +260,18 @@ type AsyncConfig struct {
 	OnTick func(t sched.Tick, pop *population.Population)
 	// Engine selects the execution strategy (default EngineAuto).
 	Engine Engine
+	// Stop, if non-nil, is polled at a coarse stride (per tick batch);
+	// returning true abandons the run with ErrStopped and the progress made
+	// so far.
+	Stop func() bool
+	// OnSnapshot, if set, streams periodic histogram Snapshots every
+	// ObserveInterval units of parallel time (an interval <= 0 observes
+	// every activation). Unlike OnTick it does not block the count-collapse:
+	// collapsed runs deliver the same snapshots from the occupancy engine,
+	// where observation forces tick mode. Snapshot.Counts aliases
+	// engine-owned memory and is only valid during the callback.
+	ObserveInterval float64
+	OnSnapshot      func(Snapshot)
 }
 
 // AsyncResult describes a completed asynchronous run.
@@ -238,6 +307,17 @@ type pendingUpdate struct {
 // is in flight are spent waiting, exactly the "node blocks for its response"
 // reading of the paper's §4 extension.
 func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
+	var rn Runner
+	return rn.RunAsync(pop, rule, cfg)
+}
+
+// stopCheckStride is how many per-node ticks pass between Stop polls on the
+// general (non-batch-aligned) path.
+const stopCheckStride = 1024
+
+// RunAsync is Runner's scratch-pooling equivalent of the package-level
+// RunAsync; results for a fixed seed are bit-identical.
+func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
 	if err := validateAsync(pop, rule, cfg); err != nil {
 		return AsyncResult{}, err
 	}
@@ -252,7 +332,7 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	// occupancy package's equivalence gates.
 	if cfg.Engine != EnginePerNode {
 		if blocker := collapseBlocker(cfg); blocker == "" {
-			return runCollapsed(pop, rule, cfg)
+			return rn.runCollapsed(pop, rule, cfg)
 		} else if cfg.Engine == EngineOccupancy {
 			return AsyncResult{}, fmt.Errorf("dynamics: WithEngine(EngineOccupancy) needs a count-collapsible run, but %s", blocker)
 		}
@@ -260,7 +340,7 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	var (
 		n        = pop.N()
 		s        = rule.SampleCount()
-		sampled  = make([]population.Color, s)
+		sampled  = rn.sampleBuffer(s)
 		pending  []pendingUpdate
 		delaying = cfg.Delay != nil
 		latent   = cfg.Latency != nil
@@ -276,7 +356,11 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	// decided update applies only once every response has arrived.
 	blocking := delaying || latent
 	if blocking {
-		pending = make([]pendingUpdate, n)
+		if cap(rn.pending) < n {
+			rn.pending = make([]pendingUpdate, n)
+		}
+		pending = rn.pending[:n]
+		clear(pending)
 	}
 
 	var res AsyncResult
@@ -294,11 +378,23 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 	// Fast path for the paper's base model: no delays, no latencies, no
 	// churn and no observer. Ticks are pulled in batches and handled
 	// inline, so the only per-tick dynamic dispatch left is the rule
-	// itself.
-	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !blocking && !churning && cfg.OnTick == nil {
+	// itself. (Stop stays compatible with it — one poll per batch — but
+	// snapshot observation needs the per-tick time check of the general
+	// path.)
+	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !blocking && !churning && cfg.OnTick == nil && cfg.OnSnapshot == nil {
 		var last sched.Tick
+		ran := false
 		batch := make([]sched.Tick, sched.BatchSize)
 		for !res.Done {
+			if cfg.Stop != nil && cfg.Stop() {
+				res.Time = last.Time
+				if ran {
+					res.Ticks = last.Seq + 1
+				}
+				res.Winner = pop.Plurality()
+				res.Undecided = pop.Undecided()
+				return res, fmt.Errorf("dynamics: %s stopped at time %v: %w", rule.Name(), res.Time, ErrStopped)
+			}
 			bs.NextBatch(batch)
 			for _, t := range batch {
 				if t.Time > cfg.MaxTime {
@@ -318,6 +414,7 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 					break
 				}
 			}
+			ran = true
 		}
 		res.Time = last.Time
 		res.Ticks = last.Seq + 1
@@ -326,7 +423,23 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 		return res, nil
 	}
 
+	var (
+		observing   = cfg.OnSnapshot != nil
+		nextObserve float64
+		lastEmit    int64 = -1 // Seq+1 of the last emitted snapshot (-1 = none)
+		stopCheck   int
+		interrupted bool
+	)
 	last, stopped := sched.RunBatch(cfg.Scheduler, cfg.MaxTime, func(t sched.Tick) bool {
+		if cfg.Stop != nil {
+			if stopCheck--; stopCheck <= 0 {
+				stopCheck = stopCheckStride
+				if cfg.Stop() {
+					interrupted = true
+					return false
+				}
+			}
+		}
 		u := t.Node
 		switch {
 		case blocking && pending[u].waiting && t.Time >= pending[u].readyAt:
@@ -371,17 +484,48 @@ func RunAsync(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResu
 		if cfg.OnTick != nil {
 			cfg.OnTick(t, pop)
 		}
+		if observing && t.Time >= nextObserve {
+			lastEmit = t.Seq + 1
+			rn.emitSnapshot(cfg.OnSnapshot, pop, t.Time, lastEmit)
+			nextObserve = t.Time + cfg.ObserveInterval
+		}
 		return !res.Done
 	})
 
 	res.Time = last.Time
 	res.Ticks = last.Seq + 1
+	if interrupted {
+		// The tick on which the stop poll fired never applied; it is not a
+		// delivered activation.
+		res.Ticks = last.Seq
+	}
 	res.Winner = pop.Plurality()
 	res.Undecided = pop.Undecided()
+	if observing && lastEmit != res.Ticks {
+		// Close the stream with the state the run ended in.
+		rn.emitSnapshot(cfg.OnSnapshot, pop, res.Time, res.Ticks)
+	}
+	if interrupted {
+		return res, fmt.Errorf("dynamics: %s stopped at time %v: %w", rule.Name(), res.Time, ErrStopped)
+	}
 	if !stopped {
 		return res, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), cfg.MaxTime, ErrTimeLimit)
 	}
 	return res, nil
+}
+
+// emitSnapshot delivers one per-node-engine snapshot, reusing the pooled
+// histogram scratch (the callback must not retain Counts).
+func (rn *Runner) emitSnapshot(fn func(Snapshot), pop *population.Population, now float64, ticks int64) {
+	k := pop.K()
+	if cap(rn.snap) < k {
+		rn.snap = make([]int64, k)
+	}
+	buf := rn.snap[:k]
+	for c := 0; c < k; c++ {
+		buf[c] = pop.Count(population.Color(c))
+	}
+	fn(Snapshot{Time: now, Ticks: ticks, Counts: buf, Undecided: pop.Undecided()})
 }
 
 // collapseBlocker reports why the run cannot execute count-collapsed; ""
@@ -413,18 +557,21 @@ func collapseBlocker(cfg AsyncConfig) string {
 // histogram back into pop (on the clique, which node ends up with which
 // color carries no information). Rules with an undecided state carry it in
 // the hidden bucket the occupancy engine appends (occupancy.Undecided).
-func runCollapsed(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
+func (rn *Runner) runCollapsed(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
 	g := cfg.Graph.(graph.Complete)
 	counts := pop.Counts()
-	res, err := occupancy.Run(counts, rule, occupancy.Config{
-		WithSelf:  g.WithSelf,
-		Scheduler: cfg.Scheduler,
-		Rand:      cfg.Rand,
-		MaxTime:   cfg.MaxTime,
-		Churn:     cfg.Churn,
-		Undecided: pop.Undecided(),
+	res, err := rn.occ.Run(counts, rule, occupancy.Config{
+		WithSelf:        g.WithSelf,
+		Scheduler:       cfg.Scheduler,
+		Rand:            cfg.Rand,
+		MaxTime:         cfg.MaxTime,
+		Churn:           cfg.Churn,
+		Undecided:       pop.Undecided(),
+		Stop:            cfg.Stop,
+		ObserveInterval: cfg.ObserveInterval,
+		OnObserve:       cfg.OnSnapshot,
 	})
-	if err != nil && !errors.Is(err, occupancy.ErrTimeLimit) {
+	if err != nil && !errors.Is(err, occupancy.ErrTimeLimit) && !errors.Is(err, occupancy.ErrStopped) {
 		// A hard error means the run never executed: surface it and leave
 		// the population untouched (a write-back of the zero-valued result
 		// would only mask the cause with a shape error).
@@ -444,6 +591,13 @@ func runCollapsed(pop *population.Population, rule Rule, cfg AsyncConfig) (Async
 // whose node count matches; everything collapseBlocker rejects is an error
 // here, as is EnginePerNode.
 func RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
+	var rn Runner
+	return rn.RunAsyncCounts(counts, rule, cfg)
+}
+
+// RunAsyncCounts is Runner's scratch-pooling equivalent of the
+// package-level RunAsyncCounts; results for a fixed seed are bit-identical.
+func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
 	if rule == nil {
 		return AsyncResult{}, errors.New("dynamics: nil rule")
 	}
@@ -468,12 +622,15 @@ func RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (AsyncResult, er
 	if cfg.OnTick != nil || cfg.Latency != nil || cfg.Delay != nil {
 		return AsyncResult{}, errors.New("dynamics: counts runs support neither delays, latencies nor OnTick observers (per-node state)")
 	}
-	res, err := occupancy.Run(counts, rule, occupancy.Config{
-		WithSelf:  withSelf,
-		Scheduler: cfg.Scheduler,
-		Rand:      cfg.Rand,
-		MaxTime:   cfg.MaxTime,
-		Churn:     cfg.Churn,
+	res, err := rn.occ.Run(counts, rule, occupancy.Config{
+		WithSelf:        withSelf,
+		Scheduler:       cfg.Scheduler,
+		Rand:            cfg.Rand,
+		MaxTime:         cfg.MaxTime,
+		Churn:           cfg.Churn,
+		Stop:            cfg.Stop,
+		ObserveInterval: cfg.ObserveInterval,
+		OnObserve:       cfg.OnSnapshot,
 	})
 	return collapsedResult(res, err, rule, cfg.MaxTime)
 }
@@ -491,6 +648,9 @@ func collapsedResult(res occupancy.Result, err error, rule Rule, maxTime float64
 	}
 	if errors.Is(err, occupancy.ErrTimeLimit) {
 		return out, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), maxTime, ErrTimeLimit)
+	}
+	if errors.Is(err, occupancy.ErrStopped) {
+		return out, fmt.Errorf("dynamics: %s stopped at time %v: %w", rule.Name(), res.Time, ErrStopped)
 	}
 	return out, err
 }

@@ -35,6 +35,10 @@ import (
 // reaching consensus.
 var ErrPhaseLimit = errors.New("onebit: phase limit exceeded")
 
+// ErrStopped reports a run interrupted by its Stop hook (context
+// cancellation at the public layer) before consensus or the phase budget.
+var ErrStopped = errors.New("onebit: run stopped")
+
 // PhaseInfo is delivered to the OnPhase observer after each phase.
 type PhaseInfo struct {
 	// Phase is the zero-based phase index.
@@ -63,6 +67,10 @@ type Config struct {
 	PropagationRounds int
 	// OnPhase, if set, observes each completed phase.
 	OnPhase func(PhaseInfo)
+	// Stop, if non-nil, is polled at every synchronous round boundary;
+	// returning true abandons the run with ErrStopped and the progress made
+	// so far.
+	Stop func() bool
 }
 
 // Result describes a completed run.
@@ -99,6 +107,33 @@ func DefaultPropagationRounds(n, k int) int {
 
 // Run executes OneExtraBit on pop until consensus or cfg.MaxPhases.
 func Run(pop *population.Population, cfg Config) (Result, error) {
+	var rn Runner
+	return rn.Run(pop, cfg)
+}
+
+// Runner executes OneExtraBit runs while reusing the three O(n) staging
+// buffers (bit, next bit, next color) across calls, so trial loops stop
+// paying an allocation-and-zero cost per run. Not safe for concurrent use.
+type Runner struct {
+	bit       []bool
+	nextBit   []bool
+	nextColor []population.Color
+}
+
+// grow returns buf resized to n and zeroed, reusing its backing array when
+// the capacity suffices.
+func grow[T bool | population.Color](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// Run is Runner's buffer-reusing equivalent of the package-level Run;
+// results for a fixed seed are bit-identical.
+func (rn *Runner) Run(pop *population.Population, cfg Config) (Result, error) {
 	if err := validate(pop, cfg); err != nil {
 		return Result{}, err
 	}
@@ -112,14 +147,20 @@ func Run(pop *population.Population, cfg Config) (Result, error) {
 		propRounds = DefaultPropagationRounds(n, pop.K())
 	}
 
+	rn.bit = grow(rn.bit, n)
+	rn.nextBit = grow(rn.nextBit, n)
+	rn.nextColor = grow(rn.nextColor, n)
 	var (
-		bit       = make([]bool, n)
-		nextBit   = make([]bool, n)
-		nextColor = make([]population.Color, n)
+		bit       = rn.bit
+		nextBit   = rn.nextBit
+		nextColor = rn.nextColor
 		res       Result
 	)
 
 	for phase := 0; phase < cfg.MaxPhases; phase++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			return stopResult(res, pop)
+		}
 		res.Phases = phase + 1
 		info := PhaseInfo{Phase: phase}
 
@@ -151,6 +192,9 @@ func Run(pop *population.Population, cfg Config) (Result, error) {
 		// Sub-phase 2: Bit-Propagation. Bitless nodes pull one sample per
 		// round and join the bit-set crowd when they hit it.
 		for round := 0; round < propRounds; round++ {
+			if cfg.Stop != nil && cfg.Stop() {
+				return stopResult(res, pop)
+			}
 			for u := 0; u < n; u++ {
 				nextColor[u] = population.None
 				nextBit[u] = bit[u]
@@ -207,6 +251,13 @@ func finish(res Result, pop *population.Population) Result {
 	res.Done = true
 	res.Winner = pop.Plurality()
 	return res
+}
+
+// stopResult reports an interrupted run: the progress so far plus the
+// current plurality, alongside ErrStopped.
+func stopResult(res Result, pop *population.Population) (Result, error) {
+	res.Winner = pop.Plurality()
+	return res, fmt.Errorf("onebit: stopped after %d phases: %w", res.Phases, ErrStopped)
 }
 
 func validate(pop *population.Population, cfg Config) error {

@@ -18,6 +18,10 @@ import (
 // budget.
 var ErrRoundLimit = errors.New("syncsim: round limit exceeded")
 
+// ErrStopped reports a run interrupted by its stop hook (context
+// cancellation at the public layer) before completing.
+var ErrStopped = errors.New("syncsim: run stopped")
+
 // Result describes a completed synchronous run.
 type Result struct {
 	// Rounds is the number of rounds executed.
@@ -31,10 +35,22 @@ type Result struct {
 // is reached. A run that exhausts the budget returns ErrRoundLimit alongside
 // the partial result so callers can still inspect progress.
 func Run(maxRounds int, round func(r int) (done bool, err error)) (Result, error) {
+	return RunStop(maxRounds, nil, round)
+}
+
+// RunStop is Run with an interruption hook: when stop is non-nil it is
+// polled before every round, and a true return abandons the run with
+// ErrStopped alongside the rounds completed so far. The round boundary is
+// the natural interruption granularity of the synchronous model — a
+// committed round is never torn apart.
+func RunStop(maxRounds int, stop func() bool, round func(r int) (done bool, err error)) (Result, error) {
 	if maxRounds <= 0 {
 		return Result{}, fmt.Errorf("syncsim: maxRounds = %d, want > 0", maxRounds)
 	}
 	for r := 0; r < maxRounds; r++ {
+		if stop != nil && stop() {
+			return Result{Rounds: r}, ErrStopped
+		}
 		done, err := round(r)
 		if err != nil {
 			return Result{Rounds: r + 1}, err
@@ -56,9 +72,20 @@ type Buffer struct {
 // NewBuffer returns a Buffer sized for pop with every node staged as
 // unchanged.
 func NewBuffer(pop *population.Population) *Buffer {
-	b := &Buffer{next: make([]population.Color, pop.N())}
-	b.Reset()
+	b := &Buffer{}
+	b.Fit(pop.N())
 	return b
+}
+
+// Fit resizes the buffer to n nodes, reusing the backing array when its
+// capacity suffices, and resets every node to "keep". It lets trial loops
+// pool one Buffer across runs instead of allocating an O(n) slice per run.
+func (b *Buffer) Fit(n int) {
+	if cap(b.next) < n {
+		b.next = make([]population.Color, n)
+	}
+	b.next = b.next[:n]
+	b.Reset()
 }
 
 // Stage records node u's next color. Staging population.None means

@@ -1,0 +1,599 @@
+package plurality
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+	"sync"
+
+	"plurality/internal/core"
+	"plurality/internal/par"
+	"plurality/internal/protocols"
+	"plurality/internal/protocols/dynamics"
+	"plurality/internal/protocols/onebit"
+	"plurality/internal/rng"
+	"plurality/internal/sched"
+)
+
+// Job is a validated, reusable binding of protocol spec × initial counts ×
+// options — the v2 run API. Compile one with NewJob, then execute it any
+// number of times:
+//
+//	job, err := plurality.NewJob("two-choices", counts,
+//		plurality.WithSeed(7), plurality.WithModel(plurality.Poisson))
+//	rep, err := job.Run(ctx)          // one run
+//	reps, err := job.Trials(ctx, 100) // pooled parallel trials
+//
+// The spec is "core" (Theorem 1.3's asynchronous protocol), "onebit" (alias
+// "one-extra-bit"; Theorem 1.2), or any registry protocol spec —
+// "two-choices", "voter", "3-majority", "usd", "j-majority:5" (see
+// Protocols). Registry protocols run asynchronously by default and
+// synchronously under WithModel(Synchronous); with WithEngine(
+// EngineOccupancy) they execute count-collapsed in O(k) memory without ever
+// materializing a per-node population.
+//
+// Unlike the legacy RunX entry points, NewJob validates eagerly: options the
+// selected runner would silently ignore are rejected (see Validate), as are
+// malformed counts, unknown protocols and bad parameters. Execution is
+// context-aware — cancellation and deadlines are honored inside every
+// engine loop — and a Job is immutable after construction, so it is safe to
+// share across goroutines (each Run builds fresh run state).
+type Job struct {
+	spec   string
+	kind   Kind
+	counts []int64
+	total  int64
+	o      *options
+	desc   protocols.Descriptor // registry protocols only
+	rule   dynamics.Rule        // registry protocols only
+}
+
+// NewJob compiles and validates a job; see Job for the spec syntax. counts
+// is copied, so the caller's slice stays untouched by later runs.
+func NewJob(spec string, counts []int64, opts ...Option) (*Job, error) {
+	j, err := newJob(spec, counts, newOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// newJob resolves the spec and binds the counts without the strict option
+// validation (the legacy shims accept — and ignore — foreign options, which
+// Validate would reject).
+func newJob(spec string, counts []int64, o *options) (*Job, error) {
+	j := &Job{spec: spec, counts: slices.Clone(counts), o: o}
+	for _, v := range j.counts {
+		j.total += v
+	}
+	switch spec {
+	case "core":
+		j.kind = KindCore
+	case "onebit", "one-extra-bit":
+		j.kind = KindOneExtraBit
+	default:
+		d, rule, err := protocols.Lookup(spec)
+		if err != nil {
+			return nil, err
+		}
+		j.desc, j.rule = d, rule
+		if o.model == Synchronous {
+			j.kind = KindSyncDynamic
+		} else {
+			j.kind = KindDynamic
+		}
+	}
+	return j, nil
+}
+
+// Kind returns the runner family the job is bound to.
+func (j *Job) Kind() Kind { return j.kind }
+
+// Protocol returns the protocol spec the job was compiled from.
+func (j *Job) Protocol() string { return j.spec }
+
+// N returns the total number of nodes (the histogram total).
+func (j *Job) N() int64 { return j.total }
+
+// countsPath reports whether the job executes directly on the histogram
+// (O(k) memory, no per-node population): an asynchronous dynamic with the
+// occupancy engine required.
+func (j *Job) countsPath() bool {
+	return j.kind == KindDynamic && j.o.engine == EngineOccupancy
+}
+
+// Per-kind masks of the options each runner actually consumes; everything
+// outside the mask is rejected by Validate instead of silently dropped.
+var (
+	commonOptMask = maskOf(idSeed, idTrialWorkers, idObserver)
+	coreOptMask   = commonOptMask | maskOf(idModel, idMaxTime, idResponseDelay,
+		idEdgeLatency, idChurn, idGraph, idProbe, idDelta, idPhases,
+		idGadgetSamples, idEndgameTicks, idNoSyncGadget, idEndgameOnly,
+		idRunToHalt, idCrashes, idDesync)
+	asyncOptMask = commonOptMask | maskOf(idModel, idMaxTime, idResponseDelay,
+		idEdgeLatency, idChurn, idGraph, idEngine)
+	countsOptMask = commonOptMask | maskOf(idModel, idMaxTime, idChurn,
+		idGraph, idEngine)
+	syncOptMask   = commonOptMask | maskOf(idModel, idMaxRounds, idGraph)
+	oneBitOptMask = commonOptMask | maskOf(idGraph, idMaxRounds, idMaxPhases,
+		idPropagationRounds, idPhaseObserver)
+)
+
+// Validate checks the job end to end without running anything: the counts
+// (shape, totals, per-engine limits), the protocol parameters, the graph
+// binding, and — unlike the legacy RunX entry points, which silently drop
+// options their runner does not consume — that every applied option is one
+// the selected runner/engine actually uses.
+func (j *Job) Validate() error {
+	var allowed uint32
+	switch j.kind {
+	case KindCore:
+		allowed = coreOptMask
+	case KindDynamic:
+		if j.o.engine == EngineOccupancy {
+			allowed = countsOptMask
+		} else {
+			allowed = asyncOptMask
+		}
+	case KindSyncDynamic:
+		allowed = syncOptMask
+	case KindOneExtraBit:
+		allowed = oneBitOptMask
+	default:
+		return fmt.Errorf("plurality: job %q has unknown kind %d", j.spec, j.kind)
+	}
+	if bad := j.o.set &^ allowed; bad != 0 {
+		var names []string
+		for id := optID(0); id < numOptIDs; id++ {
+			if bad&(1<<id) != 0 {
+				names = append(names, optNames[id])
+			}
+		}
+		return fmt.Errorf("plurality: a %s job (%s) does not use %s; the option(s) would be silently ignored",
+			j.kind, j.spec, strings.Join(names, ", "))
+	}
+
+	// Counts: non-negative, a workable total that fits the schedulers'
+	// node index.
+	if len(j.counts) == 0 {
+		return fmt.Errorf("plurality: job %s has no initial counts", j.spec)
+	}
+	for c, v := range j.counts {
+		if v < 0 {
+			return fmt.Errorf("plurality: job %s: negative count %d for color %d", j.spec, v, c)
+		}
+	}
+	if j.total < 2 {
+		return fmt.Errorf("plurality: job %s: histogram total %d, want >= 2", j.spec, j.total)
+	}
+	if j.total != int64(int(j.total)) {
+		return fmt.Errorf("plurality: job %s: histogram total %d overflows the node index", j.spec, j.total)
+	}
+	if g := j.o.graph; g != nil && int64(g.N()) != j.total {
+		return fmt.Errorf("plurality: job %s: graph has %d nodes, histogram %d", j.spec, g.N(), j.total)
+	}
+
+	switch j.kind {
+	case KindCore:
+		if j.o.model == Synchronous {
+			return errors.New("plurality: the core protocol is asynchronous; WithModel(Synchronous) applies to registry sampling dynamics")
+		}
+		if _, err := core.Plan(j.o.coreConfig(nil), int(j.total)); err != nil {
+			return err
+		}
+	case KindDynamic:
+		if j.o.engine == EngineOccupancy {
+			if _, err := j.desc.ValidateCounts(j.counts, j.o.model == HeapPoisson); err != nil {
+				return err
+			}
+		}
+	case KindSyncDynamic:
+		if j.o.maxRounds <= 0 {
+			return fmt.Errorf("plurality: job %s: MaxRounds = %d, want > 0", j.spec, j.o.maxRounds)
+		}
+	}
+	if j.kind != KindSyncDynamic && j.kind != KindOneExtraBit {
+		if j.o.maxTime <= 0 {
+			return fmt.Errorf("plurality: job %s: MaxTime = %v, want > 0", j.spec, j.o.maxTime)
+		}
+		if math.IsNaN(j.o.maxTime) {
+			return fmt.Errorf("plurality: job %s: MaxTime is NaN", j.spec)
+		}
+	}
+	return nil
+}
+
+// Run executes one run of the job from its initial counts, honoring ctx:
+// cancellation or deadline expiry is polled inside every engine loop (the
+// core schedule, the per-node dynamics, the count-collapsed leap/tick
+// modes, the synchronous round loop, OneExtraBit's phases) and surfaces as
+// a context error wrapping the progress made so far. Convergence failures
+// keep the legacy sentinels: errors.Is(err, ErrNoConsensus | ErrTimeLimit |
+// ErrPhaseLimit). The returned Report is meaningful in every error case.
+//
+// Run never mutates the job; concurrent Runs are safe and, for a fixed
+// seed, bit-identical to the legacy RunX entry points with the same
+// options.
+func (j *Job) Run(ctx context.Context) (Report, error) {
+	return j.run(ctx, j.o, nil)
+}
+
+// RunOn executes the job's protocol and options on a caller-supplied
+// population, mutating it in place — the bridge for callers that prepare
+// populations themselves (shuffled placements on spatial topologies, resumed
+// states). The job's bound counts are ignored; the population defines the
+// initial configuration. Jobs compiled with WithEngine(EngineOccupancy)
+// still honor it: the run collapses the population's histogram and writes
+// the final histogram back.
+func (j *Job) RunOn(ctx context.Context, pop *Population) (Report, error) {
+	if pop == nil {
+		return Report{}, fmt.Errorf("plurality: job %s: nil population", j.spec)
+	}
+	return j.runOn(ctx, j.o, nil, pop)
+}
+
+// run executes one run from the job's counts under o (a possibly reseeded
+// copy of the job's options), reusing pooled trial state when st is
+// non-nil.
+func (j *Job) run(ctx context.Context, o *options, st *trialState) (Report, error) {
+	if j.countsPath() {
+		var counts []int64
+		var rn *dynamics.Runner
+		if st != nil {
+			copy(st.counts, j.counts)
+			counts, rn = st.counts, st.dyn
+		} else {
+			counts, rn = slices.Clone(j.counts), new(dynamics.Runner)
+		}
+		res, err := execCounts(ctx, rn, counts, j.desc, j.rule, o)
+		return j.report(ReportFromAsync(res)), err
+	}
+	var pop *Population
+	if st != nil {
+		if err := st.pop.Reset(st.base); err != nil {
+			return Report{}, err
+		}
+		pop = st.pop
+	} else {
+		var err error
+		if pop, err = NewPopulation(j.counts); err != nil {
+			return Report{}, err
+		}
+	}
+	return j.runOn(ctx, o, st, pop)
+}
+
+// runOn dispatches one run on pop to the kind's engine.
+func (j *Job) runOn(ctx context.Context, o *options, st *trialState, pop *Population) (Report, error) {
+	switch j.kind {
+	case KindCore:
+		rn := core.NewRunner()
+		if st != nil {
+			rn = st.core
+		}
+		res, err := execCore(ctx, rn, pop, o)
+		return j.report(ReportFromCore(res)), err
+	case KindDynamic:
+		rn := new(dynamics.Runner)
+		if st != nil {
+			rn = st.dyn
+		}
+		res, err := execAsync(ctx, rn, pop, j.rule, o)
+		return j.report(ReportFromAsync(res)), err
+	case KindSyncDynamic:
+		rn := new(dynamics.Runner)
+		if st != nil {
+			rn = st.dyn
+		}
+		res, err := execSync(ctx, rn, pop, j.rule, o)
+		return j.report(ReportFromSync(res)), err
+	case KindOneExtraBit:
+		rn := new(onebit.Runner)
+		if st != nil {
+			rn = st.ob
+		}
+		res, err := execOneBit(ctx, rn, pop, o)
+		return j.report(ReportFromOneExtraBit(res)), err
+	default:
+		return Report{}, fmt.Errorf("plurality: job %q has unknown kind %d", j.spec, j.kind)
+	}
+}
+
+// report stamps the job's identity onto a converted report.
+func (j *Job) report(rep Report) Report {
+	rep.Protocol = j.spec
+	return rep
+}
+
+// trialState is the pooled per-worker state of Job.Trials: the cloned
+// population (or histogram scratch on the counts path) plus the engine
+// runner owning the reusable O(n) buffers.
+type trialState struct {
+	base   *Population
+	pop    *Population
+	counts []int64
+	core   *core.Runner
+	dyn    *dynamics.Runner
+	ob     *onebit.Runner
+}
+
+// newTrialState builds one worker's pooled state; base is nil exactly on
+// the counts path.
+func (j *Job) newTrialState(base *Population) *trialState {
+	st := &trialState{base: base}
+	if base != nil {
+		st.pop = base.Clone()
+	} else {
+		st.counts = make([]int64, len(j.counts))
+	}
+	switch j.kind {
+	case KindCore:
+		st.core = core.NewRunner()
+	case KindOneExtraBit:
+		st.ob = new(onebit.Runner)
+	default:
+		st.dyn = new(dynamics.Runner)
+	}
+	return st
+}
+
+// Trials executes trials independent runs of the job, sharded across
+// WithTrialWorkers goroutines (default GOMAXPROCS). Trial t runs with a
+// seed derived deterministically from the base WithSeed and t (see
+// TrialSeed), so the result slice is a pure function of (job, trials) —
+// independent of the worker count and of scheduling — and trial 0 is
+// bit-identical to Run. Results are returned in trial order; the first
+// failing trial's error (lowest index) is returned alongside the full
+// slice, with later trials still run, so convergence failures leave every
+// report usable.
+//
+// Per-worker state is pooled across trials via sync.Pool: populations and
+// engine buffers — roughly seven O(n) slices for the core protocol, the
+// staging/pending buffers of the dynamics engines, the O(k) histogram of
+// counts jobs — are reused instead of reallocated and rezeroed, for every
+// registered protocol and engine. Pooling cannot change results: a trial's
+// outcome is a pure function of its seed.
+//
+// ctx cancels the whole fan-out: trials that already ran keep their
+// reports, and the first canceled trial's context error is returned.
+// Observer callbacks (WithObserver, WithProbe) are invoked concurrently
+// from trial workers.
+func (j *Job) Trials(ctx context.Context, trials int) ([]Report, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("plurality: trials = %d, want > 0", trials)
+	}
+	var base *Population
+	if !j.countsPath() {
+		var err error
+		if base, err = NewPopulation(j.counts); err != nil {
+			return nil, err
+		}
+	}
+
+	// One pooled state per concurrently active worker; sync.Pool keeps the
+	// states alive exactly as long as the trial loop needs them.
+	pool := sync.Pool{New: func() any { return j.newTrialState(base) }}
+	results := make([]Report, trials)
+	err := par.ForEach(j.o.trialWorkers, trials, func(trial int) error {
+		st := pool.Get().(*trialState)
+		defer pool.Put(st)
+		to := *j.o
+		to.seed = TrialSeed(j.o.seed, trial)
+		rep, err := j.run(ctx, &to, st)
+		results[trial] = rep
+		return err
+	})
+	return results, err
+}
+
+// --- execution layer ------------------------------------------------------
+//
+// The exec helpers below are the single execution path of the library: the
+// Job methods and every legacy RunX shim call them with identical option
+// structs, which is what keeps fixed-seed results bit-identical across the
+// two API generations. ctx is honored through each engine's Stop hook; a
+// Background (or otherwise never-canceled) context compiles to a nil hook
+// and costs nothing on the hot path.
+
+// stopFunc derives an engine Stop hook from ctx; nil when ctx can never be
+// canceled.
+func stopFunc(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// ctxErr rewraps an engine's stop sentinel as the context's own error so
+// callers can match errors.Is(err, context.Canceled) and friends; other
+// errors pass through.
+func ctxErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrStopped) || errors.Is(err, dynamics.ErrStopped) || errors.Is(err, onebit.ErrStopped) {
+		if cause := context.Cause(ctx); cause != nil {
+			return fmt.Errorf("plurality: %w (%v)", cause, err)
+		}
+	}
+	return err
+}
+
+// execCore executes one core-protocol run on the given (possibly reused)
+// runner.
+func execCore(ctx context.Context, rn *core.Runner, pop *Population, o *options) (CoreResult, error) {
+	g, err := o.topology(pop)
+	if err != nil {
+		return CoreResult{}, err
+	}
+	s, err := o.scheduler(pop.N())
+	if err != nil {
+		return CoreResult{}, err
+	}
+	cfg := o.coreConfig(g)
+	cfg.Scheduler = s
+	cfg.Rand = rng.At(o.seed, 1)
+	cfg.Stop = stopFunc(ctx)
+	o.coreObserver(&cfg, pop)
+	res, err := rn.Run(pop, cfg)
+	return res, ctxErr(ctx, err)
+}
+
+// execAsync executes one asynchronous sampling-dynamics run on pop.
+func execAsync(ctx context.Context, rn *dynamics.Runner, pop *Population, rule dynamics.Rule, o *options) (AsyncResult, error) {
+	g, err := o.topology(pop)
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	s, err := o.scheduler(pop.N())
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	cfg := dynamics.AsyncConfig{
+		Graph:     g,
+		Scheduler: s,
+		Rand:      rng.At(o.seed, 1),
+		MaxTime:   o.maxTime,
+	}
+	if o.delayRate > 0 {
+		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
+	}
+	cfg.Latency = o.latency
+	cfg.Churn = o.churnRate
+	cfg.Engine = o.dynamicsEngine()
+	cfg.Stop = stopFunc(ctx)
+	cfg.ObserveInterval, cfg.OnSnapshot = o.asyncObserver()
+	res, err := rn.RunAsync(pop, rule, cfg)
+	return res, ctxErr(ctx, err)
+}
+
+// execSync executes one synchronous sampling-dynamics run on pop.
+func execSync(ctx context.Context, rn *dynamics.Runner, pop *Population, rule dynamics.Rule, o *options) (SyncResult, error) {
+	g, err := o.topology(pop)
+	if err != nil {
+		return SyncResult{}, err
+	}
+	obs := o.newSyncObserver()
+	res, err := rn.RunSync(pop, rule, dynamics.SyncConfig{
+		Graph:     g,
+		Rand:      rng.At(o.seed, 0),
+		MaxRounds: o.maxRounds,
+		Stop:      stopFunc(ctx),
+		OnRound:   obs.onRound(),
+	})
+	if errors.Is(err, dynamics.ErrStopped) {
+		// The engine stops between rounds, where no per-round hook fires;
+		// close the observation stream with the interrupted state.
+		obs.final(res.Rounds, pop)
+	}
+	return res, ctxErr(ctx, err)
+}
+
+// execCounts executes one count-collapsed run directly on the histogram
+// (mutated in place to the final histogram).
+func execCounts(ctx context.Context, rn *dynamics.Runner, counts []int64, d protocols.Descriptor, rule dynamics.Rule, o *options) (AsyncResult, error) {
+	// The O(k)-memory guards live on the registry descriptor so every
+	// protocol — including newly registered ones — shares them.
+	n, err := d.ValidateCounts(counts, o.model == HeapPoisson)
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	s, err := o.scheduler(int(n))
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	cfg := dynamics.AsyncConfig{
+		Graph:     o.graph,
+		Scheduler: s,
+		Rand:      rng.At(o.seed, 1),
+		MaxTime:   o.maxTime,
+		Churn:     o.churnRate,
+		Engine:    o.dynamicsEngine(),
+	}
+	if o.delayRate > 0 {
+		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
+	}
+	cfg.Latency = o.latency
+	cfg.Stop = stopFunc(ctx)
+	cfg.ObserveInterval, cfg.OnSnapshot = o.asyncObserver()
+	res, err := rn.RunAsyncCounts(counts, rule, cfg)
+	return res, ctxErr(ctx, err)
+}
+
+// execOneBit executes one OneExtraBit run on pop. The phase budget is
+// WithMaxPhases when set; otherwise the deprecated legacy derivation
+// max(1, MaxRounds/10) applies, preserving the historical default.
+func execOneBit(ctx context.Context, rn *onebit.Runner, pop *Population, o *options) (OneExtraBitResult, error) {
+	g, err := o.topology(pop)
+	if err != nil {
+		return OneExtraBitResult{}, err
+	}
+	maxPhases := o.maxPhases
+	if maxPhases <= 0 {
+		maxPhases = o.maxRounds / 10
+		if maxPhases < 1 {
+			maxPhases = 1
+		}
+	}
+	obs := o.newOneBitObserver()
+	res, err := rn.Run(pop, onebit.Config{
+		Graph:             g,
+		Rand:              rng.At(o.seed, 0),
+		MaxPhases:         maxPhases,
+		PropagationRounds: o.propagationRounds,
+		OnPhase:           obs.hook(o.onPhase),
+		Stop:              stopFunc(ctx),
+	})
+	if errors.Is(err, onebit.ErrStopped) {
+		// Interrupted runs end between rounds, where no phase hook fires;
+		// close the observation stream with the interrupted state.
+		obs.final(res.Phases, pop)
+	}
+	return res, ctxErr(ctx, err)
+}
+
+// dynamicsEngine maps the public engine option onto the internal one.
+func (o *options) dynamicsEngine() dynamics.Engine {
+	switch o.engine {
+	case EnginePerNode:
+		return dynamics.EnginePerNode
+	case EngineOccupancy:
+		return dynamics.EngineOccupancy
+	default:
+		return dynamics.EngineAuto
+	}
+}
+
+// topology returns the configured graph or the default complete graph
+// sized to the population.
+func (o *options) topology(pop *Population) (Graph, error) {
+	if pop == nil {
+		return nil, fmt.Errorf("plurality: nil population")
+	}
+	if o.graph != nil {
+		return o.graph, nil
+	}
+	return CompleteGraph(pop.N())
+}
+
+// scheduler builds the configured asynchronous engine.
+func (o *options) scheduler(n int) (sched.Scheduler, error) {
+	switch o.model {
+	case Sequential:
+		return sched.NewSequential(n, rng.At(o.seed, 0))
+	case Poisson:
+		return sched.NewPoisson(n, 1, rng.At(o.seed, 0))
+	case HeapPoisson:
+		return sched.NewHeapPoisson(n, 1, rng.At(o.seed, 0))
+	case Synchronous:
+		return nil, fmt.Errorf("plurality: the Synchronous model has no asynchronous scheduler; it selects the round-based dynamics engine (Job API or RunDynamicSync)")
+	default:
+		return nil, fmt.Errorf("plurality: unknown model %d", o.model)
+	}
+}

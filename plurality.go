@@ -7,22 +7,31 @@
 // to adopt the *plurality* color — the initially most frequent one — using
 // only tiny local samples. The package implements:
 //
-//   - RunCore: the paper's main contribution (Theorem 1.3), an asynchronous
+//   - "core": the paper's main contribution (Theorem 1.3), an asynchronous
 //     protocol under unit-rate Poisson clocks that converges in Θ(log n)
 //     parallel time given a (1+ε)-multiplicative bias, built from
 //     Two-Choices steps, Bit-Propagation, and a Sync Gadget that maintains
 //     weak synchronicity.
-//   - RunOneExtraBit: the synchronous phase protocol of Theorem 1.2.
-//   - RunTwoChoicesSync / RunTwoChoicesAsync: the Two-Choices dynamic of
-//     Theorem 1.1, plus Voter and 3-Majority baselines.
+//   - "onebit": the synchronous phase protocol of Theorem 1.2.
+//   - a registry of memoryless sampling dynamics (Protocols): Two-Choices
+//     (Theorem 1.1), Voter, 3-Majority, Undecided-State Dynamics and
+//     j-Majority, each runnable synchronously, asynchronously per node, or
+//     count-collapsed in O(k) memory at n = 10⁸–10⁹.
 //
 // # Quick start
 //
 //	counts, _ := plurality.Biased(100_000, 8, 0.5) // c1 = 1.5·c2
-//	pop, _ := plurality.NewPopulation(counts)
-//	res, err := plurality.RunCore(pop, plurality.WithSeed(42))
+//	job, err := plurality.NewJob("core", counts, plurality.WithSeed(42))
 //	if err != nil { ... }
-//	fmt.Println(res.Winner, res.ConsensusTime) // 0, Θ(log n)
+//	rep, err := job.Run(ctx)
+//	fmt.Println(rep.Winner, rep.ConsensusTime) // 0, Θ(log n)
+//
+// A Job is the validated, reusable binding of protocol spec × initial
+// counts × options; Job.Run honors context cancellation inside every
+// engine loop, Job.Trials fans deterministic pooled trials across cores
+// for every protocol, and WithObserver streams histogram snapshots from
+// any runner. The legacy one-shot entry points (RunCore, RunDynamic, …)
+// remain as bit-identical shims over the same execution layer.
 //
 // All runs are deterministic given WithSeed. See DESIGN.md for the paper
 // mapping and EXPERIMENTS.md for the reproduced results.

@@ -1,16 +1,21 @@
 package plurality
 
+// This file holds the legacy one-shot entry points, kept as thin shims over
+// the Job execution layer (see job.go): each RunX call builds the same
+// option struct a Job would and dispatches to the shared exec helpers with
+// a background context, so fixed-seed results are bit-identical across the
+// two API generations. New code should prefer NewJob / Job.Run /
+// Job.Trials, which add eager validation, context cancellation, uniform
+// Reports and pooled multi-trial execution.
+
 import (
-	"fmt"
-	"sync"
+	"context"
 
 	"plurality/internal/core"
-	"plurality/internal/par"
 	"plurality/internal/protocols"
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/protocols/onebit"
 	"plurality/internal/rng"
-	"plurality/internal/sched"
 )
 
 // RunCore executes the paper's asynchronous plurality-consensus protocol
@@ -18,23 +23,7 @@ import (
 // runs the sequential model on the complete graph until all (live) nodes
 // agree, every node halts, or the time budget elapses.
 func RunCore(pop *Population, opts ...Option) (CoreResult, error) {
-	return runCore(core.NewRunner(), pop, newOptions(opts))
-}
-
-// runCore executes one core run on the given (possibly reused) runner.
-func runCore(rn *core.Runner, pop *Population, o *options) (CoreResult, error) {
-	g, err := o.topology(pop)
-	if err != nil {
-		return CoreResult{}, err
-	}
-	s, err := o.scheduler(pop.N())
-	if err != nil {
-		return CoreResult{}, err
-	}
-	cfg := o.coreConfig(g)
-	cfg.Scheduler = s
-	cfg.Rand = rng.At(o.seed, 1)
-	return rn.Run(pop, cfg)
+	return execCore(context.Background(), core.NewRunner(), pop, newOptions(opts))
 }
 
 // RunDynamic executes the named sampling dynamic from the protocol
@@ -46,7 +35,7 @@ func RunDynamic(protocol string, pop *Population, opts ...Option) (AsyncResult, 
 	if err != nil {
 		return AsyncResult{}, err
 	}
-	return runAsyncRule(pop, rule, opts)
+	return execAsync(context.Background(), new(dynamics.Runner), pop, rule, newOptions(opts))
 }
 
 // RunDynamicSync executes the named sampling dynamic in the synchronous
@@ -57,7 +46,7 @@ func RunDynamicSync(protocol string, pop *Population, opts ...Option) (SyncResul
 	if err != nil {
 		return SyncResult{}, err
 	}
-	return runSyncRule(pop, rule, opts)
+	return execSync(context.Background(), new(dynamics.Runner), pop, rule, newOptions(opts))
 }
 
 // RunDynamicCounts executes the named sampling dynamic directly on a color
@@ -75,7 +64,7 @@ func RunDynamicCounts(protocol string, counts []int64, opts ...Option) (AsyncRes
 	if err != nil {
 		return AsyncResult{}, err
 	}
-	return runCountsRule(counts, d, rule, opts)
+	return execCounts(context.Background(), new(dynamics.Runner), counts, d, rule, newOptions(opts))
 }
 
 // The per-protocol wrappers below predate the registry and remain as thin
@@ -115,75 +104,12 @@ func RunThreeMajorityAsync(pop *Population, opts ...Option) (AsyncResult, error)
 }
 
 // RunOneExtraBit executes the synchronous OneExtraBit protocol
-// (Theorem 1.2) until consensus or the phase budget (MaxRounds/10 phases by
-// default ordering of magnitude; override with WithMaxRounds).
+// (Theorem 1.2) until consensus or the phase budget. The budget is
+// WithMaxPhases when given; otherwise the deprecated legacy derivation
+// max(1, MaxRounds/10) applies — an order-of-magnitude heuristic kept only
+// for compatibility. Prefer WithMaxPhases.
 func RunOneExtraBit(pop *Population, opts ...Option) (OneExtraBitResult, error) {
-	o := newOptions(opts)
-	g, err := o.topology(pop)
-	if err != nil {
-		return OneExtraBitResult{}, err
-	}
-	maxPhases := o.maxRounds / 10
-	if maxPhases < 1 {
-		maxPhases = 1
-	}
-	return onebit.Run(pop, onebit.Config{
-		Graph:             g,
-		Rand:              rng.At(o.seed, 0),
-		MaxPhases:         maxPhases,
-		PropagationRounds: o.propagationRounds,
-		OnPhase:           o.onPhase,
-	})
-}
-
-func runSyncRule(pop *Population, rule dynamics.Rule, opts []Option) (SyncResult, error) {
-	o := newOptions(opts)
-	g, err := o.topology(pop)
-	if err != nil {
-		return SyncResult{}, err
-	}
-	return dynamics.RunSync(pop, rule, dynamics.SyncConfig{
-		Graph:     g,
-		Rand:      rng.At(o.seed, 0),
-		MaxRounds: o.maxRounds,
-	})
-}
-
-func runAsyncRule(pop *Population, rule dynamics.Rule, opts []Option) (AsyncResult, error) {
-	o := newOptions(opts)
-	g, err := o.topology(pop)
-	if err != nil {
-		return AsyncResult{}, err
-	}
-	s, err := o.scheduler(pop.N())
-	if err != nil {
-		return AsyncResult{}, err
-	}
-	cfg := dynamics.AsyncConfig{
-		Graph:     g,
-		Scheduler: s,
-		Rand:      rng.At(o.seed, 1),
-		MaxTime:   o.maxTime,
-	}
-	if o.delayRate > 0 {
-		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
-	}
-	cfg.Latency = o.latency
-	cfg.Churn = o.churnRate
-	cfg.Engine = o.dynamicsEngine()
-	return dynamics.RunAsync(pop, rule, cfg)
-}
-
-// dynamicsEngine maps the public engine option onto the internal one.
-func (o *options) dynamicsEngine() dynamics.Engine {
-	switch o.engine {
-	case EnginePerNode:
-		return dynamics.EnginePerNode
-	case EngineOccupancy:
-		return dynamics.EngineOccupancy
-	default:
-		return dynamics.EngineAuto
-	}
+	return execOneBit(context.Background(), new(onebit.Runner), pop, newOptions(opts))
 }
 
 // RunTwoChoicesCounts executes the asynchronous Two-Choices dynamic on a
@@ -206,112 +132,29 @@ func RunThreeMajorityCounts(counts []int64, opts ...Option) (AsyncResult, error)
 	return RunDynamicCounts("3-majority", counts, opts...)
 }
 
-func runCountsRule(counts []int64, d protocols.Descriptor, rule dynamics.Rule, opts []Option) (AsyncResult, error) {
-	o := newOptions(opts)
-	// The O(k)-memory guards live on the registry descriptor so every
-	// protocol — including newly registered ones — shares them.
-	n, err := d.ValidateCounts(counts, o.model == HeapPoisson)
-	if err != nil {
-		return AsyncResult{}, err
-	}
-	s, err := o.scheduler(int(n))
-	if err != nil {
-		return AsyncResult{}, err
-	}
-	cfg := dynamics.AsyncConfig{
-		Graph:     o.graph,
-		Scheduler: s,
-		Rand:      rng.At(o.seed, 1),
-		MaxTime:   o.maxTime,
-		Churn:     o.churnRate,
-		Engine:    o.dynamicsEngine(),
-	}
-	if o.delayRate > 0 {
-		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
-	}
-	cfg.Latency = o.latency
-	return dynamics.RunAsyncCounts(counts, rule, cfg)
-}
-
-// topology returns the configured graph or the default complete graph
-// sized to the population.
-func (o *options) topology(pop *Population) (Graph, error) {
-	if pop == nil {
-		return nil, fmt.Errorf("plurality: nil population")
-	}
-	if o.graph != nil {
-		return o.graph, nil
-	}
-	return CompleteGraph(pop.N())
-}
-
-// scheduler builds the configured asynchronous engine.
-func (o *options) scheduler(n int) (sched.Scheduler, error) {
-	switch o.model {
-	case Sequential:
-		return sched.NewSequential(n, rng.At(o.seed, 0))
-	case Poisson:
-		return sched.NewPoisson(n, 1, rng.At(o.seed, 0))
-	case HeapPoisson:
-		return sched.NewHeapPoisson(n, 1, rng.At(o.seed, 0))
-	default:
-		return nil, fmt.Errorf("plurality: unknown model %d", o.model)
-	}
-}
-
 // RunCoreTrials executes trials independent core-protocol runs, each on a
-// fresh population built from counts, sharded across WithTrialWorkers
-// goroutines (default GOMAXPROCS). Trial t runs with a seed derived
-// deterministically from the base WithSeed and t, so the result slice is a
-// pure function of (counts, trials, options) — independent of the worker
-// count and of scheduling. Results are returned in trial order; the first
-// failing trial's error is returned alongside the full slice (later trials
-// still run, so the successful entries remain usable).
-//
-// Populations and protocol run state are pooled across trials: a trial
-// reuses the previous trial's ~seven O(n) buffers instead of reallocating
-// and rezeroing them, which is where sweep throughput at large n used to
-// go. Pooling cannot change results — a trial's outcome is a pure function
-// of its seed.
+// fresh population built from counts — the legacy spelling of
+// NewJob("core", counts, opts...).Trials(ctx, trials), which generalizes
+// the same deterministic seed derivation and sync.Pool state reuse to every
+// registered protocol and engine. See Job.Trials for the semantics.
 func RunCoreTrials(counts []int64, trials int, opts ...Option) ([]CoreResult, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("plurality: trials = %d, want > 0", trials)
-	}
-	o := newOptions(opts)
-	base, err := NewPopulation(counts)
+	j, err := newJob("core", counts, newOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-
-	// One pooled (population, runner) pair per concurrently active worker;
-	// sync.Pool keeps the pairs alive exactly as long as the trial loop
-	// needs them.
-	type trialState struct {
-		pop    *Population
-		runner *core.Runner
+	reps, err := j.Trials(context.Background(), trials)
+	if reps == nil {
+		return nil, err
 	}
-	pool := sync.Pool{New: func() any {
-		return &trialState{pop: base.Clone(), runner: core.NewRunner()}
-	}}
-
-	results := make([]CoreResult, trials)
-	err = par.ForEach(o.trialWorkers, trials, func(trial int) error {
-		ts := pool.Get().(*trialState)
-		defer pool.Put(ts)
-		if err := ts.pop.Reset(base); err != nil {
-			return err
-		}
-		to := *o
-		to.seed = TrialSeed(o.seed, trial)
-		res, err := runCore(ts.runner, ts.pop, &to)
-		results[trial] = res
-		return err
-	})
+	results := make([]CoreResult, len(reps))
+	for i, rep := range reps {
+		results[i], _ = rep.Core()
+	}
 	return results, err
 }
 
 // TrialSeed derives the seed trial t of a multi-trial run uses from the
-// base seed: trial 0 keeps the base seed (a 1-trial run matches RunCore
+// base seed: trial 0 keeps the base seed (a 1-trial run matches Run
 // exactly) and later trials get decorrelated streams via SplitMix-style
 // mixing.
 func TrialSeed(seed uint64, trial int) uint64 {
