@@ -11,6 +11,7 @@ COVER_MIN ?= 85
 
 .PHONY: build test test-short test-race cover bench bench-smoke schedbench \
 	scalebench scale-smoke scale-baseline \
+	leapbench leap-smoke leap-baseline \
 	sweep-smoke sweep-baseline sweep-nightly lint fmt api api-check
 
 build:
@@ -59,9 +60,9 @@ bench-smoke:
 schedbench:
 	$(GO) run ./cmd/experiments -schedbench -schedbench-out BENCH_sched.json
 
-# Regenerate BENCH_scale.json (the per-node vs count-collapsed engine
-# scaling record: full Two-Choices consensus runs up to n = 1e9; takes a
-# couple of minutes).
+# Regenerate BENCH_scale.json (the engine scaling record: full Two-Choices
+# consensus runs — per-node to n = 1e6, count-collapsed to n = 1e9, hybrid
+# leap to n = 1e12; takes a couple of minutes).
 scalebench:
 	$(GO) run ./cmd/experiments -scalebench -scalebench-out BENCH_scale.json
 
@@ -76,6 +77,24 @@ scale-smoke:
 # engine change; commit the result).
 scale-baseline:
 	$(GO) run ./cmd/experiments -scalebench -smoke -scalebench-out BENCH_scale_baseline.json
+
+# Regenerate BENCH_leap.json (the hybrid tau-leap/mean-field engine record:
+# full consensus runs up to n = 1e12 plus the exact-engine calibration).
+leapbench:
+	$(GO) run ./cmd/experiments -leapbench -leapbench-out BENCH_leap.json
+
+# CI leap harness: the smoke grid (leap at n = 1e9 plus the n = 1e7
+# exact-engine calibration), diffed against the committed baseline on
+# machine-portable quantities (convergence, regime traces, deterministic
+# tick counts, relative consensus-time error vs exact).
+leap-smoke:
+	$(GO) run ./cmd/experiments -leapbench -smoke \
+		-leapbench-out BENCH_leap_smoke.json -leap-baseline BENCH_leap_baseline.json
+
+# Regenerate the committed leap smoke baseline (run after an intentional
+# hybrid-engine change; commit the result).
+leap-baseline:
+	$(GO) run ./cmd/experiments -leapbench -smoke -leapbench-out BENCH_leap_baseline.json
 
 # CI regression harness: run every named sweep at smoke size, write the
 # BENCH_exp.json artifact, run the statistical gates, and diff against the
@@ -93,10 +112,23 @@ sweep-baseline:
 sweep-nightly:
 	$(GO) run ./cmd/experiments -sweep logn-scaling -out BENCH_exp_nightly.json
 
+# vet + gofmt always run; staticcheck and govulncheck run when installed
+# (CI installs both at pinned versions — see .github/workflows/ci.yml) and
+# are skipped with a notice otherwise, so offline dev machines still lint.
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it pinned)"; \
 	fi
 
 fmt:

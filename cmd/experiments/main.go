@@ -57,6 +57,11 @@ func run(args []string, out io.Writer) error {
 		scaleBaseline = fs.String("scale-baseline", "", "diff the -scalebench report against this baseline; regressions beyond -scale-tol fail")
 		scaleTol      = fs.Float64("scale-tol", 0.5, "relative tolerance band for -scale-baseline comparison")
 
+		leapBench    = fs.Bool("leapbench", false, "benchmark the hybrid tau-leap/mean-field engine (-smoke selects the CI grid)")
+		leapBenchOut = fs.String("leapbench-out", "", "write the -leapbench report as JSON to this file (e.g. BENCH_leap_baseline.json)")
+		leapBaseline = fs.String("leap-baseline", "", "diff the -leapbench report against this baseline; regressions beyond -leap-tol fail")
+		leapTol      = fs.Float64("leap-tol", 0.5, "relative tolerance band for -leap-baseline comparison")
+
 		sweep    = fs.String("sweep", "", "named sweep(s) to run: comma-separated names, 'all', or 'list'")
 		smoke    = fs.Bool("smoke", false, "use the down-scaled smoke grids (CI size)")
 		trials   = fs.Int("trials", 0, "override the per-cell trial count (0 = sweep default)")
@@ -76,6 +81,10 @@ func run(args []string, out io.Writer) error {
 
 	if *scaleBench {
 		return runScaleBench(out, *smoke, *seed, *scaleBenchOut, *scaleBaseline, *scaleTol)
+	}
+
+	if *leapBench {
+		return runLeapBench(out, *smoke, *seed, *leapBenchOut, *leapBaseline, *leapTol)
 	}
 
 	if *sweep != "" {
@@ -296,6 +305,48 @@ func runScaleBench(out io.Writer, smoke bool, seed uint64, jsonPath, baselinePat
 			return fmt.Errorf("%d scale regression(s) against %s", len(regs), baselinePath)
 		}
 		fmt.Fprintf(out, "scale baseline: clean (tol %.0f%%)\n", tol*100)
+	}
+	return nil
+}
+
+// runLeapBench measures the hybrid tau-leap/mean-field engine (full
+// consensus runs per protocol × n up to 1e12, plus the exact-engine
+// calibration block), optionally records the report as JSON — the procedure
+// behind the committed BENCH_leap_baseline.json — and, when a baseline is
+// given, fails on any machine-portable regression (convergence, regime
+// traces, tick counts, calibration error).
+func runLeapBench(out io.Writer, smoke bool, seed uint64, jsonPath, baselinePath string, tol float64) error {
+	rep, err := bench.RunLeapBench(bench.LeapBenchConfig{Smoke: smoke, Seed: seed}, out)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadLeapBench(baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := bench.CompareLeap(rep, base, tol)
+		for _, r := range regs {
+			fmt.Fprintf(out, "  REGRESSION %s\n", r)
+		}
+		if len(regs) > 0 {
+			return fmt.Errorf("%d leap regression(s) against %s", len(regs), baselinePath)
+		}
+		fmt.Fprintf(out, "leap baseline: clean (tol %.0f%%)\n", tol*100)
 	}
 	return nil
 }

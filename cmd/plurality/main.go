@@ -58,6 +58,8 @@ type flags struct {
 	noGadget      bool
 	traceOn       bool
 	jsonOut       bool
+	leapEps       float64
+	odeTheta      float64
 
 	// explicit records which flags the command line actually set, so the
 	// Job receives only deliberate options — Job.Validate rejects options
@@ -75,7 +77,7 @@ func parseFlags(args []string) (flags, error) {
 		"list the registered sampling-dynamics protocols and exit")
 	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson | heap-poisson")
 	fs.StringVar(&f.engine, "engine", "auto",
-		"dynamics execution engine: auto | per-node | occupancy (count-collapsed O(k) state; async dynamics only)")
+		"dynamics execution engine: auto | per-node | occupancy (count-collapsed O(k) state) | leap (hybrid tau-leap/mean-field, n >= 1e10; async dynamics only)")
 	fs.StringVar(&f.workload, "workload", "biased",
 		"initial distribution: biased | gapsqrt | gapsqrtpolylog | tinygap | uniform | zipf")
 	fs.IntVar(&f.n, "n", 100000, "number of nodes")
@@ -95,6 +97,8 @@ func parseFlags(args []string) (flags, error) {
 	fs.BoolVar(&f.noGadget, "no-gadget", false, "disable the Sync Gadget (ablation; core protocol only)")
 	fs.BoolVar(&f.traceOn, "trace", false, "print periodic sync/support probes (core protocol only)")
 	fs.BoolVar(&f.jsonOut, "json", false, "emit the result as JSON")
+	fs.Float64Var(&f.leapEps, "leap-eps", 0, "leap engine: tau-leap relative error budget per step in (0, 0.5] (0 = default 0.01)")
+	fs.Float64Var(&f.odeTheta, "ode-theta", 0, "leap engine: mean-field handoff threshold theta, ODE while buckets >= 1/theta^2 (0 = default 1e-4; negative disables the ODE regime)")
 	if err := fs.Parse(args); err != nil {
 		return flags{}, err
 	}
@@ -168,8 +172,20 @@ func jobOptions(f flags, out io.Writer) ([]plurality.Option, error) {
 		}
 	case "occupancy":
 		opts = append(opts, plurality.WithEngine(plurality.EngineOccupancy))
+	case "leap":
+		opts = append(opts, plurality.WithEngine(plurality.EngineLeap))
 	default:
 		return nil, fmt.Errorf("unknown engine %q", f.engine)
+	}
+	if f.explicit["leap-eps"] {
+		opts = append(opts, plurality.WithLeapEpsilon(f.leapEps))
+	}
+	if f.explicit["ode-theta"] {
+		theta := f.odeTheta
+		if theta < 0 {
+			theta = 0 // WithODEThreshold's "disable" spelling
+		}
+		opts = append(opts, plurality.WithODEThreshold(theta))
 	}
 	if f.workers != 0 {
 		opts = append(opts, plurality.WithTrialWorkers(f.workers))

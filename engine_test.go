@@ -189,6 +189,48 @@ func TestJMajorityThreeMatchesThreeMajority(t *testing.T) {
 	}
 }
 
+// TestLeapMatchesExactDistributions is the hybrid engine's half of the
+// distributional-equivalence gate: at sizes where the exact count-collapsed
+// engine is still affordable, the tau-leap engine's consensus-time and
+// tick-count distributions must stay KS-close to the exact law. Unlike the
+// per-node/occupancy gate (a collapse-correctness check, equal in law), the
+// leap engine is approximate by design — the slack term budgets its O(Eps)
+// leaping bias and its deterministic mean-rate clock on top of the usual
+// KS sampling threshold. n = 10⁷ is trimmed under -short (the -race CI job
+// runs -short). ODE handoff never engages below n = 10⁸ at the default
+// threshold, so this pins the stochastic regimes; the ODE path is covered
+// by the occupancy and meanfield package tests.
+func TestLeapMatchesExactDistributions(t *testing.T) {
+	cases := []struct {
+		n      int64
+		trials int
+		short  bool // also runs under -short
+	}{
+		{1e5, 100, true},
+		{1e6, 80, true},
+		{1e7, 50, false},
+	}
+	for _, spec := range []string{"two-choices", "usd"} {
+		run := runDynamicBySpec(spec)
+		for _, c := range cases {
+			if !c.short && testing.Short() {
+				continue
+			}
+			counts := []int64{c.n / 2, c.n / 4, c.n / 4}
+			occT, occM := runEngineTrials(t, run, counts, plurality.EngineOccupancy, plurality.Poisson, c.trials, 4100)
+			leapT, leapM := runEngineTrials(t, run, counts, plurality.EngineLeap, plurality.Poisson, c.trials, 62000)
+			thresh := ksThresh(0.001, c.trials, c.trials) + 0.12
+			t.Logf("%s n=%g: timeKS=%.4f tickKS=%.4f thresh=%.4f", spec, float64(c.n), ksStat(occT, leapT), ksStat(occM, leapM), thresh)
+			if d := ksStat(occT, leapT); d > thresh {
+				t.Errorf("%s n=%g: consensus-time KS %.4f > %.4f", spec, float64(c.n), d, thresh)
+			}
+			if d := ksStat(occM, leapM); d > thresh {
+				t.Errorf("%s n=%g: tick-count KS %.4f > %.4f", spec, float64(c.n), d, thresh)
+			}
+		}
+	}
+}
+
 // TestCountsAPIMatchesPopulationRun: the O(k)-memory counts entry point and
 // the population entry point drive the identical engine off the identical
 // RNG streams, so for a fixed seed they must agree bit for bit.

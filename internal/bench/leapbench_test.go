@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func leapFixture() LeapBenchReport {
+	return LeapBenchReport{
+		Schema: LeapBenchSchema,
+		Smoke:  true,
+		Seed:   1,
+		Entries: []LeapBenchEntry{
+			{Protocol: "two-choices", N: 1_000_000_000, Trials: 2, Converged: 2,
+				MeanTicks: 2.3e10, Regimes: "ode>leap>exact", SwitchTicks: []int64{0, 2e10, 2.2e10}},
+			{Protocol: "usd", N: 1_000_000_000, Trials: 2, Converged: 2,
+				MeanTicks: 3.2e10, Regimes: "ode>leap>ode>leap>exact", SwitchTicks: []int64{0, 1e10, 1.2e10, 2.8e10, 3.1e10}},
+		},
+		Calibrations: []LeapCalibration{
+			{Protocol: "two-choices", N: 10_000_000, Trials: 12, ExactMeanTime: 19.2, LeapMeanTime: 19.5, RelTimeErr: 0.016},
+		},
+	}
+}
+
+func TestCompareLeapClean(t *testing.T) {
+	base := leapFixture()
+	cur := leapFixture()
+	// Modest deterministic-drift within the band and calibration noise
+	// under the ceiling must not flag.
+	cur.Entries[0].MeanTicks *= 1.2
+	cur.Entries[0].SwitchTicks[1] = 21e9
+	cur.Calibrations[0].RelTimeErr = 0.05
+	if regs := CompareLeap(cur, base, 0.5); len(regs) != 0 {
+		t.Fatalf("clean comparison flagged: %v", regs)
+	}
+}
+
+func TestCompareLeapRegressions(t *testing.T) {
+	base := leapFixture()
+
+	missing := leapFixture()
+	missing.Entries = missing.Entries[:1]
+
+	lostConvergence := leapFixture()
+	lostConvergence.Entries[0].Converged = 0
+
+	tickDrift := leapFixture()
+	tickDrift.Entries[0].MeanTicks *= 3
+
+	regimeChange := leapFixture()
+	regimeChange.Entries[1].Regimes = "ode>leap>exact"
+
+	switchDrift := leapFixture()
+	switchDrift.Entries[0].SwitchTicks[1] *= 4
+
+	calBlown := leapFixture()
+	calBlown.Calibrations[0].RelTimeErr = 0.2
+
+	calMissing := leapFixture()
+	calMissing.Calibrations = nil
+
+	wrongGrid := leapFixture()
+	wrongGrid.Smoke = false
+
+	cases := map[string]LeapBenchReport{
+		"missing-entry":       missing,
+		"lost-convergence":    lostConvergence,
+		"tick-drift":          tickDrift,
+		"regime-trace-change": regimeChange,
+		"switch-point-drift":  switchDrift,
+		"calibration-error":   calBlown,
+		"missing-calibration": calMissing,
+		"grid-mismatch":       wrongGrid,
+	}
+	for name, cur := range cases {
+		if regs := CompareLeap(cur, base, 0.5); len(regs) == 0 {
+			t.Errorf("%s: no regression flagged", name)
+		}
+	}
+}
+
+func TestLeapBenchRoundTrip(t *testing.T) {
+	rep := leapFixture()
+	path := filepath.Join(t.TempDir(), "leap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLeapBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != LeapBenchSchema || len(got.Entries) != 2 || len(got.Calibrations) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+
+	// A schema from another harness must be refused.
+	bad := rep
+	bad.Schema = ScaleBenchSchema
+	f2, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WriteJSON(f2); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if _, err := LoadLeapBench(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}
+
+// TestRunLeapBenchTinyGrid exercises the harness end to end on a reduced
+// grid via the exported entry point at the smallest affordable size: the
+// smoke grid itself is CI-priced but too slow for the unit suite, so this
+// only checks the machinery with a stub grid through runLeapCell /
+// runLeapCalibration directly.
+func TestRunLeapBenchTinyGrid(t *testing.T) {
+	entry, err := runLeapCell(leapCell{protocol: "two-choices", n: 200_000, trials: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Converged != 2 || entry.MeanTicks <= 0 || entry.Regimes == "" {
+		t.Fatalf("entry = %+v", entry)
+	}
+	cal, err := runLeapCalibration(leapCell{protocol: "usd", n: 200_000, trials: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.ExactMeanTime <= 0 || cal.LeapMeanTime <= 0 {
+		t.Fatalf("cal = %+v", cal)
+	}
+}

@@ -24,7 +24,8 @@ const ScaleBenchSchema = "plurality-scale/v1"
 type ScaleBenchConfig struct {
 	// Smoke selects the CI-sized grid: per-node at 1e5, occupancy at 1e5
 	// and 1e7, a few seconds total. The full grid takes the per-node
-	// engine to 1e6 and the occupancy engine to 1e9.
+	// engine to 1e6, the occupancy engine to 1e9 and the hybrid leap
+	// engine to 1e12.
 	Smoke bool
 	// Seed roots every trial's randomness; the report is a pure function
 	// of (config, binary).
@@ -34,8 +35,9 @@ type ScaleBenchConfig struct {
 // ScaleBenchEntry is one engine × size measurement over a few consensus
 // runs.
 type ScaleBenchEntry struct {
-	// Engine is "per-node" (O(n) state, every activation walked) or
-	// "occupancy" (count-collapsed O(k) state, no-ops leapt over).
+	// Engine is "per-node" (O(n) state, every activation walked),
+	// "occupancy" (count-collapsed O(k) state, no-ops leapt over) or
+	// "leap" (the hybrid tau-leap/mean-field engine, approximate).
 	Engine string `json:"engine"`
 	N      int64  `json:"n"`
 	Trials int    `json:"trials"`
@@ -105,6 +107,13 @@ func scaleGrid(smoke bool) []scaleCell {
 		{"occupancy", 10_000_000, 3},
 		{"occupancy", 100_000_000, 2},
 		{"occupancy", 1_000_000_000, 1},
+		{"leap", 1_000_000, 3},
+		{"leap", 10_000_000, 3},
+		{"leap", 100_000_000, 2},
+		{"leap", 1_000_000_000, 2},
+		{"leap", 10_000_000_000, 2},
+		{"leap", 100_000_000_000, 2},
+		{"leap", 1_000_000_000_000, 2},
 	}
 }
 
@@ -174,14 +183,18 @@ func runScaleCell(cell scaleCell, seedBase uint64) (ScaleBenchEntry, error) {
 			err error
 		)
 		start := time.Now()
-		if cell.engine == "per-node" {
+		switch cell.engine {
+		case "per-node":
 			var pop *plurality.Population
 			pop, err = plurality.NewPopulation(counts)
 			if err != nil {
 				return entry, err
 			}
 			res, err = plurality.RunTwoChoicesAsync(pop, append(opts, plurality.WithEngine(plurality.EnginePerNode))...)
-		} else {
+		case "leap":
+			cs := append([]int64(nil), counts...)
+			res, err = plurality.RunTwoChoicesCounts(cs, append(opts, plurality.WithEngine(plurality.EngineLeap))...)
+		default:
 			cs := append([]int64(nil), counts...)
 			res, err = plurality.RunTwoChoicesCounts(cs, opts...)
 		}

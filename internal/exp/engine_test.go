@@ -12,7 +12,7 @@ func TestScenarioEngineValidation(t *testing.T) {
 		Topology: "complete", Model: "poisson",
 	}
 	ok := base
-	for _, e := range []string{"", "auto", "per-node", "occupancy"} {
+	for _, e := range []string{"", "auto", "per-node", "occupancy", "leap", "leap:0.05", "leap:0.002"} {
 		ok.Engine = e
 		if err := ok.Validate(); err != nil {
 			t.Errorf("engine %q: %v", e, err)
@@ -24,6 +24,11 @@ func TestScenarioEngineValidation(t *testing.T) {
 		func() Scenario { s := base; s.Engine = "occupancy"; s.Topology = "cycle"; return s }(),
 		func() Scenario { s := base; s.Engine = "occupancy"; s.Latency = "exp:1"; return s }(),
 		func() Scenario { s := base; s.Engine = "occupancy"; s.DelayRate = 2; return s }(),
+		func() Scenario { s := base; s.Engine = "leap:0"; return s }(),
+		func() Scenario { s := base; s.Engine = "leap:0.9"; return s }(),
+		func() Scenario { s := base; s.Engine = "leap:lots"; return s }(),
+		func() Scenario { s := base; s.Engine = "leap"; s.Topology = "cycle"; return s }(),
+		func() Scenario { s := base; s.Engine = "leap"; s.Churn = 0.001; return s }(),
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -60,6 +65,35 @@ func TestRunScenarioCountsPath(t *testing.T) {
 	}
 }
 
+// TestRunScenarioLeapPath: the hybrid leap engine runs a scenario trial end
+// to end, both at the default budget and with an explicit leap:<eps> spec,
+// and lands on the same time scale as the exact occupancy engine.
+func TestRunScenarioLeapPath(t *testing.T) {
+	sc := Scenario{
+		Protocol: "two-choices", N: 200_000, K: 4,
+		Bias: "biased", BiasParam: 1,
+		Topology: "complete", Model: "poisson",
+		Engine: "occupancy",
+	}
+	exact, err := RunScenario(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []string{"leap", "leap:0.05"} {
+		sc.Engine = e
+		tr, err := RunScenario(sc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Done || !tr.Win || tr.Ticks <= 0 || tr.Time <= 0 {
+			t.Fatalf("engine %q: trial = %+v", e, tr)
+		}
+		if rel := math.Abs(tr.Time-exact.Time) / exact.Time; rel > 0.5 {
+			t.Fatalf("engine %q: time %.2f vs exact %.2f (rel %.2f)", e, tr.Time, exact.Time, rel)
+		}
+	}
+}
+
 // TestEngineSweepGates executes the engine-equivalence and scale sweeps end
 // to end at reduced trial counts so their gate logic is covered by go test:
 // every gate must be present and passing on a healthy engine.
@@ -68,8 +102,9 @@ func TestEngineSweepGates(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	wantGates := map[string][]string{
-		"engine-equivalence": {"all-converged", "engines-agree"},
+		"engine-equivalence": {"all-converged", "engines-agree", "leap-agrees"},
 		"scale":              {"all-converged", "plurality-wins", "time-grows"},
+		"leap-budget":        {"all-converged", "plurality-wins", "budget-invariant"},
 	}
 	for name, gates := range wantGates {
 		ns, ok := NamedByName(name)
@@ -111,14 +146,41 @@ func TestEngineSweepGatesCatchDivergence(t *testing.T) {
 		},
 	}
 	ns.Check(rep)
-	agreed := true
+	agreed, leapAgreed := true, true
 	for _, g := range rep.Gates {
-		if g.Name == "engines-agree" {
+		switch g.Name {
+		case "engines-agree":
 			agreed = g.Pass
+		case "leap-agrees":
+			leapAgreed = g.Pass
 		}
 	}
 	if agreed {
 		t.Fatal("engines-agree passed on a 3x divergence with disjoint CIs")
+	}
+	if leapAgreed {
+		t.Fatal("leap-agrees passed with no leap cell in the report")
+	}
+
+	budget, _ := NamedByName("leap-budget")
+	biased := &Report{
+		Schema: SchemaVersion,
+		Cells: []CellResult{
+			{Label: "engine=leap:0.05", Params: map[string]string{"engine": "leap:0.05"},
+				N: 100, Trials: 4, Mean: 40, CILo: 38, CIHi: 42, PluralityWins: 4},
+			{Label: "engine=leap:0.002", Params: map[string]string{"engine": "leap:0.002"},
+				N: 100, Trials: 4, Mean: 10, CILo: 9, CIHi: 11, PluralityWins: 4},
+		},
+	}
+	budget.Check(biased)
+	invariant := true
+	for _, g := range biased.Gates {
+		if g.Name == "budget-invariant" {
+			invariant = g.Pass
+		}
+	}
+	if invariant {
+		t.Fatal("budget-invariant passed on a 4x loose-budget divergence")
 	}
 
 	scale, _ := NamedByName("scale")

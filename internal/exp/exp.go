@@ -74,11 +74,14 @@ type Scenario struct {
 	MaxTime float64 `json:"maxTime,omitempty"`
 	// Engine selects the dynamics execution engine: "" or "auto"
 	// (count-collapse whenever possible), "per-node" (force the O(n)
-	// simulation), or "occupancy" (require the O(k) count-collapsed
-	// engine; complete topology, no latency/delay, dynamics protocols
-	// only). With "occupancy" the harness never materializes a per-node
-	// population at all — cells run on the histogram — which is what lets
-	// the scale sweep reach n = 10⁸.
+	// simulation), "occupancy" (require the O(k) count-collapsed engine;
+	// complete topology, no latency/delay, dynamics protocols only), or
+	// "leap" / "leap:<eps>" (the hybrid tau-leap/mean-field engine with an
+	// optional explicit per-step error budget; occupancy's constraints plus
+	// no churn and a flow-law protocol). With "occupancy" and "leap" the
+	// harness never materializes a per-node population at all — cells run
+	// on the histogram — which is what lets the scale sweep reach n = 10⁸
+	// and the leap cells go further still.
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -170,26 +173,52 @@ func (sc Scenario) Validate() error {
 	if _, err := parseLatency(sc.Latency); err != nil {
 		return err
 	}
-	switch sc.Engine {
+	engine, _, err := sc.engineSpec()
+	if err != nil {
+		return err
+	}
+	switch engine {
 	case "", "auto", "per-node":
-	case "occupancy":
-		// Mirror the engine's collapsibility contract at declaration time.
+	case "occupancy", "leap":
+		// Mirror the engines' collapsibility contract at declaration time.
 		switch {
 		case sc.Protocol == "core":
-			return fmt.Errorf("exp: engine occupancy is undefined for the core protocol (its working-time schedule is per-node state)")
+			return fmt.Errorf("exp: engine %s is undefined for the core protocol (its working-time schedule is per-node state)", engine)
 		case sc.Model == "heap-poisson":
-			return fmt.Errorf("exp: engine occupancy with the heap-poisson scheduler would allocate O(n) event state; use poisson (the same process)")
+			return fmt.Errorf("exp: engine %s with the heap-poisson scheduler would allocate O(n) event state; use poisson (the same process)", engine)
 		case sc.Topology != "complete":
-			return fmt.Errorf("exp: engine occupancy requires the complete topology, not %q", sc.Topology)
+			return fmt.Errorf("exp: engine %s requires the complete topology, not %q", engine, sc.Topology)
 		case sc.Latency != "" && sc.Latency != "none":
-			return fmt.Errorf("exp: engine occupancy cannot model edge latencies (per-node pending state)")
+			return fmt.Errorf("exp: engine %s cannot model edge latencies (per-node pending state)", engine)
 		case sc.DelayRate > 0:
-			return fmt.Errorf("exp: engine occupancy cannot model response delays (per-node pending state)")
+			return fmt.Errorf("exp: engine %s cannot model response delays (per-node pending state)", engine)
+		}
+		if engine == "leap" {
+			if sc.Churn > 0 {
+				return fmt.Errorf("exp: the leap engine does not support churn; use engine occupancy")
+			}
+			if d, err := plurality.LookupProtocol(sc.Protocol); err == nil && !d.Leapable {
+				return fmt.Errorf("exp: protocol %q exposes no flow law; the leap engine needs one", sc.Protocol)
+			}
 		}
 	default:
 		return fmt.Errorf("exp: unknown engine %q", sc.Engine)
 	}
 	return nil
+}
+
+// engineSpec splits Scenario.Engine into the engine name and — for the
+// "leap:<eps>" spelling — the explicit tau-leap error budget (0 means the
+// engine default).
+func (sc Scenario) engineSpec() (engine string, leapEps float64, err error) {
+	if eps, ok := strings.CutPrefix(sc.Engine, "leap:"); ok {
+		v, perr := strconv.ParseFloat(eps, 64)
+		if perr != nil || math.IsNaN(v) || v <= 0 || v > 0.5 {
+			return "", 0, fmt.Errorf("exp: leap engine budget %q, want a number in (0, 0.5]", eps)
+		}
+		return "leap", v, nil
+	}
+	return sc.Engine, 0, nil
 }
 
 // parseLatency decodes a Scenario.Latency string into an edge-latency
@@ -302,7 +331,7 @@ func RunScenarioCtx(ctx context.Context, sc Scenario, seed uint64) (Trial, error
 	if err != nil {
 		return Trial{}, err
 	}
-	if sc.Engine == "occupancy" {
+	if engine, _, _ := sc.engineSpec(); engine == "occupancy" || engine == "leap" {
 		// The count-collapsed cells never materialize a population: O(k)
 		// memory regardless of n, so a 10⁸-node cell costs as much as a
 		// 10³-node one. Node placement is irrelevant on the clique, hence
@@ -373,8 +402,8 @@ func RunScenarioCtx(ctx context.Context, sc Scenario, seed uint64) (Trial, error
 	return trialFromReport(sc, rep, plurColor, err)
 }
 
-// runCountsScenario executes one occupancy-engine trial directly on the
-// color histogram.
+// runCountsScenario executes one count-collapsed trial (occupancy or leap
+// engine) directly on the color histogram.
 func runCountsScenario(ctx context.Context, sc Scenario, counts []int64, seed uint64) (Trial, error) {
 	// The workloads designate the most frequent color (lowest index on
 	// ties) as the plurality, same rule as Population.Plurality.
@@ -388,10 +417,21 @@ func runCountsScenario(ctx context.Context, sc Scenario, counts []int64, seed ui
 	if err != nil {
 		return Trial{}, err
 	}
+	engine, leapEps, err := sc.engineSpec()
+	if err != nil {
+		return Trial{}, err
+	}
+	engOpt := plurality.EngineOccupancy
+	if engine == "leap" {
+		engOpt = plurality.EngineLeap
+	}
 	opts := []plurality.Option{
 		plurality.WithSeed(seed),
 		plurality.WithModel(m),
-		plurality.WithEngine(plurality.EngineOccupancy),
+		plurality.WithEngine(engOpt),
+	}
+	if leapEps > 0 {
+		opts = append(opts, plurality.WithLeapEpsilon(leapEps))
 	}
 	if sc.MaxTime > 0 {
 		opts = append(opts, plurality.WithMaxTime(sc.MaxTime))

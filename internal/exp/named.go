@@ -25,7 +25,7 @@ type NamedSweep struct {
 
 // Named returns every registered sweep, in presentation order.
 func Named() []NamedSweep {
-	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), protocolRace(), latencySweep(), churnSweep(), topologySweep()}
+	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), leapBudget(), protocolRace(), latencySweep(), churnSweep(), topologySweep()}
 }
 
 // NamedByName resolves one registered sweep.
@@ -113,15 +113,29 @@ func lognScaling() NamedSweep {
 	}
 }
 
-// engineEquivalence runs the same Two-Choices grid under the per-node and
-// the count-collapsed occupancy engine. The collapse is exact, so at every
-// n the two engines' consensus-time statistics must agree — a live,
-// sweep-level restatement of the package-level KS equivalence gates that
-// also catches a silently diverging engine in CI.
+// engineEquivalence runs the same Two-Choices grid under the per-node, the
+// count-collapsed occupancy, and the hybrid leap engine. The collapse is
+// exact, so at every n the first two engines' consensus-time statistics
+// must agree — a live, sweep-level restatement of the package-level KS
+// equivalence gates that also catches a silently diverging engine in CI.
+// The leap engine is approximate by design; its cells gate against the
+// occupancy cells under the same agreement band, pinning the leaping error
+// at sizes where the exact law is available.
 func engineEquivalence() NamedSweep {
+	// agreeCell reports whether two cells' consensus-time statistics agree:
+	// overlapping bootstrap CIs, with a relative-band fallback for the
+	// occasional narrow-CI draw.
+	agreeCell := func(a, b *CellResult) (bool, float64) {
+		overlap := a.CILo <= b.CIHi && b.CILo <= a.CIHi
+		rel := (a.Mean - b.Mean) / a.Mean
+		if rel < 0 {
+			rel = -rel
+		}
+		return overlap || rel <= 0.35, rel
+	}
 	return NamedSweep{
 		Name:        "engine-equivalence",
-		Description: "Two-Choices consensus time under the per-node vs the count-collapsed occupancy engine; gates on convergence and on the engines' means agreeing (the collapse is exact)",
+		Description: "Two-Choices consensus time under the per-node vs the count-collapsed occupancy vs the hybrid leap engine; gates on convergence, on per-node/occupancy agreeing (the collapse is exact) and on leap staying within the same band of occupancy",
 		Build: func(smoke bool, seed uint64, trials int) Sweep {
 			ns := []string{"65536", "262144", "1048576"}
 			def := 10
@@ -138,7 +152,7 @@ func engineEquivalence() NamedSweep {
 				},
 				Axes: []Axis{
 					{Name: "n", Values: ns},
-					{Name: "engine", Values: []string{"per-node", "occupancy"}},
+					{Name: "engine", Values: []string{"per-node", "occupancy", "leap"}},
 				},
 				Trials: pickTrials(trials, def),
 				Seed:   seed,
@@ -146,8 +160,8 @@ func engineEquivalence() NamedSweep {
 		},
 		Check: func(rep *Report) {
 			gateAllConverged(rep)
-			agree := true
-			detail := ""
+			agree, leapAgree := true, true
+			detail, leapDetail := "", ""
 			seen := map[string]bool{}
 			for _, c := range rep.Cells {
 				nv := c.Params["n"]
@@ -155,7 +169,7 @@ func engineEquivalence() NamedSweep {
 					continue
 				}
 				seen[nv] = true
-				var per, occ *CellResult
+				var per, occ, leap *CellResult
 				for i := range rep.Cells {
 					cc := &rep.Cells[i]
 					if cc.Params["n"] != nv {
@@ -166,6 +180,8 @@ func engineEquivalence() NamedSweep {
 						per = cc
 					case "occupancy":
 						occ = cc
+					case "leap":
+						leap = cc
 					}
 				}
 				if per == nil || occ == nil || per.Trials == per.Failures || occ.Trials == occ.Failures {
@@ -173,21 +189,22 @@ func engineEquivalence() NamedSweep {
 					detail += fmt.Sprintf(" n=%s: missing or unconverged engine cell;", nv)
 					continue
 				}
-				// Same distribution, independent seeds: the bootstrap CIs
-				// should overlap; allow a relative-band fallback for the
-				// occasional narrow-CI draw.
-				overlap := per.CILo <= occ.CIHi && occ.CILo <= per.CIHi
-				rel := (per.Mean - occ.Mean) / per.Mean
-				if rel < 0 {
-					rel = -rel
-				}
-				if !overlap && rel > 0.35 {
+				if ok, rel := agreeCell(per, occ); !ok {
 					agree = false
 					detail += fmt.Sprintf(" n=%s: per-node mean %.2f vs occupancy %.2f (rel %.2f, disjoint CIs);",
 						nv, per.Mean, occ.Mean, rel)
 				}
+				if leap == nil || leap.Trials == leap.Failures {
+					leapAgree = false
+					leapDetail += fmt.Sprintf(" n=%s: missing or unconverged leap cell;", nv)
+				} else if ok, rel := agreeCell(occ, leap); !ok {
+					leapAgree = false
+					leapDetail += fmt.Sprintf(" n=%s: occupancy mean %.2f vs leap %.2f (rel %.2f, disjoint CIs);",
+						nv, occ.Mean, leap.Mean, rel)
+				}
 			}
 			rep.addGate("engines-agree", agree, "per-node and occupancy statistics agree at every n;%s", detail)
+			rep.addGate("leap-agrees", leapAgree, "leap statistics stay within the agreement band of occupancy at every n;%s", leapDetail)
 		},
 	}
 }
@@ -240,6 +257,74 @@ func scaleSweep() NamedSweep {
 					rep.addGate("time-grows", false, "first or last cell unconverged")
 				}
 			}
+		},
+	}
+}
+
+// leapBudget sweeps the hybrid engine's tau-leap error budget: the same
+// biased instance under eps from loose to tight must converge, let the
+// plurality win, and agree on mean consensus time across budgets — the
+// knob trades steps for accuracy, not for a different answer.
+func leapBudget() NamedSweep {
+	const tightest = "leap:0.002"
+	return NamedSweep{
+		Name:        "leap-budget",
+		Description: "hybrid leap engine across tau-leap error budgets (engine leap:<eps>) on one biased clique instance; gates on convergence, plurality wins, and budget-invariant consensus times",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			n, def := "1000000000", 8
+			if smoke {
+				n, def = "10000000", 8
+			}
+			return Sweep{
+				Name: "leap-budget",
+				Base: Scenario{
+					Protocol: "two-choices", K: 4,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes: []Axis{
+					{Name: "n", Values: []string{n}},
+					{Name: "engine", Values: []string{"leap:0.05", "leap:0.01", tightest}},
+				},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			wins := true
+			detail := ""
+			for _, c := range rep.Cells {
+				if conv := c.Trials - c.Failures; conv > 0 && c.PluralityWins < conv {
+					wins = false
+					detail += fmt.Sprintf(" %q: %d/%d;", c.Label, c.PluralityWins, conv)
+				}
+			}
+			rep.addGate("plurality-wins", wins, "plurality color won every converged trial;%s", detail)
+			ref := cellByParam(rep, "engine", tightest)
+			if ref == nil || ref.Trials == ref.Failures {
+				rep.addGate("budget-invariant", false, "tightest-budget cell missing/unconverged")
+				return
+			}
+			invariant := true
+			detail = ""
+			for _, c := range rep.Cells {
+				if c.Params["engine"] == tightest || c.Trials == c.Failures {
+					continue
+				}
+				overlap := c.CILo <= ref.CIHi && ref.CILo <= c.CIHi
+				rel := (c.Mean - ref.Mean) / ref.Mean
+				if rel < 0 {
+					rel = -rel
+				}
+				if !overlap && rel > 0.35 {
+					invariant = false
+					detail += fmt.Sprintf(" %q: mean %.2f vs %.2f at %s (rel %.2f, disjoint CIs);",
+						c.Label, c.Mean, ref.Mean, tightest, rel)
+				}
+			}
+			rep.addGate("budget-invariant", invariant,
+				"mean consensus time agrees with the tightest budget across eps;%s", detail)
 		},
 	}
 }

@@ -1,4 +1,4 @@
-package meanfield
+package meanfield_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"plurality/internal/graph"
+	"plurality/internal/meanfield"
 	"plurality/internal/population"
 	"plurality/internal/protocols/dynamics"
 	"plurality/internal/protocols/threemajority"
@@ -24,8 +25,8 @@ func TestCheckFractions(t *testing.T) {
 		{math.NaN(), 1},
 	}
 	for _, fracs := range bad {
-		if _, err := TwoChoicesStep(fracs); !errors.Is(err, ErrBadFractions) {
-			t.Errorf("fractions %v: err = %v, want ErrBadFractions", fracs, err)
+		if _, err := meanfield.TwoChoicesStep(fracs); !errors.Is(err, meanfield.ErrBadFractions) {
+			t.Errorf("fractions %v: err = %v, want meanfield.ErrBadFractions", fracs, err)
 		}
 	}
 }
@@ -34,7 +35,7 @@ func TestTwoChoicesStepPreservesMass(t *testing.T) {
 	check := func(a, b, c uint8) bool {
 		total := float64(a) + float64(b) + float64(c) + 3
 		fracs := []float64{(float64(a) + 1) / total, (float64(b) + 1) / total, (float64(c) + 1) / total}
-		next, err := TwoChoicesStep(fracs)
+		next, err := meanfield.TwoChoicesStep(fracs)
 		if err != nil {
 			return false
 		}
@@ -54,7 +55,7 @@ func TestTwoChoicesStepPreservesMass(t *testing.T) {
 
 func TestTwoChoicesStepAmplifiesLeader(t *testing.T) {
 	fracs := []float64{0.4, 0.3, 0.3}
-	next, err := TwoChoicesStep(fracs)
+	next, err := meanfield.TwoChoicesStep(fracs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestTwoChoicesStepAmplifiesLeader(t *testing.T) {
 
 func TestTwoChoicesFixedPoints(t *testing.T) {
 	// Unanimity is a fixed point.
-	next, err := TwoChoicesStep([]float64{1, 0})
+	next, err := meanfield.TwoChoicesStep([]float64{1, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestTwoChoicesFixedPoints(t *testing.T) {
 	}
 	// The symmetric point is a fixed point too (unstable).
 	sym := []float64{0.5, 0.5}
-	next, err = TwoChoicesStep(sym)
+	next, err = meanfield.TwoChoicesStep(sym)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestTwoChoicesMapMatchesSimulation(t *testing.T) {
 		Rand:      rng.New(1),
 		MaxRounds: 100000,
 		OnRound: func(round int, p *population.Population) {
-			next, stepErr := TwoChoicesStep(fracs)
+			next, stepErr := meanfield.TwoChoicesStep(fracs)
 			if stepErr != nil {
 				t.Error(stepErr)
 				return
@@ -152,7 +153,7 @@ func TestTwoChoicesRoundsPredictsE1Scale(t *testing.T) {
 	for j, c := range counts {
 		fracs[j] = float64(c) / n
 	}
-	rounds, err := TwoChoicesRounds(fracs, 0.999, 10000)
+	rounds, err := meanfield.TwoChoicesRounds(fracs, 0.999, 10000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,14 +165,14 @@ func TestTwoChoicesRoundsPredictsE1Scale(t *testing.T) {
 }
 
 func TestTwoChoicesRoundsBudget(t *testing.T) {
-	if _, err := TwoChoicesRounds([]float64{0.5, 0.5}, 0.999, 50); err == nil {
+	if _, err := meanfield.TwoChoicesRounds([]float64{0.5, 0.5}, 0.999, 50); err == nil {
 		t.Fatal("symmetric start cannot converge deterministically")
 	}
 }
 
 func TestThreeMajorityStepPreservesMass(t *testing.T) {
 	fracs := []float64{0.5, 0.3, 0.2}
-	next, err := ThreeMajorityStep(fracs)
+	next, err := meanfield.ThreeMajorityStep(fracs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestThreeMajorityTwoColorClosedForm(t *testing.T) {
 	// f' = 3f² − 2f³ + P(distinct)·f with P(distinct) = 0, i.e.
 	// f' = f²(3 − 2f).
 	for _, f := range []float64{0.1, 0.4, 0.6, 0.9} {
-		next, err := ThreeMajorityStep([]float64{f, 1 - f})
+		next, err := meanfield.ThreeMajorityStep([]float64{f, 1 - f})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +229,7 @@ func TestThreeMajorityMapMatchesSimulation(t *testing.T) {
 		Rand:      rng.New(2),
 		MaxRounds: 100000,
 		OnRound: func(round int, p *population.Population) {
-			next, stepErr := ThreeMajorityStep(fracs)
+			next, stepErr := meanfield.ThreeMajorityStep(fracs)
 			if stepErr != nil {
 				t.Error(stepErr)
 				return
@@ -252,7 +253,7 @@ func TestThreeMajorityMapMatchesSimulation(t *testing.T) {
 
 func TestOneExtraBitPhaseSquaresRatios(t *testing.T) {
 	fracs := []float64{0.3, 0.2, 0.5}
-	next, err := OneExtraBitPhase(fracs)
+	next, err := meanfield.OneExtraBitPhase(fracs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,11 +293,11 @@ func TestOneExtraBitPhasesLogLog(t *testing.T) {
 		}
 		return fracs
 	}
-	p4, err := OneExtraBitPhases(mk(4), 0.999, 100)
+	p4, err := meanfield.OneExtraBitPhases(mk(4), 0.999, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p256, err := OneExtraBitPhases(mk(256), 0.999, 100)
+	p256, err := meanfield.OneExtraBitPhases(mk(256), 0.999, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,13 +312,13 @@ func TestOneExtraBitPhasesLogLog(t *testing.T) {
 }
 
 func TestEndgameDriftSigns(t *testing.T) {
-	if EndgameDrift(0.1) >= 0 {
+	if meanfield.EndgameDrift(0.1) >= 0 {
 		t.Error("small minority must shrink")
 	}
-	if EndgameDrift(0.5) != 0 {
+	if meanfield.EndgameDrift(0.5) != 0 {
 		t.Error("symmetric point must be stationary")
 	}
-	if EndgameDrift(0.9) <= 0 {
+	if meanfield.EndgameDrift(0.9) <= 0 {
 		t.Error("above 1/2 the 'minority' label flips; drift must be positive")
 	}
 }
@@ -325,7 +326,7 @@ func TestEndgameDriftSigns(t *testing.T) {
 func TestEndgameTimeMatchesE9Scale(t *testing.T) {
 	// E9 measured consensus ~8.7-10.4 time units from m0 = 0.10 at
 	// n = 1e4…1.6e5; the ODE to m = 1/n should land in the same ballpark.
-	tm, err := EndgameTime(0.10, 1.0/40000, 1e-4)
+	tm, err := meanfield.EndgameTime(0.10, 1.0/40000, 1e-4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,20 +336,20 @@ func TestEndgameTimeMatchesE9Scale(t *testing.T) {
 }
 
 func TestEndgameTimeValidation(t *testing.T) {
-	if _, err := EndgameTime(0.6, 0.01, 1e-3); err == nil {
+	if _, err := meanfield.EndgameTime(0.6, 0.01, 1e-3); err == nil {
 		t.Error("m0 >= 0.5 should fail")
 	}
-	if _, err := EndgameTime(0.1, 0.2, 1e-3); err == nil {
+	if _, err := meanfield.EndgameTime(0.1, 0.2, 1e-3); err == nil {
 		t.Error("mTarget >= m0 should fail")
 	}
-	if _, err := EndgameTime(0.1, 0.01, 0); err == nil {
+	if _, err := meanfield.EndgameTime(0.1, 0.01, 0); err == nil {
 		t.Error("dt = 0 should fail")
 	}
 }
 
 func TestVoterWinProbability(t *testing.T) {
 	fracs := []float64{0.25, 0.75}
-	probs, err := VoterWinProbability(fracs)
+	probs, err := meanfield.VoterWinProbability(fracs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,266 @@
+// ODE limit and handoff state: the continuous-time mean-field side of the
+// hybrid leap engine. A kerneled dynamic's per-activation flow law F_cd(x)
+// (the probability that one activation moves a node from bucket c to bucket
+// d, in the n → ∞ fraction limit) induces the fluid limit
+//
+//	dx_c/dτ = Σ_d (F_dc(x) − F_cd(x)),
+//
+// with τ the unit-rate parallel time (activations per node). Integrate
+// advances a State along that field with classic RK4 under adaptive step
+// control; StateFromCounts / State.Counts convert between the stochastic
+// engines' integer histograms and the fluid fractions, with
+// largest-remainder rounding so the round trip preserves the node total
+// exactly.
+package meanfield
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Drift is a mean-field vector field on color fractions: it fills out
+// (len(out) == len(x)) with dx/dτ at x, where τ is unit-rate parallel time
+// (one expected activation per node per unit). Implementations must not
+// retain either slice.
+type Drift func(x, out []float64)
+
+// DriftFromFlows lifts a per-activation flow law to its Drift: flows fills
+// a k×k row-major matrix with F[c*k+d] = P(one activation moves a node
+// from bucket c to bucket d) at fractions x, and the induced drift is the
+// net flow dx_c/dτ = Σ_d (F_dc − F_cd). The k²-sized scratch is owned by
+// the returned closure, so it is not safe for concurrent use.
+func DriftFromFlows(k int, flows func(x, out []float64)) Drift {
+	scratch := make([]float64, k*k)
+	return func(x, out []float64) {
+		flows(x, scratch)
+		for c := 0; c < k; c++ {
+			var net float64
+			for d := 0; d < k; d++ {
+				net += scratch[d*k+c] - scratch[c*k+d]
+			}
+			out[c] = net
+		}
+	}
+}
+
+// State is the fluid-limit handoff currency between the stochastic engines
+// and the ODE integrator: a fraction vector plus the unit-rate parallel
+// time it was reached at.
+type State struct {
+	// X is the color fraction vector (non-negative, summing to ~1).
+	X []float64
+	// T is the unit-rate parallel time of the state.
+	T float64
+}
+
+// StateFromCounts imports an integer histogram as a fluid state at time t.
+func StateFromCounts(counts []int64, t float64) (State, error) {
+	if len(counts) == 0 {
+		return State{}, errors.New("meanfield: empty histogram")
+	}
+	var n int64
+	for c, v := range counts {
+		if v < 0 {
+			return State{}, fmt.Errorf("meanfield: negative count %d for color %d", v, c)
+		}
+		n += v
+	}
+	if n <= 0 {
+		return State{}, errors.New("meanfield: histogram total 0")
+	}
+	x := make([]float64, len(counts))
+	nf := float64(n)
+	for c, v := range counts {
+		x[c] = float64(v) / nf
+	}
+	return State{X: x, T: t}, nil
+}
+
+// Counts exports the state as an integer histogram over n nodes into out
+// (len(out) == len(s.X)), using largest-remainder rounding: each bucket
+// gets the floor of its expected count and the leftover nodes go to the
+// buckets with the largest fractional remainders (lowest index on ties),
+// so the exported histogram always sums to n exactly and a bucket at an
+// exact integer fraction round-trips unchanged.
+func (s *State) Counts(n int64, out []int64) error {
+	if len(out) != len(s.X) {
+		return fmt.Errorf("meanfield: counts buffer has %d buckets, state %d", len(out), len(s.X))
+	}
+	if n <= 0 {
+		return fmt.Errorf("meanfield: n = %d, want > 0", n)
+	}
+	nf := float64(n)
+	var assigned int64
+	rem := make([]float64, len(s.X))
+	for c, f := range s.X {
+		if f < 0 || math.IsNaN(f) {
+			return fmt.Errorf("meanfield: bad fraction %v for color %d", f, c)
+		}
+		exact := f * nf
+		fl := math.Floor(exact)
+		out[c] = int64(fl)
+		rem[c] = exact - fl
+		assigned += out[c]
+	}
+	// Distribute the leftover nodes by descending fractional remainder.
+	// k is small, so the repeated max scan is cheaper than sorting.
+	for assigned < n {
+		best := -1
+		for c, r := range rem {
+			if r >= 0 && (best < 0 || r > rem[best]) {
+				best = c
+			}
+		}
+		if best < 0 {
+			return errors.New("meanfield: fraction vector sums far below 1")
+		}
+		out[best]++
+		rem[best] = -1
+		assigned++
+	}
+	// A fraction vector summing above 1 (beyond rounding) would leave
+	// assigned > n; trim from the largest remainders' complements is not
+	// meaningful, so reject it instead of silently rescaling.
+	if assigned > n {
+		return errors.New("meanfield: fraction vector sums above 1")
+	}
+	return nil
+}
+
+// IntegrateConfig tunes Integrate. The zero value selects the defaults.
+type IntegrateConfig struct {
+	// Tol is the per-step relative-change budget driving the adaptive step
+	// size: dτ is chosen so no bucket is expected to change by more than
+	// Tol of its own mass in one step (default 1e-3).
+	Tol float64
+	// MaxStep caps dτ regardless of the drift (default 0.25).
+	MaxStep float64
+	// Stop, if non-nil, is evaluated on the state after every committed
+	// step; returning true ends the integration (IntegrateResult.Stopped).
+	Stop func(x []float64) bool
+	// MaxSteps bounds the step count defensively (default 4 << 20).
+	MaxSteps int
+}
+
+// IntegrateResult describes how an integration ended.
+type IntegrateResult struct {
+	// Steps is the number of committed RK4 steps.
+	Steps int
+	// Stopped reports that cfg.Stop ended the integration.
+	Stopped bool
+	// Stalled reports that the drift vanished (sup-norm below the stall
+	// threshold) before maxT or Stop: the state sits on a fixed point of
+	// the fluid limit (e.g. the Voter martingale, whose drift is
+	// identically zero), so further integration cannot make progress.
+	Stalled bool
+}
+
+// stallNorm is the drift sup-norm below which Integrate reports a fixed
+// point. The built-in dynamics' drifts are Θ(x_c) away from consensus, so
+// the threshold is only reachable on genuine fixed points (Voter
+// everywhere; other dynamics exactly at consensus or symmetric ties).
+const stallNorm = 1e-12
+
+// Integrate advances s along d with classic RK4 until s.T reaches maxT,
+// cfg.Stop fires, or the drift stalls. The step size adapts to the drift:
+// no bucket is expected to move by more than cfg.Tol of its own mass per
+// step. After each step the fractions are clamped non-negative and
+// renormalized, bounding the drift of Σx away from 1 by rounding only.
+func Integrate(d Drift, s *State, maxT float64, cfg IntegrateConfig) (IntegrateResult, error) {
+	if d == nil {
+		return IntegrateResult{}, errors.New("meanfield: nil drift")
+	}
+	if err := checkFractions(s.X); err != nil {
+		return IntegrateResult{}, err
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	maxStep := cfg.MaxStep
+	if maxStep <= 0 {
+		maxStep = 0.25
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4 << 20
+	}
+	k := len(s.X)
+	var (
+		k1 = make([]float64, k)
+		k2 = make([]float64, k)
+		k3 = make([]float64, k)
+		k4 = make([]float64, k)
+		xt = make([]float64, k)
+	)
+	var res IntegrateResult
+	for s.T < maxT {
+		if res.Steps >= maxSteps {
+			return res, fmt.Errorf("meanfield: integration exceeded %d steps", maxSteps)
+		}
+		d(s.X, k1)
+		// Adaptive step: bound each bucket's expected relative change.
+		var maxRel float64
+		for c := 0; c < k; c++ {
+			if s.X[c] <= 0 {
+				continue
+			}
+			if rel := math.Abs(k1[c]) / s.X[c]; rel > maxRel {
+				maxRel = rel
+			}
+		}
+		var sup float64
+		for c := 0; c < k; c++ {
+			if a := math.Abs(k1[c]); a > sup {
+				sup = a
+			}
+		}
+		if sup < stallNorm {
+			res.Stalled = true
+			return res, nil
+		}
+		dt := maxStep
+		if maxRel > 0 && tol/maxRel < dt {
+			dt = tol / maxRel
+		}
+		if s.T+dt > maxT {
+			dt = maxT - s.T
+		}
+		// Classic RK4.
+		for c := 0; c < k; c++ {
+			xt[c] = s.X[c] + 0.5*dt*k1[c]
+		}
+		d(xt, k2)
+		for c := 0; c < k; c++ {
+			xt[c] = s.X[c] + 0.5*dt*k2[c]
+		}
+		d(xt, k3)
+		for c := 0; c < k; c++ {
+			xt[c] = s.X[c] + dt*k3[c]
+		}
+		d(xt, k4)
+		var sum float64
+		for c := 0; c < k; c++ {
+			v := s.X[c] + dt/6*(k1[c]+2*k2[c]+2*k3[c]+k4[c])
+			if v < 0 {
+				v = 0
+			}
+			s.X[c] = v
+			sum += v
+		}
+		if sum <= 0 {
+			return res, errors.New("meanfield: integration collapsed to the zero vector")
+		}
+		for c := 0; c < k; c++ {
+			s.X[c] /= sum
+		}
+		s.T += dt
+		res.Steps++
+		if cfg.Stop != nil && cfg.Stop(s.X) {
+			res.Stopped = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

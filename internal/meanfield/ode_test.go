@@ -1,0 +1,285 @@
+package meanfield_test
+
+// Characterization tests of the ODE side of the hybrid leap engine: the
+// fluid limits induced by every registered protocol's flow law (fixed
+// points, drift signs, mass conservation), the RK4 integrator's consensus
+// approach and Voter stall, and the exactness of the histogram handoff
+// round trip (StateFromCounts / State.Counts).
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/meanfield"
+	"plurality/internal/occupancy"
+	"plurality/internal/protocols"
+)
+
+// protocolDrift resolves a registry spec to the Drift of its flow law over
+// k opinion colors, returning the bucket count (k+1 for undecided-state
+// rules, whose hidden pool gets the last bucket).
+func protocolDrift(t *testing.T, spec string, k int) (meanfield.Drift, int) {
+	t.Helper()
+	_, rule, err := protocols.Lookup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dynamics.Rule and occupancy.Rule are structurally identical.
+	var or occupancy.Rule = rule
+	buckets := k
+	if ur, ok := or.(occupancy.Undecided); ok {
+		or = ur.UndecidedRule(k)
+		buckets = k + 1
+	}
+	kr, ok := or.(occupancy.Kerneled)
+	if !ok {
+		t.Fatalf("%s: no occupancy kernel", spec)
+	}
+	fk, ok := kr.OccupancyKernel().(occupancy.FlowKernel)
+	if !ok {
+		t.Fatalf("%s: kernel exposes no flow law", spec)
+	}
+	return meanfield.DriftFromFlows(buckets, fk.Flows), buckets
+}
+
+// leapableSpecs returns one representative spec per Leapable registry
+// entry, so a newly registered protocol lands in these gates automatically.
+func leapableSpecs(t *testing.T) []string {
+	t.Helper()
+	var specs []string
+	for _, d := range protocols.Registry() {
+		if !d.Leapable {
+			continue
+		}
+		spec := d.Name
+		if d.ParamName != "" {
+			// Parameterized families pin their race representative.
+			spec = d.RaceSpec
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no leapable protocols registered")
+	}
+	return specs
+}
+
+// TestDriftFixedPoints: consensus corners are fixed points of every
+// registered flow law (with an empty undecided pool where applicable), and
+// the color-symmetric dynamics are also fixed exactly at the uniform tie.
+func TestDriftFixedPoints(t *testing.T) {
+	const k = 3
+	for _, spec := range leapableSpecs(t) {
+		drift, buckets := protocolDrift(t, spec, k)
+		out := make([]float64, buckets)
+		for c := 0; c < k; c++ {
+			x := make([]float64, buckets)
+			x[c] = 1
+			drift(x, out)
+			for d, v := range out {
+				if math.Abs(v) > 1e-12 {
+					t.Errorf("%s: consensus on %d: drift[%d] = %g, want 0", spec, c, d, v)
+				}
+			}
+		}
+		if buckets != k {
+			continue // the uniform decided tie is not a USD fixed point
+		}
+		x := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+		drift(x, out)
+		for d, v := range out {
+			if math.Abs(v) > 1e-12 {
+				t.Errorf("%s: uniform tie: drift[%d] = %g, want 0", spec, d, v)
+			}
+		}
+	}
+}
+
+// TestDriftMassConservation: every registered flow law's drift sums to zero
+// — the fluid limit moves mass between buckets, never creates it.
+func TestDriftMassConservation(t *testing.T) {
+	const k = 3
+	points := [][]float64{
+		{0.5, 0.25, 0.25},
+		{0.7, 0.2, 0.1},
+		{0.34, 0.33, 0.33},
+	}
+	for _, spec := range leapableSpecs(t) {
+		drift, buckets := protocolDrift(t, spec, k)
+		out := make([]float64, buckets)
+		for _, p := range points {
+			x := make([]float64, buckets)
+			copy(x, p)
+			if buckets > k {
+				// Move a fifth of the mass into the undecided pool.
+				for c := 0; c < k; c++ {
+					x[c] *= 0.8
+				}
+				x[k] = 0.2
+			}
+			drift(x, out)
+			var sum float64
+			for _, v := range out {
+				sum += v
+			}
+			if math.Abs(sum) > 1e-12 {
+				t.Errorf("%s at %v: drift sums to %g, want 0", spec, x, sum)
+			}
+		}
+	}
+}
+
+// TestDriftAmplifiesPlurality: integrating each registered fluid limit from
+// a biased start must widen the plurality's lead — the mean-field shadow of
+// the protocols' plurality-wins guarantee. Voter's drift is identically
+// zero (the martingale), so it must stall instead; the integrator's stall
+// detection is exactly what lets the leap engine skip the ODE regime for
+// drift-free dynamics.
+func TestDriftAmplifiesPlurality(t *testing.T) {
+	const k = 3
+	for _, spec := range leapableSpecs(t) {
+		drift, buckets := protocolDrift(t, spec, k)
+		x := make([]float64, buckets)
+		copy(x, []float64{0.5, 0.25, 0.25})
+		st := meanfield.State{X: x}
+		res, err := meanfield.Integrate(drift, &st, 10, meanfield.IntegrateConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if spec == "voter" {
+			if !res.Stalled || res.Steps != 0 {
+				t.Errorf("voter: res = %+v, want immediate stall", res)
+			}
+			continue
+		}
+		if res.Stalled {
+			t.Errorf("%s: stalled at %v", spec, st.X)
+		}
+		if lead := st.X[0] - st.X[1]; lead <= 0.5-0.25 {
+			t.Errorf("%s: plurality lead %g after T=%g, want > 0.25", spec, lead, st.T)
+		}
+		if st.X[0] <= st.X[1] || st.X[1] != st.X[2] {
+			// The trailing colors start symmetric and the dynamics are
+			// color-symmetric, so they must stay exactly tied.
+			t.Errorf("%s: order violated: %v", spec, st.X)
+		}
+	}
+}
+
+// TestIntegrateApproachesConsensus drives the Two-Choices fluid limit until
+// the trailing colors are all but extinct, checking the Stop hook fires and
+// the winner holds essentially everything — the deterministic skeleton the
+// leap engine's ODE regime rides on.
+func TestIntegrateApproachesConsensus(t *testing.T) {
+	drift, _ := protocolDrift(t, "two-choices", 3)
+	st := meanfield.State{X: []float64{0.5, 0.25, 0.25}}
+	res, err := meanfield.Integrate(drift, &st, 1e6, meanfield.IntegrateConfig{
+		Stop: func(x []float64) bool {
+			for _, f := range x {
+				if f > 0 && f < 1e-9 {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Stalled {
+		t.Fatalf("res = %+v, want Stopped", res)
+	}
+	if st.X[0] < 1-1e-8 {
+		t.Errorf("winner fraction %g after T=%g, want ~1", st.X[0], st.T)
+	}
+	if st.T <= 0 || res.Steps <= 0 {
+		t.Errorf("no progress recorded: T=%g steps=%d", st.T, res.Steps)
+	}
+}
+
+// TestStateCountsRoundTrip: importing any histogram and exporting it back
+// at the same n must reproduce it bit for bit — the leap engine's ODE
+// handoff cannot leak or invent nodes at either boundary.
+func TestStateCountsRoundTrip(t *testing.T) {
+	check := func(a, b, c, d uint16) bool {
+		counts := []int64{int64(a), int64(b), int64(c), int64(d) + 1}
+		var n int64
+		for _, v := range counts {
+			n += v
+		}
+		if n < 2 {
+			return true
+		}
+		st, err := meanfield.StateFromCounts(counts, 1.5)
+		if err != nil || st.T != 1.5 {
+			return false
+		}
+		out := make([]int64, len(counts))
+		if err := st.Counts(n, out); err != nil {
+			return false
+		}
+		for i := range counts {
+			if out[i] != counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateCountsRescale: exporting to a different n preserves the total
+// exactly via largest-remainder rounding.
+func TestStateCountsRescale(t *testing.T) {
+	st, err := meanfield.StateFromCounts([]int64{1, 1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{2, 7, 100, 1_000_003} {
+		out := make([]int64, 3)
+		if err := st.Counts(n, out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var sum int64
+		for _, v := range out {
+			sum += v
+		}
+		if sum != n {
+			t.Errorf("n=%d: exported total %d", n, sum)
+		}
+	}
+}
+
+// TestHandoffErrors pins the handoff contract violations.
+func TestHandoffErrors(t *testing.T) {
+	if _, err := meanfield.StateFromCounts(nil, 0); err == nil {
+		t.Error("empty histogram: no error")
+	}
+	if _, err := meanfield.StateFromCounts([]int64{3, -1}, 0); err == nil {
+		t.Error("negative count: no error")
+	}
+	if _, err := meanfield.StateFromCounts([]int64{0, 0}, 0); err == nil {
+		t.Error("zero total: no error")
+	}
+	st := meanfield.State{X: []float64{0.5, 0.5}}
+	if err := st.Counts(10, make([]int64, 3)); err == nil {
+		t.Error("mismatched buffer: no error")
+	}
+	if err := st.Counts(0, make([]int64, 2)); err == nil {
+		t.Error("n = 0: no error")
+	}
+	bad := meanfield.State{X: []float64{0.9, 0.9}}
+	if err := bad.Counts(10, make([]int64, 2)); err == nil {
+		t.Error("fractions summing above 1: no error")
+	}
+	nan := meanfield.State{X: []float64{math.NaN(), 0.5}}
+	if err := nan.Counts(10, make([]int64, 2)); err == nil {
+		t.Error("NaN fraction: no error")
+	}
+	if _, err := meanfield.Integrate(nil, &meanfield.State{X: []float64{1}}, 1, meanfield.IntegrateConfig{}); err == nil {
+		t.Error("nil drift: no error")
+	}
+}

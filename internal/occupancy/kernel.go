@@ -30,6 +30,23 @@ type Kerneled interface {
 	OccupancyKernel() Kernel
 }
 
+// FlowKernel is a Kernel that additionally exposes the full per-activation
+// flow law in the n → ∞ fraction limit — what the hybrid leap engine needs
+// to fire many transitions per step (tau-leaping) and to integrate the
+// mean-field ODE. Flows fills out (len k·k, row-major over k = len(x)
+// buckets) with
+//
+//	out[c*k+d] = lim P(one activation moves a node from bucket c to d)
+//
+// at fractions x, for c ≠ d; diagonal entries must be written as 0. The
+// limit drops the O(1/n) self-exclusion corrections of the exact kernel,
+// which is sound exactly where the leap engine runs: buckets below the
+// exact-regime cutoff are simulated by the jump chain, never leapt.
+type FlowKernel interface {
+	Kernel
+	Flows(x, out []float64)
+}
+
 // sumSquares returns Σ counts[c]² in float64 (exact up to rounding; the
 // kernels only ever use it inside float64 probabilities).
 func sumSquares(counts []int64) float64 {
@@ -86,6 +103,21 @@ func (TwoChoicesKernel) SampleTransition(r *rng.RNG, counts []int64, n int64, wi
 	return from, to
 }
 
+// Flows implements FlowKernel: a node of color c moves to d when both
+// samples hit d, so F_cd = x_c · x_d².
+func (TwoChoicesKernel) Flows(x, out []float64) {
+	k := len(x)
+	for c := 0; c < k; c++ {
+		for d := 0; d < k; d++ {
+			if d == c {
+				out[c*k+d] = 0
+				continue
+			}
+			out[c*k+d] = x[c] * x[d] * x[d]
+		}
+	}
+}
+
 // --- Voter ---------------------------------------------------------------
 
 // VoterKernel is the count-level law of the Voter rule: sample one neighbor
@@ -113,6 +145,23 @@ func (VoterKernel) SampleTransition(r *rng.RNG, counts []int64, n int64, withSel
 	from = WeightedPick(r, nf*nf-a, counts, func(c int, f float64) float64 { return f * (nf - f) })
 	to = WeightedPickExcept(r, nf-float64(counts[from]), counts, from, func(c int, f float64) float64 { return f })
 	return from, to
+}
+
+// Flows implements FlowKernel: a node of color c adopts the single sample,
+// so F_cd = x_c · x_d. The flow matrix is symmetric — the Voter drift is
+// identically zero (the martingale), which the leap engine's ODE regime
+// detects as a stall and sidesteps.
+func (VoterKernel) Flows(x, out []float64) {
+	k := len(x)
+	for c := 0; c < k; c++ {
+		for d := 0; d < k; d++ {
+			if d == c {
+				out[c*k+d] = 0
+				continue
+			}
+			out[c*k+d] = x[c] * x[d]
+		}
+	}
 }
 
 // --- 3-Majority ----------------------------------------------------------
@@ -216,6 +265,25 @@ func (ThreeMajorityKernel) SampleTransition(r *rng.RNG, counts []int64, n int64,
 		return threeMajAdopt(qd, s2)
 	})
 	return from, to
+}
+
+// Flows implements FlowKernel: in the fraction limit the neighbor law is x
+// itself, so F_cd = x_c · threeMajAdopt(x_d, S₂) with S₂ = Σ x_e².
+func (ThreeMajorityKernel) Flows(x, out []float64) {
+	k := len(x)
+	var s2 float64
+	for _, f := range x {
+		s2 += f * f
+	}
+	for c := 0; c < k; c++ {
+		for d := 0; d < k; d++ {
+			if d == c {
+				out[c*k+d] = 0
+				continue
+			}
+			out[c*k+d] = x[c] * threeMajAdopt(x[d], s2)
+		}
+	}
 }
 
 // --- weighted sampling helpers ------------------------------------------

@@ -226,7 +226,38 @@ const (
 	// EngineOccupancy requires the count-collapsed engine; RunAsync fails
 	// with a descriptive error if the configuration is not collapsible.
 	EngineOccupancy
+	// EngineLeap requires the hybrid tau-leap/mean-field engine: the
+	// count-collapsed histogram advanced many transitions per step, with
+	// automatic handoff to the mean-field ODE in the fluctuation-free bulk
+	// and automatic fallback to the exact jump chain near small buckets.
+	// Approximate by design (error budget via AsyncConfig.Leap) and built
+	// for n beyond the exact engine's reach (10¹⁰–10¹²⁺); it needs a
+	// collapsible churn-free run, a FlowKernel-ed rule and a
+	// Sequential/Poisson scheduler.
+	EngineLeap
 )
+
+// LeapAutoN is the histogram total from which EngineAuto escalates counts
+// runs to the hybrid leap engine (when the rule and scheduler support it):
+// beyond the exact engine's practical ceiling, so sub-threshold behavior is
+// unchanged.
+const LeapAutoN int64 = 10_000_000_000
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EnginePerNode:
+		return "per-node"
+	case EngineOccupancy:
+		return "occupancy"
+	case EngineLeap:
+		return "leap"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
 
 // AsyncConfig configures an asynchronous run.
 type AsyncConfig struct {
@@ -260,6 +291,11 @@ type AsyncConfig struct {
 	OnTick func(t sched.Tick, pop *population.Population)
 	// Engine selects the execution strategy (default EngineAuto).
 	Engine Engine
+	// Leap carries the error-budget knobs of the hybrid leap engine
+	// (EngineLeap, or EngineAuto runs escalated past LeapAutoN); the zero
+	// value selects the occupancy package's defaults. Ignored by the exact
+	// engines.
+	Leap occupancy.LeapConfig
 	// Stop, if non-nil, is polled at a coarse stride (per tick batch);
 	// returning true abandons the run with ErrStopped and the progress made
 	// so far.
@@ -333,8 +369,8 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 	if cfg.Engine != EnginePerNode {
 		if blocker := collapseBlocker(cfg); blocker == "" {
 			return rn.runCollapsed(pop, rule, cfg)
-		} else if cfg.Engine == EngineOccupancy {
-			return AsyncResult{}, fmt.Errorf("dynamics: WithEngine(EngineOccupancy) needs a count-collapsible run, but %s", blocker)
+		} else if cfg.Engine == EngineOccupancy || cfg.Engine == EngineLeap {
+			return AsyncResult{}, fmt.Errorf("dynamics: the %s engine needs a count-collapsible run, but %s", cfg.Engine, blocker)
 		}
 	}
 	var (
@@ -560,7 +596,7 @@ func collapseBlocker(cfg AsyncConfig) string {
 func (rn *Runner) runCollapsed(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
 	g := cfg.Graph.(graph.Complete)
 	counts := pop.Counts()
-	res, err := rn.occ.Run(counts, rule, occupancy.Config{
+	occCfg := occupancy.Config{
 		WithSelf:        g.WithSelf,
 		Scheduler:       cfg.Scheduler,
 		Rand:            cfg.Rand,
@@ -570,7 +606,18 @@ func (rn *Runner) runCollapsed(pop *population.Population, rule Rule, cfg AsyncC
 		Stop:            cfg.Stop,
 		ObserveInterval: cfg.ObserveInterval,
 		OnObserve:       cfg.OnSnapshot,
-	})
+	}
+	var (
+		res occupancy.Result
+		err error
+	)
+	if cfg.Engine == EngineLeap {
+		var lres occupancy.LeapResult
+		lres, err = rn.occ.RunLeap(counts, rule, occCfg, cfg.Leap)
+		res = lres.Result
+	} else {
+		res, err = rn.occ.Run(counts, rule, occCfg)
+	}
 	if err != nil && !errors.Is(err, occupancy.ErrTimeLimit) && !errors.Is(err, occupancy.ErrStopped) {
 		// A hard error means the run never executed: surface it and leave
 		// the population untouched (a write-back of the zero-valued result
@@ -604,6 +651,9 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 	if cfg.Engine == EnginePerNode {
 		return AsyncResult{}, errors.New("dynamics: counts runs are count-collapsed by definition; materialize a Population for the per-node engine")
 	}
+	if cfg.Engine < EngineAuto || cfg.Engine > EngineLeap {
+		return AsyncResult{}, fmt.Errorf("dynamics: unknown engine %d", cfg.Engine)
+	}
 	withSelf := false
 	if cfg.Graph != nil {
 		g, ok := cfg.Graph.(graph.Complete)
@@ -622,7 +672,7 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 	if cfg.OnTick != nil || cfg.Latency != nil || cfg.Delay != nil {
 		return AsyncResult{}, errors.New("dynamics: counts runs support neither delays, latencies nor OnTick observers (per-node state)")
 	}
-	res, err := rn.occ.Run(counts, rule, occupancy.Config{
+	occCfg := occupancy.Config{
 		WithSelf:        withSelf,
 		Scheduler:       cfg.Scheduler,
 		Rand:            cfg.Rand,
@@ -631,8 +681,37 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 		Stop:            cfg.Stop,
 		ObserveInterval: cfg.ObserveInterval,
 		OnObserve:       cfg.OnSnapshot,
-	})
+	}
+	if cfg.Engine == EngineLeap || autoLeap(counts, rule, cfg) {
+		lres, err := rn.occ.RunLeap(counts, rule, occCfg, cfg.Leap)
+		return collapsedResult(lres.Result, err, rule, cfg.MaxTime)
+	}
+	res, err := rn.occ.Run(counts, rule, occCfg)
 	return collapsedResult(res, err, rule, cfg.MaxTime)
+}
+
+// autoLeap reports whether an EngineAuto counts run escalates to the hybrid
+// leap engine: histogram total at least LeapAutoN — past the exact engine's
+// practical ceiling — with every leap precondition met (no churn, a
+// FlowKernel-ed rule, a Sequential or Poisson scheduler). Sub-threshold or
+// ineligible runs keep the exact engine, so existing behavior is unchanged.
+func autoLeap(counts []int64, rule Rule, cfg AsyncConfig) bool {
+	if cfg.Engine != EngineAuto || cfg.Churn != 0 {
+		return false
+	}
+	var n int64
+	for _, v := range counts {
+		n += v
+	}
+	if n < LeapAutoN {
+		return false
+	}
+	switch cfg.Scheduler.(type) {
+	case *sched.Sequential, *sched.Poisson:
+	default:
+		return false
+	}
+	return occupancy.Leapable(rule, len(counts))
 }
 
 // collapsedResult maps an occupancy result and error onto the package's
@@ -677,7 +756,7 @@ func validateAsync(pop *population.Population, rule Rule, cfg AsyncConfig) error
 		return fmt.Errorf("dynamics: Churn = %v, want [0, 1)", cfg.Churn)
 	case rule.SampleCount() <= 0:
 		return fmt.Errorf("dynamics: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
-	case cfg.Engine < EngineAuto || cfg.Engine > EngineOccupancy:
+	case cfg.Engine < EngineAuto || cfg.Engine > EngineLeap:
 		return fmt.Errorf("dynamics: unknown engine %d", cfg.Engine)
 	}
 	return validateUndecided(pop, rule)

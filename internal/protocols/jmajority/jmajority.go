@@ -222,6 +222,28 @@ func (kn *Kernel) adoptProb(d int) float64 {
 	return p
 }
 
+// Flows implements occupancy.FlowKernel: in the fraction limit the
+// neighbor law seen by every node is x itself (self-exclusion is an O(1/n)
+// correction), so the adoption probability of color d is the same DP
+// evaluated at q = x regardless of the mover's color, and
+// F_cd = x_c · P(adopt = d). One DP pass per destination color, shared
+// across all sources.
+func (kn *Kernel) Flows(x, out []float64) {
+	k := len(x)
+	kn.init(k)
+	copy(kn.q, x)
+	for d := 0; d < k; d++ {
+		p := kn.adoptProb(d)
+		for c := 0; c < k; c++ {
+			if c == d {
+				out[c*k+d] = 0
+				continue
+			}
+			out[c*k+d] = x[c] * p
+		}
+	}
+}
+
 // EffectiveProb implements occupancy.Kernel.
 func (kn *Kernel) EffectiveProb(counts []int64, n int64, withSelf bool) float64 {
 	kn.init(len(counts))

@@ -61,6 +61,10 @@ type Descriptor struct {
 	// Kerneled reports whether the rule exposes an exact occupancy kernel,
 	// letting count-collapsed runs leap over no-op activations.
 	Kerneled bool
+	// Leapable reports whether the rule's kernel also exposes the
+	// closed-form flow law (occupancy.FlowKernel) that the hybrid
+	// tau-leap/mean-field engine needs — the n ≥ 10¹⁰ regime.
+	Leapable bool
 	// Undecided reports whether the rule uses the undecided (None) state.
 	Undecided bool
 
@@ -99,6 +103,7 @@ func registry() []Descriptor {
 			RaceSpec:      "two-choices",
 			PluralityWins: true,
 			Kerneled:      true,
+			Leapable:      true,
 			rule:          noParam("two-choices", twochoices.Rule{}),
 		},
 		{
@@ -111,6 +116,7 @@ func registry() []Descriptor {
 			// probability proportional to its initial support — so no
 			// plurality guarantee.
 			Kerneled: true,
+			Leapable: true,
 			rule:     noParam("voter", voter.Rule{}),
 		},
 		{
@@ -122,6 +128,7 @@ func registry() []Descriptor {
 			RaceSpec:      "3-majority",
 			PluralityWins: true,
 			Kerneled:      true,
+			Leapable:      true,
 			rule:          noParam("3-majority", threemajority.Rule{}),
 		},
 		{
@@ -133,6 +140,7 @@ func registry() []Descriptor {
 			RaceSpec:      "usd",
 			PluralityWins: true,
 			Kerneled:      true,
+			Leapable:      true,
 			Undecided:     true,
 			rule:          noParam("usd", usd.Rule{}),
 		},
@@ -147,6 +155,7 @@ func registry() []Descriptor {
 			RaceSpec:      "j-majority:5",
 			PluralityWins: true,
 			Kerneled:      true,
+			Leapable:      true,
 			rule: func(param string) (dynamics.Rule, error) {
 				if param == "" {
 					return nil, fmt.Errorf("protocols: j-majority needs a sample size, e.g. %q", "j-majority:3")
@@ -267,7 +276,10 @@ func MarkdownTable() string {
 		}
 		engines := "sync · async · counts"
 		if d.Kerneled {
-			engines += " (leap kernel)"
+			engines += " (skip kernel)"
+		}
+		if d.Leapable {
+			engines += " · leap"
 		}
 		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
 			name, d.Samples, d.Summary, plur, engines, d.Source)

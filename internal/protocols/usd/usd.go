@@ -131,6 +131,30 @@ func decidedMoments(counts []int64) (d, s2 float64) {
 	return d, s2
 }
 
+// Flows implements occupancy.FlowKernel on the k+1-bucket convention: with
+// decided mass D = Σ x_c and undecided fraction u, a decided color c bleeds
+// into the undecided pool at F_{c,und} = x_c·(D − x_c) and the pool refills
+// decided colors at F_{und,d} = u·x_d; decided-to-decided flow is zero (a
+// disagreeing node always passes through the undecided state).
+func (Kernel) Flows(x, out []float64) {
+	k := len(x)
+	und := k - 1
+	var d float64
+	for _, f := range x[:und] {
+		d += f
+	}
+	u := x[und]
+	for c := 0; c < k; c++ {
+		for e := 0; e < k; e++ {
+			out[c*k+e] = 0
+		}
+	}
+	for c := 0; c < und; c++ {
+		out[c*k+und] = x[c] * (d - x[c])
+		out[und*k+c] = u * x[c]
+	}
+}
+
 // EffectiveProb implements occupancy.Kernel.
 func (Kernel) EffectiveProb(counts []int64, n int64, withSelf bool) float64 {
 	d, s2 := decidedMoments(counts)

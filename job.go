@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"plurality/internal/core"
+	"plurality/internal/occupancy"
 	"plurality/internal/par"
 	"plurality/internal/protocols"
 	"plurality/internal/protocols/dynamics"
@@ -103,9 +104,9 @@ func (j *Job) N() int64 { return j.total }
 
 // countsPath reports whether the job executes directly on the histogram
 // (O(k) memory, no per-node population): an asynchronous dynamic with the
-// occupancy engine required.
+// occupancy or leap engine required.
 func (j *Job) countsPath() bool {
-	return j.kind == KindDynamic && j.o.engine == EngineOccupancy
+	return j.kind == KindDynamic && (j.o.engine == EngineOccupancy || j.o.engine == EngineLeap)
 }
 
 // Per-kind masks of the options each runner actually consumes; everything
@@ -120,6 +121,10 @@ var (
 		idEdgeLatency, idChurn, idGraph, idEngine)
 	countsOptMask = commonOptMask | maskOf(idModel, idMaxTime, idChurn,
 		idGraph, idEngine)
+	// The hybrid leap engine is churn-free by construction, and its two
+	// error-budget knobs apply only to it.
+	leapOptMask = commonOptMask | maskOf(idModel, idMaxTime, idGraph,
+		idEngine, idLeapEps, idODEThreshold)
 	syncOptMask   = commonOptMask | maskOf(idModel, idMaxRounds, idGraph)
 	oneBitOptMask = commonOptMask | maskOf(idGraph, idMaxRounds, idMaxPhases,
 		idPropagationRounds, idPhaseObserver)
@@ -136,9 +141,12 @@ func (j *Job) Validate() error {
 	case KindCore:
 		allowed = coreOptMask
 	case KindDynamic:
-		if j.o.engine == EngineOccupancy {
+		switch j.o.engine {
+		case EngineOccupancy:
 			allowed = countsOptMask
-		} else {
+		case EngineLeap:
+			allowed = leapOptMask
+		default:
 			allowed = asyncOptMask
 		}
 	case KindSyncDynamic:
@@ -188,9 +196,23 @@ func (j *Job) Validate() error {
 			return err
 		}
 	case KindDynamic:
-		if j.o.engine == EngineOccupancy {
+		if j.o.engine == EngineOccupancy || j.o.engine == EngineLeap {
 			if _, err := j.desc.ValidateCounts(j.counts, j.o.model == HeapPoisson); err != nil {
 				return err
+			}
+		}
+		if j.o.engine == EngineLeap {
+			if !j.desc.Leapable {
+				return fmt.Errorf("plurality: job %s: protocol %s has no flow law; the leap engine needs one", j.spec, j.desc.Name)
+			}
+			if j.o.model == HeapPoisson {
+				return fmt.Errorf("plurality: job %s: the leap engine needs the Sequential or Poisson model", j.spec)
+			}
+			if e := j.o.leapEps; j.o.set&maskOf(idLeapEps) != 0 && (math.IsNaN(e) || e <= 0 || e > 0.5) {
+				return fmt.Errorf("plurality: job %s: WithLeapEpsilon(%v), want (0, 0.5]", j.spec, e)
+			}
+			if th := j.o.odeTheta; j.o.set&maskOf(idODEThreshold) != 0 && (math.IsNaN(th) || th >= 1) {
+				return fmt.Errorf("plurality: job %s: WithODEThreshold(%v), want < 1 (0 disables the ODE regime)", j.spec, th)
 			}
 		}
 	case KindSyncDynamic:
@@ -467,6 +489,7 @@ func execAsync(ctx context.Context, rn *dynamics.Runner, pop *Population, rule d
 	cfg.Latency = o.latency
 	cfg.Churn = o.churnRate
 	cfg.Engine = o.dynamicsEngine()
+	cfg.Leap = o.leapConfig()
 	cfg.Stop = stopFunc(ctx)
 	cfg.ObserveInterval, cfg.OnSnapshot = o.asyncObserver()
 	res, err := rn.RunAsync(pop, rule, cfg)
@@ -515,6 +538,7 @@ func execCounts(ctx context.Context, rn *dynamics.Runner, counts []int64, d prot
 		MaxTime:   o.maxTime,
 		Churn:     o.churnRate,
 		Engine:    o.dynamicsEngine(),
+		Leap:      o.leapConfig(),
 	}
 	if o.delayRate > 0 {
 		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
@@ -565,9 +589,17 @@ func (o *options) dynamicsEngine() dynamics.Engine {
 		return dynamics.EnginePerNode
 	case EngineOccupancy:
 		return dynamics.EngineOccupancy
+	case EngineLeap:
+		return dynamics.EngineLeap
 	default:
 		return dynamics.EngineAuto
 	}
+}
+
+// leapConfig maps the public leap error-budget options onto the engine's
+// knobs (zero values select the engine defaults).
+func (o *options) leapConfig() occupancy.LeapConfig {
+	return occupancy.LeapConfig{Eps: o.leapEps, ODETheta: o.odeTheta}
 }
 
 // topology returns the configured graph or the default complete graph
