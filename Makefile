@@ -12,6 +12,7 @@ COVER_MIN ?= 85
 .PHONY: build test test-short test-race cover bench bench-smoke schedbench \
 	scalebench scale-smoke scale-baseline \
 	leapbench leap-smoke leap-baseline \
+	servebench serve-smoke serve-baseline \
 	sweep-smoke sweep-baseline sweep-nightly lint fmt api api-check
 
 build:
@@ -95,6 +96,27 @@ leap-smoke:
 # hybrid-engine change; commit the result).
 leap-baseline:
 	$(GO) run ./cmd/experiments -leapbench -smoke -leapbench-out BENCH_leap_baseline.json
+
+# Regenerate BENCH_serve.json (the pluralityd service-layer load record:
+# distinct-job throughput, the cache probe, queue backpressure — a real
+# daemon behind a real listener).
+servebench:
+	$(GO) run ./cmd/experiments -servebench -servebench-out BENCH_serve.json
+
+# CI serve harness: the smoke load, diffed against the committed baseline
+# on machine-portable quantities only (completion accounting, cache hit +
+# byte-identical replay, deterministic reference ticks, 429 contract —
+# never jobs/sec or latency), plus the curl quickstart script from
+# README.md against a live daemon.
+serve-smoke:
+	$(GO) run ./cmd/experiments -servebench -smoke \
+		-servebench-out BENCH_serve_smoke.json -serve-baseline BENCH_serve_baseline.json
+	./scripts/serve_quickstart.sh
+
+# Regenerate the committed serve smoke baseline (run after an intentional
+# service or engine change; commit the result).
+serve-baseline:
+	$(GO) run ./cmd/experiments -servebench -smoke -servebench-out BENCH_serve_baseline.json
 
 # CI regression harness: run every named sweep at smoke size, write the
 # BENCH_exp.json artifact, run the statistical gates, and diff against the

@@ -57,6 +57,11 @@ func run(args []string, out io.Writer) error {
 		scaleBaseline = fs.String("scale-baseline", "", "diff the -scalebench report against this baseline; regressions beyond -scale-tol fail")
 		scaleTol      = fs.Float64("scale-tol", 0.5, "relative tolerance band for -scale-baseline comparison")
 
+		serveBench    = fs.Bool("servebench", false, "load-test the pluralityd service layer (-smoke selects the CI load)")
+		serveBenchOut = fs.String("servebench-out", "", "write the -servebench report as JSON to this file (e.g. BENCH_serve.json)")
+		serveBaseline = fs.String("serve-baseline", "", "diff the -servebench report against this baseline; regressions beyond -serve-tol fail")
+		serveTol      = fs.Float64("serve-tol", 0.05, "relative tolerance band for -serve-baseline comparison (the reference ticks are deterministic)")
+
 		leapBench    = fs.Bool("leapbench", false, "benchmark the hybrid tau-leap/mean-field engine (-smoke selects the CI grid)")
 		leapBenchOut = fs.String("leapbench-out", "", "write the -leapbench report as JSON to this file (e.g. BENCH_leap_baseline.json)")
 		leapBaseline = fs.String("leap-baseline", "", "diff the -leapbench report against this baseline; regressions beyond -leap-tol fail")
@@ -81,6 +86,10 @@ func run(args []string, out io.Writer) error {
 
 	if *scaleBench {
 		return runScaleBench(out, *smoke, *seed, *scaleBenchOut, *scaleBaseline, *scaleTol)
+	}
+
+	if *serveBench {
+		return runServeBench(out, *smoke, *seed, *serveBenchOut, *serveBaseline, *serveTol)
 	}
 
 	if *leapBench {
@@ -305,6 +314,55 @@ func runScaleBench(out io.Writer, smoke bool, seed uint64, jsonPath, baselinePat
 			return fmt.Errorf("%d scale regression(s) against %s", len(regs), baselinePath)
 		}
 		fmt.Fprintf(out, "scale baseline: clean (tol %.0f%%)\n", tol*100)
+	}
+	return nil
+}
+
+// runServeBench load-tests the pluralityd service layer (a real daemon
+// behind a real listener: distinct-job throughput, the cache probe, queue
+// backpressure), runs the report's built-in invariants, optionally records
+// the report as JSON — the procedure behind the committed
+// BENCH_serve_baseline.json — and, when a baseline is given, fails on any
+// machine-portable regression.
+func runServeBench(out io.Writer, smoke bool, seed uint64, jsonPath, baselinePath string, tol float64) error {
+	rep, err := bench.RunServeBench(bench.ServeBenchConfig{Smoke: smoke, Seed: seed}, out)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadServeBench(baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := bench.CompareServe(rep, base, tol)
+		for _, r := range regs {
+			fmt.Fprintf(out, "  REGRESSION %s\n", r)
+		}
+		if len(regs) > 0 {
+			return fmt.Errorf("%d serve regression(s) against %s", len(regs), baselinePath)
+		}
+		fmt.Fprintf(out, "serve baseline: clean (tol %.0f%%)\n", tol*100)
+		return nil
+	}
+	if fails := rep.Check(); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(out, "  FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d serve invariant(s) failed", len(fails))
 	}
 	return nil
 }

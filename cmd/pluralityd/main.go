@@ -1,0 +1,110 @@
+// Command pluralityd serves plurality-consensus simulations over HTTP:
+// consensus as a service on top of the library's Job API. Clients POST JSON
+// job specs, poll or stream their progress, and re-submissions of an
+// identical deterministic spec replay the cached report byte-for-byte. See
+// docs/API.md for the full contract.
+//
+// Examples:
+//
+//	pluralityd                          # listen on :8080 with defaults
+//	pluralityd -addr 127.0.0.1:9090 -workers 8 -queue 128 -cache 512
+//	curl -s localhost:8080/v1/jobs -d '{"protocol":"two-choices","counts":[600000,400000],"engine":"occupancy"}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight HTTP requests drain, and every queued or running job is
+// canceled through its context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"plurality/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pluralityd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, binds the listener and serves until ctx is canceled.
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("pluralityd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "pending-job queue depth; beyond it submissions get 429 + Retry-After")
+	cache := fs.Int("cache", 256, "completed-report LRU size in entries (negative disables caching)")
+	grace := fs.Duration("grace", 5*time.Second, "graceful-shutdown drain budget")
+	jsonLog := fs.Bool("log-json", false, "log as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	var handler slog.Handler
+	if *jsonLog {
+		handler = slog.NewJSONHandler(logw, nil)
+	} else {
+		handler = slog.NewTextHandler(logw, nil)
+	}
+	logger := slog.New(handler)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	cfg := service.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache, Logger: logger}
+	return serve(ctx, ln, cfg, logger, *grace)
+}
+
+// serve runs the daemon on ln until ctx is canceled, then drains HTTP
+// handlers within grace and cancels every queued and running job.
+func serve(ctx context.Context, ln net.Listener, cfg service.Config, logger *slog.Logger, grace time.Duration) error {
+	svc := service.New(cfg)
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Info("pluralityd listening", "addr", ln.Addr().String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("pluralityd shutting down", "grace", grace.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain budget exhausted (e.g. an SSE client still attached): close
+		// the remaining connections hard.
+		srv.Close()
+	}
+	svc.Close()
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"plurality/internal/service"
+)
+
+// startDaemon runs serve on an ephemeral port and returns its base URL plus
+// a shutdown trigger and completion channel.
+func startDaemon(t *testing.T) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg := service.Config{Workers: 2, QueueDepth: 8, Logger: logger}
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, cfg, logger, 2*time.Second) }()
+	return "http://" + ln.Addr().String(), cancel, done
+}
+
+// TestServeLifecycle boots the daemon, runs a deterministic job end to end
+// with a cached replay, and shuts down gracefully.
+func TestServeLifecycle(t *testing.T) {
+	url, cancel, done := startDaemon(t)
+	defer cancel()
+
+	// Liveness.
+	var resp *http.Response
+	var err error
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url + "/v1/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Submit a fast deterministic job and wait for it.
+	spec := `{"protocol":"two-choices","counts":[60000,40000],"engine":"occupancy","seed":3}`
+	resp, err = http.Post(url+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var terminal []byte
+	for {
+		resp, err := http.Get(url + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		terminal, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(terminal, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %s", terminal)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Cached replay over the real wire is byte-identical.
+	resp, err = http.Post(url+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("replay: status %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(cached, terminal) {
+		t.Fatalf("cached body differs:\n%s\nvs\n%s", cached, terminal)
+	}
+
+	// Graceful shutdown completes promptly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestRunFlagErrors: bad flags and unusable addresses surface as errors,
+// not hangs.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("unusable address accepted")
+	}
+	// -h prints usage and exits clean.
+	if err := run(context.Background(), []string{"-h"}, io.Discard); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package plurality_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+// The Job API: one validated binding of protocol × counts × options,
+// reusable across runs and engines.
+func ExampleNewJob() {
+	counts, err := plurality.Biased(100_000, 4, 1) // c1 = 2*c2
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := plurality.NewJob("two-choices", counts,
+		plurality.WithSeed(1),
+		plurality.WithEngine(plurality.EngineOccupancy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := job.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged: %v, winner: color %d\n", rep.Converged, rep.Winner)
+	// Output:
+	// converged: true, winner: color 0
+}
+
+// Pooled multi-trial execution: one Job fans out across cores with
+// decorrelated per-trial seeds, so results are independent of the worker
+// count.
+func ExampleJob_Trials() {
+	counts, err := plurality.Biased(10_000, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := plurality.NewJob("3-majority", counts, plurality.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reps, err := job.Trials(context.Background(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wins := 0
+	for _, rep := range reps {
+		if rep.Converged && rep.Winner == 0 {
+			wins++
+		}
+	}
+	fmt.Printf("plurality won %d/%d trials\n", wins, len(reps))
+	// Output:
+	// plurality won 8/8 trials
+}
+
+// Streaming observation is uniform across engines: the observer sees the
+// live histogram every interval units of parallel time — here driving an
+// early stop through context cancellation, honored inside the engine loop.
+func ExampleWithObserver() {
+	counts, err := plurality.Biased(100_000, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	job, err := plurality.NewJob("two-choices", counts,
+		plurality.WithSeed(1),
+		plurality.WithEngine(plurality.EngineOccupancy),
+		plurality.WithObserver(1, func(s plurality.Snapshot) {
+			if s.ConvergedFraction >= 0.99 {
+				cancel() // close enough: stop the simulation mid-run
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := job.Run(ctx)
+	fmt.Printf("stopped early: %v at 99%% agreement\n", err != nil && !rep.Converged)
+	// Output:
+	// stopped early: true at 99% agreement
+}

@@ -1,0 +1,463 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"plurality/internal/service"
+)
+
+// ServeBenchSchema tags BENCH_serve artifacts so comparison refuses files
+// written by an incompatible harness.
+const ServeBenchSchema = "plurality-serve/v1"
+
+// ServeBenchConfig configures the daemon load benchmark behind
+// BENCH_serve.json: a real service.Server behind a real HTTP listener,
+// driven through three phases — distinct-job throughput, the cache probe
+// (hit + byte-identical replay of a deterministic reference job) and queue
+// backpressure under a saturating burst.
+type ServeBenchConfig struct {
+	// Smoke selects the CI-sized load (fewer jobs, smaller populations);
+	// the full run uses a larger fleet of distinct jobs.
+	Smoke bool
+	// Seed roots the reference job and the distinct-job seed range, so the
+	// reference tick count is a pure function of (config, binary).
+	Seed uint64
+}
+
+// ServeThroughput is the distinct-job throughput phase: J jobs with
+// distinct seeds pushed through W workers. JobsPerSec and Seconds are
+// hardware-bound and never gated; the accounting identities are.
+type ServeThroughput struct {
+	Jobs       int     `json:"jobs"`
+	Workers    int     `json:"workers"`
+	Completed  int     `json:"completed"` // gated: must equal Jobs
+	JobsPerSec float64 `json:"jobsPerSec"`
+	Seconds    float64 `json:"seconds"`
+	// P99Seconds is the daemon's own completion-latency p99 after the
+	// phase (informational).
+	P99Seconds float64 `json:"p99Seconds"`
+}
+
+// ServeCacheProbe is the dedupe/cache phase around one deterministic
+// reference job (occupancy Two-Choices). Everything here is
+// machine-portable and gated.
+type ServeCacheProbe struct {
+	// Hit reports the re-submission answered 200 + X-Cache: hit.
+	Hit bool `json:"hit"`
+	// ByteIdentical reports the cached replay body equalled the terminal
+	// GET body byte for byte.
+	ByteIdentical bool `json:"byteIdentical"`
+	// RefConverged / RefTicks describe the reference run; ticks are
+	// deterministic given the seed, so baseline drift here is a behavior
+	// change in the engine or the service spec normalization, not noise.
+	RefConverged bool  `json:"refConverged"`
+	RefTicks     int64 `json:"refTicks"`
+	// HitRate is the daemon's cache hit rate after the probe
+	// (informational; depends on phase sizing).
+	HitRate float64 `json:"hitRate"`
+}
+
+// ServeBackpressure is the queue-saturation phase: one worker pinned by a
+// long job, a tiny queue, and a burst of further submissions. The
+// accounting identities and the 429 contract are gated; nothing here
+// depends on wall clock.
+type ServeBackpressure struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queueDepth"`
+	Submitted  int `json:"submitted"`
+	Accepted   int `json:"accepted"`
+	Rejected   int `json:"rejected"` // gated: > 0 and Accepted+Rejected == Submitted
+	// RetryAfterSet reports every 429 carried a Retry-After header.
+	RetryAfterSet bool `json:"retryAfterSet"`
+	// Canceled counts the accepted long jobs reaped by DELETE afterwards.
+	Canceled int `json:"canceled"`
+}
+
+// ServeBenchReport is the full benchmark output, serialized to
+// BENCH_serve.json and — from the smoke load — the committed
+// BENCH_serve_baseline.json CI comparison target.
+type ServeBenchReport struct {
+	Schema       string            `json:"schema"`
+	Go           string            `json:"go"`
+	GOARCH       string            `json:"goarch"`
+	Smoke        bool              `json:"smoke,omitempty"`
+	Seed         uint64            `json:"seed"`
+	Throughput   ServeThroughput   `json:"throughput"`
+	Cache        ServeCacheProbe   `json:"cache"`
+	Backpressure ServeBackpressure `json:"backpressure"`
+}
+
+// serveClient wraps the HTTP plumbing the phases share.
+type serveClient struct {
+	url string
+}
+
+func (c serveClient) submit(spec string) (*http.Response, []byte, error) {
+	resp, err := http.Post(c.url+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body, err
+}
+
+func (c serveClient) get(path string) (*http.Response, []byte, error) {
+	resp, err := http.Get(c.url + path)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body, err
+}
+
+// serveStatus is the slice of JobStatus the harness reads back.
+type serveStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Reports []struct {
+		Converged bool  `json:"converged"`
+		Ticks     int64 `json:"ticks"`
+	} `json:"reports"`
+}
+
+// waitTerminal polls one job until it leaves the queue/run states.
+func (c serveClient) waitTerminal(id string, timeout time.Duration) (serveStatus, []byte, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, body, err := c.get("/v1/jobs/" + id)
+		if err != nil {
+			return serveStatus{}, nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return serveStatus{}, nil, fmt.Errorf("bench: GET job %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		var st serveStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return serveStatus{}, nil, err
+		}
+		switch st.State {
+		case "done", "canceled", "failed":
+			return st, body, nil
+		}
+		if time.Now().After(deadline) {
+			return st, body, fmt.Errorf("bench: job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// refSpec is the deterministic reference job of the cache probe: a biased
+// Two-Choices run on the count-collapsed engine.
+func refSpec(n int64, seed uint64) string {
+	c1 := n * 6 / 10
+	return fmt.Sprintf(`{"protocol":"two-choices","counts":[%d,%d],"engine":"occupancy","model":"poisson","seed":%d}`,
+		c1, n-c1, seed)
+}
+
+// slowSpecJSON is a job that needs ~n parallel time (Voter on a tie): it
+// pins a worker for the whole backpressure phase and cancels promptly.
+func slowSpecJSON(n int64, seed uint64) string {
+	return fmt.Sprintf(`{"protocol":"voter","counts":[%d,%d],"engine":"per-node","maxTime":1e9,"seed":%d}`,
+		n/2, n/2, seed)
+}
+
+// RunServeBench executes the three phases and writes a human-readable
+// summary to out (if non-nil).
+func RunServeBench(cfg ServeBenchConfig, out io.Writer) (ServeBenchReport, error) {
+	rep := ServeBenchReport{
+		Schema: ServeBenchSchema,
+		Go:     runtime.Version(),
+		GOARCH: runtime.GOARCH,
+		Smoke:  cfg.Smoke,
+		Seed:   cfg.Seed,
+	}
+	jobs, refN := 64, int64(1_000_000)
+	if cfg.Smoke {
+		jobs, refN = 24, 100_000
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// Phase 1+2 share a daemon: throughput over distinct seeds, then the
+	// cache probe on the reference spec.
+	srv := service.New(service.Config{QueueDepth: jobs + 8, Logger: quiet})
+	ts := httptest.NewServer(srv.Handler())
+	c := serveClient{url: ts.URL}
+
+	workers := runtime.GOMAXPROCS(0)
+	rep.Throughput = ServeThroughput{Jobs: jobs, Workers: workers}
+	start := time.Now()
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		resp, body, err := c.submit(refSpec(refN/10, cfg.Seed+uint64(i)+1000))
+		if err != nil {
+			ts.Close()
+			srv.Close()
+			return rep, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			ts.Close()
+			srv.Close()
+			return rep, fmt.Errorf("bench: throughput submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var st serveStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			ts.Close()
+			srv.Close()
+			return rep, err
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		st, _, err := c.waitTerminal(id, 2*time.Minute)
+		if err != nil {
+			ts.Close()
+			srv.Close()
+			return rep, err
+		}
+		if st.State == "done" {
+			rep.Throughput.Completed++
+		}
+	}
+	rep.Throughput.Seconds = time.Since(start).Seconds()
+	if rep.Throughput.Seconds > 0 {
+		rep.Throughput.JobsPerSec = float64(jobs) / rep.Throughput.Seconds
+	}
+	if _, body, err := c.get("/v1/metrics"); err == nil {
+		var m struct {
+			Latency struct {
+				P99Seconds float64 `json:"p99Seconds"`
+			} `json:"latency"`
+		}
+		if json.Unmarshal(body, &m) == nil {
+			rep.Throughput.P99Seconds = m.Latency.P99Seconds
+		}
+	}
+	if out != nil {
+		fmt.Fprintf(out, "throughput: %d jobs (n=%d) on %d workers in %.2fs = %.1f jobs/s (p99 %.3fs)\n",
+			jobs, refN/10, workers, rep.Throughput.Seconds, rep.Throughput.JobsPerSec, rep.Throughput.P99Seconds)
+	}
+
+	// Cache probe: run the reference job, then replay it.
+	spec := refSpec(refN, cfg.Seed)
+	resp, body, err := c.submit(spec)
+	if err != nil {
+		ts.Close()
+		srv.Close()
+		return rep, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		ts.Close()
+		srv.Close()
+		return rep, fmt.Errorf("bench: reference submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st serveStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		ts.Close()
+		srv.Close()
+		return rep, err
+	}
+	ref, terminal, err := c.waitTerminal(st.ID, 2*time.Minute)
+	if err != nil {
+		ts.Close()
+		srv.Close()
+		return rep, err
+	}
+	if len(ref.Reports) == 1 {
+		rep.Cache.RefConverged = ref.Reports[0].Converged
+		rep.Cache.RefTicks = ref.Reports[0].Ticks
+	}
+	resp, cached, err := c.submit(spec)
+	if err != nil {
+		ts.Close()
+		srv.Close()
+		return rep, err
+	}
+	rep.Cache.Hit = resp.StatusCode == http.StatusOK && resp.Header.Get("X-Cache") == "hit"
+	rep.Cache.ByteIdentical = bytes.Equal(cached, terminal)
+	if _, body, err := c.get("/v1/metrics"); err == nil {
+		var m struct {
+			Cache struct {
+				HitRate float64 `json:"hitRate"`
+			} `json:"cache"`
+		}
+		if json.Unmarshal(body, &m) == nil {
+			rep.Cache.HitRate = m.Cache.HitRate
+		}
+	}
+	ts.Close()
+	srv.Close()
+	if out != nil {
+		fmt.Fprintf(out, "cache: hit=%v byteIdentical=%v refTicks=%d refConverged=%v\n",
+			rep.Cache.Hit, rep.Cache.ByteIdentical, rep.Cache.RefTicks, rep.Cache.RefConverged)
+	}
+
+	// Backpressure: one worker, a depth-2 queue, a burst of long jobs.
+	bp, err := runServeBackpressure(cfg, quiet, out)
+	if err != nil {
+		return rep, err
+	}
+	rep.Backpressure = bp
+	return rep, nil
+}
+
+// runServeBackpressure saturates a deliberately tiny daemon and accounts
+// for every submission.
+func runServeBackpressure(cfg ServeBenchConfig, quiet *slog.Logger, out io.Writer) (ServeBackpressure, error) {
+	bp := ServeBackpressure{Workers: 1, QueueDepth: 2}
+	srv := service.New(service.Config{Workers: 1, QueueDepth: 2, Logger: quiet})
+	ts := httptest.NewServer(srv.Handler())
+	defer srv.Close()
+	defer ts.Close()
+	c := serveClient{url: ts.URL}
+
+	n := int64(200_000)
+	if cfg.Smoke {
+		n = 100_000
+	}
+	burst := 10
+	bp.RetryAfterSet = true
+	var accepted []string
+	for i := 0; i < burst; i++ {
+		resp, body, err := c.submit(slowSpecJSON(n, cfg.Seed+uint64(i)))
+		if err != nil {
+			return bp, err
+		}
+		bp.Submitted++
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			bp.Accepted++
+			var st serveStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				return bp, err
+			}
+			accepted = append(accepted, st.ID)
+		case http.StatusTooManyRequests:
+			bp.Rejected++
+			if resp.Header.Get("Retry-After") == "" {
+				bp.RetryAfterSet = false
+			}
+		default:
+			return bp, fmt.Errorf("bench: backpressure submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	// Reap the long jobs so the phase exits promptly.
+	for _, id := range accepted {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return bp, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return bp, err
+		}
+		resp.Body.Close()
+	}
+	for _, id := range accepted {
+		st, _, err := c.waitTerminal(id, 30*time.Second)
+		if err != nil {
+			return bp, err
+		}
+		if st.State == "canceled" {
+			bp.Canceled++
+		}
+	}
+	if out != nil {
+		fmt.Fprintf(out, "backpressure: %d submitted = %d accepted + %d rejected (retryAfter=%v, %d reaped)\n",
+			bp.Submitted, bp.Accepted, bp.Rejected, bp.RetryAfterSet, bp.Canceled)
+	}
+	return bp, nil
+}
+
+// Check returns the report's built-in acceptance failures — the invariants
+// that must hold on any machine, baseline or not.
+func (r ServeBenchReport) Check() []string {
+	var fails []string
+	if r.Throughput.Completed != r.Throughput.Jobs {
+		fails = append(fails, fmt.Sprintf("throughput: %d/%d jobs completed", r.Throughput.Completed, r.Throughput.Jobs))
+	}
+	if !r.Cache.Hit {
+		fails = append(fails, "cache: re-submission was not a cache hit")
+	}
+	if !r.Cache.ByteIdentical {
+		fails = append(fails, "cache: replayed body was not byte-identical to the terminal status")
+	}
+	if !r.Cache.RefConverged {
+		fails = append(fails, "cache: reference job did not converge")
+	}
+	if r.Backpressure.Rejected == 0 {
+		fails = append(fails, "backpressure: saturating burst produced no 429")
+	}
+	if r.Backpressure.Accepted+r.Backpressure.Rejected != r.Backpressure.Submitted {
+		fails = append(fails, fmt.Sprintf("backpressure: %d accepted + %d rejected != %d submitted",
+			r.Backpressure.Accepted, r.Backpressure.Rejected, r.Backpressure.Submitted))
+	}
+	if !r.Backpressure.RetryAfterSet {
+		fails = append(fails, "backpressure: a 429 lacked Retry-After")
+	}
+	if r.Backpressure.Canceled != r.Backpressure.Accepted {
+		fails = append(fails, fmt.Sprintf("backpressure: %d/%d accepted jobs reaped by DELETE",
+			r.Backpressure.Canceled, r.Backpressure.Accepted))
+	}
+	return fails
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r ServeBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadServeBench reads a BENCH_serve artifact and checks its schema.
+func LoadServeBench(path string) (ServeBenchReport, error) {
+	var rep ServeBenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if rep.Schema != ServeBenchSchema {
+		return rep, fmt.Errorf("bench: %s: schema %q, want %q", path, rep.Schema, ServeBenchSchema)
+	}
+	return rep, nil
+}
+
+// CompareServe diffs a current serve report against a baseline. Only
+// machine-portable quantities gate: the Check invariants on the current
+// run, and the deterministic reference tick count within a relative
+// tolerance band. Jobs/sec and latency are hardware-bound and never
+// compared.
+func CompareServe(cur, base ServeBenchReport, rel float64) []string {
+	if cur.Schema != base.Schema {
+		return []string{fmt.Sprintf("schema mismatch: current %q vs baseline %q", cur.Schema, base.Schema)}
+	}
+	if cur.Smoke != base.Smoke {
+		return []string{fmt.Sprintf("load mismatch: current smoke=%v vs baseline smoke=%v — compare like against like", cur.Smoke, base.Smoke)}
+	}
+	regressions := cur.Check()
+	if base.Cache.RefTicks > 0 {
+		drift := float64(cur.Cache.RefTicks-base.Cache.RefTicks) / float64(base.Cache.RefTicks)
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > rel {
+			regressions = append(regressions, fmt.Sprintf(
+				"cache: reference ticks %d drifted %.0f%% from baseline %d (deterministic seed: engine or spec normalization changed)",
+				cur.Cache.RefTicks, drift*100, base.Cache.RefTicks))
+		}
+	}
+	return regressions
+}

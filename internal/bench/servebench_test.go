@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func serveFixture() ServeBenchReport {
+	return ServeBenchReport{
+		Schema: ServeBenchSchema,
+		Smoke:  true,
+		Seed:   1,
+		Throughput: ServeThroughput{
+			Jobs: 24, Workers: 8, Completed: 24, JobsPerSec: 900, Seconds: 0.03,
+		},
+		Cache: ServeCacheProbe{
+			Hit: true, ByteIdentical: true, RefConverged: true, RefTicks: 2_000_000, HitRate: 0.04,
+		},
+		Backpressure: ServeBackpressure{
+			Workers: 1, QueueDepth: 2, Submitted: 10, Accepted: 3, Rejected: 7,
+			RetryAfterSet: true, Canceled: 3,
+		},
+	}
+}
+
+func TestCompareServeClean(t *testing.T) {
+	base := serveFixture()
+	cur := serveFixture()
+	// Hardware-bound drift must not flag.
+	cur.Throughput.JobsPerSec /= 10
+	cur.Throughput.Seconds *= 10
+	cur.Throughput.P99Seconds = 3
+	// The queue race can shift the accept/reject split; only the
+	// identities gate.
+	cur.Backpressure.Accepted, cur.Backpressure.Rejected = 4, 6
+	cur.Backpressure.Canceled = 4
+	if regs := CompareServe(cur, base, 0.05); len(regs) != 0 {
+		t.Fatalf("clean comparison flagged: %v", regs)
+	}
+}
+
+func TestCompareServeRegressions(t *testing.T) {
+	base := serveFixture()
+
+	lostJob := serveFixture()
+	lostJob.Throughput.Completed--
+
+	noHit := serveFixture()
+	noHit.Cache.Hit = false
+
+	notIdentical := serveFixture()
+	notIdentical.Cache.ByteIdentical = false
+
+	tickDrift := serveFixture()
+	tickDrift.Cache.RefTicks *= 2
+
+	noRejection := serveFixture()
+	noRejection.Backpressure.Rejected = 0
+	noRejection.Backpressure.Accepted = noRejection.Backpressure.Submitted
+
+	lostSubmission := serveFixture()
+	lostSubmission.Backpressure.Accepted-- // accepted+rejected != submitted
+
+	noRetryAfter := serveFixture()
+	noRetryAfter.Backpressure.RetryAfterSet = false
+
+	leakedJob := serveFixture()
+	leakedJob.Backpressure.Canceled--
+
+	wrongLoad := serveFixture()
+	wrongLoad.Smoke = false
+
+	cases := map[string]ServeBenchReport{
+		"lost-job":        lostJob,
+		"no-cache-hit":    noHit,
+		"not-identical":   notIdentical,
+		"tick-drift":      tickDrift,
+		"no-rejection":    noRejection,
+		"lost-submission": lostSubmission,
+		"no-retry-after":  noRetryAfter,
+		"leaked-job":      leakedJob,
+		"load-mismatch":   wrongLoad,
+	}
+	for name, cur := range cases {
+		if regs := CompareServe(cur, base, 0.05); len(regs) == 0 {
+			t.Errorf("%s: no regression flagged", name)
+		}
+	}
+}
+
+func TestServeBenchRoundTrip(t *testing.T) {
+	rep := serveFixture()
+	path := filepath.Join(t.TempDir(), "serve.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadServeBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cache.RefTicks != rep.Cache.RefTicks || got.Backpressure.Rejected != 7 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+
+	bad := rep
+	bad.Schema = "plurality-scale/v1"
+	f2, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WriteJSON(f2); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if _, err := LoadServeBench(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}
+
+// TestRunServeBenchSmoke drives the real daemon through the smoke load and
+// checks every built-in invariant.
+func TestRunServeBenchSmoke(t *testing.T) {
+	rep, err := RunServeBench(ServeBenchConfig{Smoke: true, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := rep.Check(); len(fails) != 0 {
+		t.Fatalf("invariants failed: %v", fails)
+	}
+	if rep.Cache.RefTicks == 0 {
+		t.Fatal("reference run recorded no ticks")
+	}
+	// Determinism: the same config reproduces the same reference ticks.
+	rep2, err := RunServeBench(ServeBenchConfig{Smoke: true, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Cache.RefTicks != rep.Cache.RefTicks {
+		t.Fatalf("reference ticks not deterministic: %d vs %d", rep.Cache.RefTicks, rep2.Cache.RefTicks)
+	}
+	if regs := CompareServe(rep2, rep, 0.05); len(regs) != 0 {
+		t.Fatalf("self-comparison flagged: %v", regs)
+	}
+}

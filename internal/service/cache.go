@@ -1,0 +1,57 @@
+package service
+
+import "container/list"
+
+// lru is a byte-slice LRU keyed by canonical spec keys: the completed-report
+// cache behind the daemon's dedupe path. Entries are the marshaled terminal
+// JobStatus bodies, so a cache hit is served byte-identical to the original
+// completion. Not goroutine-safe; the Server serializes access under its
+// own mutex.
+type lru struct {
+	cap     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // key -> element whose Value is *lruEntry
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRU returns an empty cache holding at most cap entries; cap <= 0
+// disables caching (every Get misses, every Add is dropped).
+func newLRU(cap int) *lru {
+	return &lru{cap: cap, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// Get returns the cached body for key and refreshes its recency.
+func (c *lru) Get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Add inserts (or refreshes) key → body, evicting the least recently used
+// entry beyond capacity.
+func (c *lru) Add(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int { return c.order.Len() }

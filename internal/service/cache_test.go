@@ -1,0 +1,48 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	c.Add("a", []byte("A"))
+	c.Add("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if body, ok := c.Get("a"); !ok || !bytes.Equal(body, []byte("A")) {
+		t.Errorf("a = %q, %v", body, ok)
+	}
+	if body, ok := c.Get("c"); !ok || !bytes.Equal(body, []byte("C")) {
+		t.Errorf("c = %q, %v", body, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRURefreshReplacesBody(t *testing.T) {
+	c := newLRU(2)
+	c.Add("a", []byte("A"))
+	c.Add("a", []byte("A2"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if body, _ := c.Get("a"); !bytes.Equal(body, []byte("A2")) {
+		t.Errorf("a = %q, want A2", body)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(0)
+	c.Add("a", []byte("A"))
+	if _, ok := c.Get("a"); ok || c.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}

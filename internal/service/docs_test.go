@@ -1,0 +1,63 @@
+package service
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocEndpointTable: docs/API.md's endpoint table is the byte-exact
+// render of the route registry, bracketed by generated-table markers. A
+// route change without the regenerated table is a doc bug this test
+// catches — the docs/mux counterpart of the README protocol-table gate.
+func TestAPIDocEndpointTable(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin = "<!-- BEGIN GENERATED ENDPOINT TABLE (internal/service.APITable) -->\n"
+	const end = "<!-- END GENERATED ENDPOINT TABLE -->"
+	s := string(doc)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("docs/API.md lacks the generated-table markers %q … %q", begin, end)
+	}
+	got := s[i+len(begin) : j]
+	if got != APITable() {
+		t.Errorf("docs/API.md endpoint table is out of sync with the route registry; paste this between the markers:\n%s",
+			APITable())
+	}
+}
+
+// TestREADMEServeQuickstartInSync: the README's serving quickstart is the
+// command block scripts/serve_quickstart.sh actually proves in CI (with
+// $ADDR standing in for localhost:8080). Documented commands nobody runs
+// rot; this test makes the README snippet executable by construction.
+func TestREADMEServeQuickstartInSync(t *testing.T) {
+	script, err := os.ReadFile("../../scripts/serve_quickstart.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin = "# --- quickstart begin ---\n"
+	const end = "# --- quickstart end ---"
+	s := string(script)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("serve_quickstart.sh lacks the quickstart markers %q … %q", begin, end)
+	}
+	block := s[i+len(begin) : j]
+	block = strings.ReplaceAll(block, "$ADDR", "localhost:8080")
+	block = regexp.MustCompile(`(?m)^\s+`).ReplaceAllString(block, "")
+
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), block) {
+		t.Errorf("README.md serving quickstart is out of sync with scripts/serve_quickstart.sh; paste this into the serving section's code block:\n%s",
+			block)
+	}
+}

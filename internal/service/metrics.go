@@ -1,0 +1,139 @@
+package service
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's observability state: monotonic counters updated
+// lock-free on the request path plus a bounded reservoir of recent
+// job-completion latencies for the quantile figures. All of it is exported
+// through GET /v1/metrics as MetricsSnapshot.
+type metrics struct {
+	start time.Time
+
+	submitted atomic.Int64 // POST /v1/jobs accepted (queued or deduped)
+	completed atomic.Int64 // jobs that reached the done state
+	failed    atomic.Int64 // jobs that reached the failed state
+	canceled  atomic.Int64 // jobs canceled (DELETE, disconnect, shutdown)
+	rejected  atomic.Int64 // submissions bounced with 429 queue-full
+	cacheHits atomic.Int64 // submissions served from the completed cache
+	cacheMiss atomic.Int64 // submissions that had to execute
+	running   atomic.Int64 // jobs currently executing on a worker
+	streams   atomic.Int64 // SSE subscribers currently connected
+
+	mu        sync.Mutex
+	latencies []float64 // ring of recent completion latencies (seconds)
+	latNext   int
+	latFull   bool
+}
+
+// latencyWindow bounds the completion-latency reservoir the p50/p99
+// figures are computed over.
+const latencyWindow = 1024
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), latencies: make([]float64, latencyWindow)}
+}
+
+// observeLatency records one job's queue-to-completion wall time.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latencies[m.latNext] = d.Seconds()
+	m.latNext++
+	if m.latNext == len(m.latencies) {
+		m.latNext, m.latFull = 0, true
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns (count, p50, p90, p99) over the current reservoir.
+func (m *metrics) quantiles() (int, float64, float64, float64) {
+	m.mu.Lock()
+	n := m.latNext
+	if m.latFull {
+		n = len(m.latencies)
+	}
+	window := slices.Clone(m.latencies[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	slices.Sort(window)
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return window[i]
+	}
+	return n, q(0.50), q(0.90), q(0.99)
+}
+
+// MetricsSnapshot is the GET /v1/metrics response body.
+type MetricsSnapshot struct {
+	// UptimeSeconds is the daemon's age.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Workers is the size of the execution pool.
+	Workers int `json:"workers"`
+	// QueueDepth and QueueCapacity describe the pending-job queue;
+	// submissions beyond capacity are rejected with 429 + Retry-After.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	// Running is the number of jobs currently executing.
+	Running int64 `json:"running"`
+	// Streams is the number of SSE subscribers currently connected.
+	Streams int64 `json:"streams"`
+	// Jobs are the lifecycle counters since process start.
+	Jobs struct {
+		Submitted  int64   `json:"submitted"`
+		Completed  int64   `json:"completed"`
+		Failed     int64   `json:"failed"`
+		Canceled   int64   `json:"canceled"`
+		Rejected   int64   `json:"rejected"`
+		JobsPerSec float64 `json:"jobsPerSec"`
+	} `json:"jobs"`
+	// Cache describes the completed-report LRU.
+	Cache struct {
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		HitRate  float64 `json:"hitRate"`
+		Entries  int     `json:"entries"`
+		Capacity int     `json:"capacity"`
+	} `json:"cache"`
+	// Latency summarizes queue-to-completion wall times over the most
+	// recent completions (a bounded reservoir).
+	Latency struct {
+		Count      int     `json:"count"`
+		P50Seconds float64 `json:"p50Seconds"`
+		P90Seconds float64 `json:"p90Seconds"`
+		P99Seconds float64 `json:"p99Seconds"`
+	} `json:"latency"`
+}
+
+// snapshot assembles the exported metrics view.
+func (m *metrics) snapshot(workers, queueDepth, queueCap, cacheLen, cacheCap int) MetricsSnapshot {
+	var s MetricsSnapshot
+	s.UptimeSeconds = time.Since(m.start).Seconds()
+	s.Workers = workers
+	s.QueueDepth = queueDepth
+	s.QueueCapacity = queueCap
+	s.Running = m.running.Load()
+	s.Streams = m.streams.Load()
+	s.Jobs.Submitted = m.submitted.Load()
+	s.Jobs.Completed = m.completed.Load()
+	s.Jobs.Failed = m.failed.Load()
+	s.Jobs.Canceled = m.canceled.Load()
+	s.Jobs.Rejected = m.rejected.Load()
+	if up := s.UptimeSeconds; up > 0 {
+		s.Jobs.JobsPerSec = float64(s.Jobs.Completed) / up
+	}
+	s.Cache.Hits = m.cacheHits.Load()
+	s.Cache.Misses = m.cacheMiss.Load()
+	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
+		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
+	}
+	s.Cache.Entries = cacheLen
+	s.Cache.Capacity = cacheCap
+	s.Latency.Count, s.Latency.P50Seconds, s.Latency.P90Seconds, s.Latency.P99Seconds = m.quantiles()
+	return s
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Route describes one endpoint of the HTTP contract: the mux registration
+// data plus the documentation rendered into docs/API.md. The registry below
+// is the single source of truth — Server.Handler registers exactly these
+// patterns (construction panics on a route without a handler), and
+// TestAPIDocEndpointTable fails when docs/API.md's endpoint table is not
+// the byte-exact render of APITable(), so the docs and the mux cannot
+// disagree.
+type Route struct {
+	// Method is the HTTP method.
+	Method string
+	// Pattern is the net/http ServeMux pattern, e.g. "/v1/jobs/{id}".
+	Pattern string
+	// Summary is the one-line behavior description.
+	Summary string
+	// Request names the JSON request body schema ("—" for none).
+	Request string
+	// Response names the response schema.
+	Response string
+	// Statuses lists the status codes the endpoint produces.
+	Statuses string
+}
+
+// Routes returns the daemon's endpoint registry in presentation order.
+func Routes() []Route {
+	return []Route{
+		{
+			Method:   "POST",
+			Pattern:  "/v1/jobs",
+			Summary:  "submit a job spec; dedupes in-flight work and replays cached completed results byte-identically (`X-Cache: hit`)",
+			Request:  "`JobSpec`",
+			Response: "`JobStatus`",
+			Statuses: "202 accepted · 200 cache hit · 400 invalid spec · 429 queue full (+`Retry-After`)",
+		},
+		{
+			Method:   "GET",
+			Pattern:  "/v1/jobs",
+			Summary:  "list all jobs known to the daemon (most recent first)",
+			Request:  "—",
+			Response: "`{\"jobs\": [JobStatus]}`",
+			Statuses: "200",
+		},
+		{
+			Method:   "GET",
+			Pattern:  "/v1/jobs/{id}",
+			Summary:  "fetch one job's status; terminal bodies are byte-deterministic",
+			Request:  "—",
+			Response: "`JobStatus`",
+			Statuses: "200 · 404 unknown id",
+		},
+		{
+			Method:   "GET",
+			Pattern:  "/v1/jobs/{id}/stream",
+			Summary:  "SSE stream of `snapshot` events (jobs submitted with `observeInterval` > 0), closed by a terminal `report` event",
+			Request:  "—",
+			Response: "`text/event-stream` of `SnapshotBody` / `JobStatus`",
+			Statuses: "200 · 404 unknown id · 409 not a streaming job",
+		},
+		{
+			Method:   "DELETE",
+			Pattern:  "/v1/jobs/{id}",
+			Summary:  "cancel a queued or running job; the engine loop observes the context within its next poll stride",
+			Request:  "—",
+			Response: "`JobStatus`",
+			Statuses: "200 · 404 unknown id",
+		},
+		{
+			Method:   "GET",
+			Pattern:  "/v1/protocols",
+			Summary:  "the protocol registry: name, samples, rule, capability flags per family",
+			Request:  "—",
+			Response: "`{\"protocols\": [ProtocolInfo]}`",
+			Statuses: "200",
+		},
+		{
+			Method:   "GET",
+			Pattern:  "/v1/metrics",
+			Summary:  "daemon observability: jobs/sec, queue depth, cache hit rate, completion-latency p50/p90/p99",
+			Request:  "—",
+			Response: "`MetricsSnapshot`",
+			Statuses: "200",
+		},
+		{
+			Method:   "GET",
+			Pattern:  "/v1/healthz",
+			Summary:  "liveness probe",
+			Request:  "—",
+			Response: "`{\"status\": \"ok\"}`",
+			Statuses: "200",
+		},
+	}
+}
+
+// APITable renders the endpoint registry as the markdown table committed in
+// docs/API.md; a drift test keeps the committed file byte-identical to this
+// render, mirroring the registry-generated protocol table in README.md.
+func APITable() string {
+	var b strings.Builder
+	b.WriteString("| Method | Path | Behavior | Request | Response | Statuses |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range Routes() {
+		fmt.Fprintf(&b, "| `%s` | `%s` | %s | %s | %s | %s |\n",
+			r.Method, r.Pattern, r.Summary, r.Request, r.Response, r.Statuses)
+	}
+	return b.String()
+}

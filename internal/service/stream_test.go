@@ -1,0 +1,294 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readEvents consumes SSE frames from r until the stream ends or max events
+// arrive.
+func readEvents(t *testing.T, r *bufio.Reader, max int) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	for len(events) < max {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return events
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.name != "":
+			events = append(events, cur)
+			cur = sseEvent{}
+		}
+	}
+	return events
+}
+
+// openStream subscribes to a job's SSE stream with a cancelable request.
+func openStream(t *testing.T, url, id string) (context.CancelFunc, *http.Response) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	return cancel, resp
+}
+
+// TestStreamSnapshotsAndTerminalReport: a streaming job delivers snapshot
+// events with monotone time and live counts, then closes with a "report"
+// event whose payload is the job's terminal status.
+func TestStreamSnapshotsAndTerminalReport(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	// Park a blocker on the single worker so the streaming job stays
+	// queued until the subscriber is connected — otherwise a fast run can
+	// finish before the stream opens and deliver only the report event.
+	_, blockerBody := post(t, ts, slowSpec(20))
+	var blocker JobStatus
+	if err := json.Unmarshal(blockerBody, &blocker); err != nil {
+		t.Fatal(err)
+	}
+
+	sp := fastSpec(21)
+	sp.ObserveInterval = 0.25
+	_, body := post(t, ts, sp)
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Streaming {
+		t.Fatalf("streaming flag not set: %s", body)
+	}
+
+	cancel, resp := openStream(t, ts.URL, st.ID)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		dresp.Body.Close()
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	events := readEvents(t, bufio.NewReader(resp.Body), 10_000)
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want snapshots plus a report", len(events))
+	}
+	last := events[len(events)-1]
+	if last.name != "report" {
+		t.Fatalf("last event = %q, want report", last.name)
+	}
+	var final JobStatus
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatalf("report payload: %v in %s", err, last.data)
+	}
+	if final.State != StateDone || len(final.Reports) != 1 {
+		t.Fatalf("report payload: %s", last.data)
+	}
+
+	prev := -1.0
+	for _, ev := range events[:len(events)-1] {
+		if ev.name != "snapshot" {
+			t.Fatalf("mid-stream event %q", ev.name)
+		}
+		var snap SnapshotBody
+		if err := json.Unmarshal([]byte(ev.data), &snap); err != nil {
+			t.Fatalf("snapshot payload: %v in %s", err, ev.data)
+		}
+		if snap.Time < prev {
+			t.Fatalf("snapshot time went backwards: %v after %v", snap.Time, prev)
+		}
+		prev = snap.Time
+		if len(snap.Counts) != 2 {
+			t.Fatalf("snapshot counts: %v", snap.Counts)
+		}
+	}
+
+	// The terminal report event matches GET /v1/jobs/{id} byte-for-byte
+	// (modulo the trailing newline writeBody appends on the HTTP path).
+	_, getBody := get(t, ts, "/v1/jobs/"+st.ID)
+	if !bytes.Equal(bytes.TrimRight(getBody, "\n"), []byte(last.data)) {
+		t.Fatalf("SSE report != GET body:\n%s\nvs\n%s", last.data, getBody)
+	}
+}
+
+// TestStreamOnTerminalJobReplaysReport: subscribing after completion still
+// yields the terminal report event immediately.
+func TestStreamOnTerminalJobReplaysReport(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	sp := fastSpec(22)
+	sp.ObserveInterval = 0.5
+	_, body := post(t, ts, sp)
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, st.ID, StateDone, 30*time.Second)
+
+	cancel, resp := openStream(t, ts.URL, st.ID)
+	defer cancel()
+	defer resp.Body.Close()
+	events := readEvents(t, bufio.NewReader(resp.Body), 10)
+	if len(events) != 1 || events[0].name != "report" {
+		t.Fatalf("late subscriber events: %+v", events)
+	}
+}
+
+// TestStreamNonStreamingJobConflicts: jobs without observeInterval have no
+// stream.
+func TestStreamNonStreamingJobConflicts(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, body := post(t, ts, fastSpec(23))
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, ts, "/v1/jobs/"+st.ID+"/stream")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want 409: %s", resp.StatusCode, body)
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "not_streaming" {
+		t.Fatalf("409 body: %s", body)
+	}
+}
+
+// TestDisconnectCancelsJobAndLeaksNothing is satellite 4's contract: for a
+// cancelOnDisconnect job, dropping the SSE connection must cancel the job
+// context promptly — the engine loop stops mid-run — and the daemon must
+// not leak goroutines.
+func TestDisconnectCancelsJobAndLeaksNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Managed by hand (not t.Cleanup) so the teardown happens before the
+	// goroutine-count comparison.
+	s := New(Config{Workers: 1, QueueDepth: 4, Logger: quietLogger()})
+	ts := httptest.NewServer(s.Handler())
+
+	sp := slowSpec(24)
+	sp.ObserveInterval = 0.05 // dense snapshots: the run is observably live
+	sp.CancelOnDisconnect = true
+	_, body := post(t, ts, sp)
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel, resp := openStream(t, ts.URL, st.ID)
+	r := bufio.NewReader(resp.Body)
+	// Wait until the run is demonstrably inside the engine loop: at least
+	// one snapshot arrived.
+	if events := readEvents(t, r, 1); len(events) != 1 || events[0].name != "snapshot" {
+		t.Fatalf("first event: %+v", events)
+	}
+
+	// Drop the connection.
+	start := time.Now()
+	cancel()
+	resp.Body.Close()
+
+	canceled, _ := waitState(t, ts, st.ID, StateCanceled, 10*time.Second)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("disconnect-cancel took %v, want prompt", elapsed)
+	}
+	if !strings.Contains(canceled.Error, "disconnected") {
+		t.Fatalf("canceled error = %q, want the disconnect cause", canceled.Error)
+	}
+
+	// Tear the daemon down and verify the goroutine count returns to the
+	// pre-test baseline (with slack for runtime/net background goroutines
+	// that wind down asynchronously).
+	ts.Close()
+	s.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after teardown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSecondWatcherKeepsJobAlive: cancelOnDisconnect fires only when the
+// LAST subscriber goes away.
+func TestSecondWatcherKeepsJobAlive(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	sp := slowSpec(25)
+	sp.ObserveInterval = 0.05
+	sp.CancelOnDisconnect = true
+	_, body := post(t, ts, sp)
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	cancelA, respA := openStream(t, ts.URL, st.ID)
+	defer cancelA()
+	defer respA.Body.Close()
+	cancelB, respB := openStream(t, ts.URL, st.ID)
+	if events := readEvents(t, bufio.NewReader(respB.Body), 1); len(events) != 1 {
+		t.Fatalf("watcher B saw no snapshot: %+v", events)
+	}
+
+	// B leaves; A is still watching, so the job must stay alive.
+	cancelB()
+	respB.Body.Close()
+	time.Sleep(100 * time.Millisecond)
+	resp, body := get(t, ts, "/v1/jobs/"+st.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cur JobStatus
+	if err := json.Unmarshal(body, &cur); err != nil {
+		t.Fatal(err)
+	}
+	if cur.State != StateRunning {
+		t.Fatalf("job state after first watcher left = %s, want running", cur.State)
+	}
+
+	// A leaves too: now the job cancels.
+	cancelA()
+	respA.Body.Close()
+	waitState(t, ts, st.ID, StateCanceled, 10*time.Second)
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# serve_quickstart.sh — boots pluralityd and runs the README "Serving"
+# quickstart against it, verifying the documented behavior end to end:
+# the submitted job completes, the cached re-submission answers
+# `X-Cache: hit` with a byte-identical body, and the SSE stream closes
+# with a terminal report event.
+#
+# The commands between the "quickstart begin/end" markers are the README
+# snippet verbatim (with $ADDR standing in for localhost:8080); a drift
+# test compares the two, so the README cannot document commands this
+# script does not prove.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -t pluralityd.XXXXXX)
+LOG=$(mktemp -t pluralityd.log.XXXXXX)
+trap 'kill "$DPID" 2>/dev/null || true; rm -f "$BIN" "$LOG"' EXIT
+
+go build -o "$BIN" ./cmd/pluralityd
+"$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+DPID=$!
+
+# The daemon logs its bound address ("pluralityd listening addr=...").
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*pluralityd listening.*addr=\([0-9.:]*\).*/\1/p' "$LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve_quickstart: daemon did not come up:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+# --- quickstart begin ---
+# submit a deterministic job: Two-Choices at n = 10^7 on the
+# count-collapsed engine finishes in about a second
+curl -s $ADDR/v1/jobs -d '{"protocol":"two-choices","counts":[6000000,4000000],"engine":"occupancy"}'
+# poll it; terminal bodies are byte-deterministic
+curl -s $ADDR/v1/jobs/j1
+# re-submit the identical spec: completed runs replay from cache
+# (X-Cache: hit), byte-identical, without re-execution
+curl -si $ADDR/v1/jobs -d '{"protocol":"two-choices","counts":[6000000,4000000],"engine":"occupancy"}'
+# stream a live run: observeInterval publishes SSE snapshots, closed by a
+# terminal report event
+curl -s $ADDR/v1/jobs -d '{"protocol":"3-majority","counts":[600000,300000,100000],"engine":"occupancy","observeInterval":1,"seed":7}'
+curl -sN $ADDR/v1/jobs/j2/stream
+# daemon observability: jobs/sec, queue depth, cache hit rate, latency
+# quantiles
+curl -s $ADDR/v1/metrics
+# --- quickstart end ---
+
+# Verify what the quickstart claims.
+fail() { echo "serve_quickstart: $1" >&2; exit 1; }
+
+for _ in $(seq 1 300); do
+    STATE=$(curl -s "$ADDR/v1/jobs/j1" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$STATE" = "done" ] && break
+    [ "$STATE" = "failed" ] || [ "$STATE" = "canceled" ] && fail "job j1 ended $STATE"
+    sleep 0.1
+done
+[ "$STATE" = "done" ] || fail "job j1 stuck in ${STATE:-unknown}"
+
+TERMINAL=$(curl -s "$ADDR/v1/jobs/j1")
+REPLAY=$(curl -si "$ADDR/v1/jobs" -d '{"protocol":"two-choices","counts":[6000000,4000000],"engine":"occupancy"}')
+printf '%s' "$REPLAY" | grep -qi '^x-cache: hit' || fail "re-submission was not a cache hit"
+BODY=$(printf '%s' "$REPLAY" | tr -d '\r' | sed -n '/^$/,$p' | sed '1d')
+[ "$BODY" = "$TERMINAL" ] || fail "cached replay not byte-identical:
+$BODY
+vs
+$TERMINAL"
+
+curl -sN --max-time 60 "$ADDR/v1/jobs/j2/stream" | grep -q '^event: report' || fail "stream produced no terminal report event"
+curl -s "$ADDR/v1/metrics" | grep -q '"hitRate"' || fail "metrics missing cache hit rate"
+
+echo "serve_quickstart: OK ($ADDR)"
