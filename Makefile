@@ -13,7 +13,8 @@ COVER_MIN ?= 85
 	scalebench scale-smoke scale-baseline \
 	leapbench leap-smoke leap-baseline \
 	servebench serve-smoke serve-baseline \
-	sweep-smoke sweep-baseline sweep-nightly lint fmt api api-check
+	sweep-smoke sweep-baseline sweep-nightly \
+	adv-smoke adv-baseline lint fmt api api-check
 
 build:
 	$(GO) build ./...
@@ -129,6 +130,24 @@ sweep-smoke:
 # to protocol behavior or sweep grids; commit the result).
 sweep-baseline:
 	$(GO) run ./cmd/experiments -sweep all -smoke -out BENCH_exp_baseline.json
+
+# CI adversary harness: the adversary-threshold sweep at smoke size under
+# the race detector (the adversary hooks share engine state with the
+# simulation loop, so the threshold run doubles as a race gate), diffed
+# against the committed baseline on machine-portable quantities only
+# (survival counts, corruption counters, simulated consensus time — never
+# wall clock). The sweep's own gates pin the phase transition: survival at
+# f = n^0.3, collapse at f = 4*sqrt(n), bit-clean zero-budget controls.
+adv-smoke:
+	$(GO) run -race ./cmd/experiments -sweep adversary-threshold -smoke \
+		-out BENCH_adv.json -baseline BENCH_adv_baseline.json
+
+# Regenerate the committed adversary smoke baseline (run after an
+# intentional change to an adversary or a hosting engine; commit the
+# result).
+adv-baseline:
+	$(GO) run ./cmd/experiments -sweep adversary-threshold -smoke \
+		-out BENCH_adv_baseline.json
 
 # Full-size logn-scaling sweep, the nightly job's workload.
 sweep-nightly:

@@ -1,0 +1,56 @@
+package plurality
+
+import (
+	"plurality/internal/adversary"
+)
+
+// Adversary-facing re-exports. The adversary engine makes worst-case
+// behavior a first-class scenario axis: bounded-budget scheduling bias,
+// state corruption and Byzantine sampling, each deterministic per seed on a
+// dedicated RNG stream (see WithAdversary).
+type (
+	// AdversarySpec selects an adversary for a run: a registry name, the
+	// budget f and — for lag-parameterized adversaries ("late") — the
+	// observation lag ℓ. The zero spec, the name "none" and a zero budget
+	// all select no adversary; an inactive spec installs no hooks and
+	// consumes no randomness, so it is bit-identical to not passing
+	// WithAdversary at all.
+	AdversarySpec = adversary.Spec
+
+	// AdversaryDescriptor describes one registered adversary: names,
+	// family, behavior summary, source model and the capability flags
+	// Job.Validate enforces per engine. See Adversaries.
+	AdversaryDescriptor = adversary.Descriptor
+
+	// AdversaryFamily classifies an adversary's powers: scheduling,
+	// corruption or byzantine.
+	AdversaryFamily = adversary.Family
+)
+
+// Adversary family values.
+const (
+	// AdversaryScheduling biases or suppresses activations, never state.
+	AdversaryScheduling = adversary.FamilyScheduling
+	// AdversaryCorruption rewrites node opinions under a per-window budget.
+	AdversaryCorruption = adversary.FamilyCorruption
+	// AdversaryByzantine lies inside the sampling path under a node budget.
+	AdversaryByzantine = adversary.FamilyByzantine
+)
+
+// Adversaries returns the registry of adversaries in presentation order:
+// minority-bias, delay-set, late, corrupt and byzantine. Every name-based
+// entry point — WithAdversary via ParseAdversary, the experiment harness's
+// adversary axis, the CLIs' -adversary flags — resolves against this
+// registry, mirroring Protocols for the protocol registry.
+func Adversaries() []AdversaryDescriptor { return adversary.Registry() }
+
+// ParseAdversary resolves a textual adversary spec — "name", or
+// "name:<lag>" for the lag-parameterized adversaries (e.g. "late:2") — into
+// an AdversarySpec with no budget; set Budget before passing the spec to
+// WithAdversary. Aliases canonicalize ("liar" → "byzantine"); "" and "none"
+// parse to the inactive spec.
+func ParseAdversary(spec string) (AdversarySpec, error) { return adversary.Parse(spec) }
+
+// LookupAdversary resolves an adversary name or alias against the registry
+// without running anything, mirroring LookupProtocol.
+func LookupAdversary(name string) (AdversaryDescriptor, bool) { return adversary.ByName(name) }

@@ -41,6 +41,9 @@ type flags struct {
 	engine        string
 	workload      string
 	listProtocols bool
+	listAdvs      bool
+	adversary     string
+	budget        int64
 	n             int
 	k             int
 	bias          float64
@@ -75,6 +78,12 @@ func parseFlags(args []string) (flags, error) {
 		"protocol: core | onebit | two-choices-sync | any registered dynamic (see -list-protocols), e.g. two-choices-async, voter, 3-majority, usd, j-majority:5")
 	fs.BoolVar(&f.listProtocols, "list-protocols", false,
 		"list the registered sampling-dynamics protocols and exit")
+	fs.BoolVar(&f.listAdvs, "list-adversaries", false,
+		"list the registered adversaries and exit")
+	fs.StringVar(&f.adversary, "adversary", "",
+		"adversary to run under (see -list-adversaries): a name or name:<lag>, e.g. corrupt, byzantine, late:2; needs -budget > 0")
+	fs.Int64Var(&f.budget, "budget", 0,
+		"adversary budget f: flips per window (corrupt), redirects per window (minority-bias), victim-set size (delay-set, late) or expected liar count (byzantine); 0 disables the adversary")
 	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson | heap-poisson")
 	fs.StringVar(&f.engine, "engine", "auto",
 		"dynamics execution engine: auto | per-node | occupancy (count-collapsed O(k) state) | leap (hybrid tau-leap/mean-field, n >= 1e10; async dynamics only)")
@@ -202,6 +211,19 @@ func jobOptions(f flags, out io.Writer) ([]plurality.Option, error) {
 	if f.noGadget {
 		opts = append(opts, plurality.WithoutSyncGadget())
 	}
+	if f.adversary != "" || f.budget != 0 {
+		spec, err := plurality.ParseAdversary(f.adversary)
+		if err != nil {
+			return nil, err
+		}
+		if f.budget > 0 && spec.Name == "" {
+			return nil, fmt.Errorf("-budget %d set with no -adversary to spend it", f.budget)
+		}
+		spec.Budget = f.budget
+		if spec.Active() {
+			opts = append(opts, plurality.WithAdversary(spec))
+		}
+	}
 	if f.traceOn {
 		opts = append(opts, plurality.WithProbe(10, func(p plurality.CoreProbe) {
 			fmt.Fprintf(out, "t=%8.1f plurality=%.3f spread90=%-5d poorly-synced=%d/%d halted=%d\n",
@@ -223,6 +245,8 @@ type trialsOutcome struct {
 	MedianConsensusTime float64 `json:"medianConsensusTime"`
 	MedianRounds        float64 `json:"medianRounds,omitempty"`
 	TotalTicks          int64   `json:"totalTicks"`
+	Corruptions         int64   `json:"corruptions,omitempty"`
+	Biased              int64   `json:"biased,omitempty"`
 }
 
 // runTrials executes the pooled multi-trial driver — Job.Trials, so every
@@ -245,6 +269,8 @@ func runTrials(ctx context.Context, f flags, job *plurality.Job, out io.Writer) 
 		}
 		agg.AllDone = agg.AllDone && r.Converged
 		agg.TotalTicks += r.Ticks
+		agg.Corruptions += r.Corruptions
+		agg.Biased += r.Biased
 		times = append(times, r.Time)
 		ctimes = append(ctimes, r.ConsensusTime)
 		rounds = append(rounds, float64(r.Rounds))
@@ -287,6 +313,32 @@ type outcome struct {
 	Jumps         int64   `json:"jumps,omitempty"`
 	Phases        int     `json:"phases,omitempty"`
 	Undecided     int64   `json:"undecided,omitempty"`
+	Corruptions   int64   `json:"corruptions,omitempty"`
+	Biased        int64   `json:"biased,omitempty"`
+}
+
+// listAdversaries prints the registry-driven adversary listing, mirroring
+// listProtocols.
+func listAdversaries(out io.Writer) error {
+	fmt.Fprintf(out, "%-16s %-11s %-8s %s\n", "ADVERSARY", "FAMILY", "PER-NODE", "BEHAVIOR")
+	for _, d := range plurality.Adversaries() {
+		name := d.Name
+		if d.NeedsLag {
+			name += ":<lag>"
+		}
+		perNode := "-"
+		if d.PerNode {
+			perNode = "yes"
+		}
+		fmt.Fprintf(out, "%-16s %-11s %-8s %s\n", name, d.Family, perNode, d.Summary)
+		if len(d.Aliases) > 0 {
+			fmt.Fprintf(out, "%-16s %-11s %-8s   aliases: %s\n", "", "", "", strings.Join(d.Aliases, ", "))
+		}
+		fmt.Fprintf(out, "%-16s %-11s %-8s   source: %s\n", "", "", "", d.Source)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "budget f is set with -budget; per-node adversaries need the per-node engine")
+	return nil
 }
 
 // listProtocols prints the registry-driven protocol listing.
@@ -322,6 +374,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if f.listProtocols {
 		return listProtocols(out)
+	}
+	if f.listAdvs {
+		return listAdversaries(out)
 	}
 	counts, err := makeCounts(f)
 	if err != nil {
@@ -367,6 +422,8 @@ func run(args []string, out io.Writer) error {
 		Ticks:     rep.Ticks,
 		Undecided: rep.Undecided,
 	}
+	o.Corruptions = rep.Corruptions
+	o.Biased = rep.Biased
 	switch rep.Kind {
 	case plurality.KindCore:
 		res, _ := rep.Core()
@@ -404,6 +461,9 @@ func run(args []string, out io.Writer) error {
 				o.ConsensusTime, o.Jumps, o.EndgameSafe)
 		}
 		fmt.Fprintln(out)
+	}
+	if o.Corruptions > 0 || o.Biased > 0 {
+		fmt.Fprintf(out, "corruptions=%d biased=%d\n", o.Corruptions, o.Biased)
 	}
 	return nil
 }

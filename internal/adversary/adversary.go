@@ -1,0 +1,548 @@
+// Package adversary implements the bounded-budget adversary families of
+// ROADMAP item 2 — worst-case scheduling, state corruption and Byzantine
+// sampling — as engine-agnostic decision logic the execution engines thread
+// through their loops. The model follows the robustness literature around
+// the source paper: "Breaking the Ω̃(√n) Barrier: Fast Consensus under a
+// Late Adversary" (Robinson, Scheideler & Setzer) for the lagged-observation
+// scheduling adversary, and the classic f-bounded corruption model in which
+// plurality consensus survives f = o(√n) corrupted opinions per window and
+// fails beyond the √n scale — the phase transition the adversary-threshold
+// sweep gates on.
+//
+// # Families
+//
+// Scheduling adversaries bias or reorder activations without touching state:
+//
+//   - minority-bias redirects up to Budget activations per unit of parallel
+//     time onto nodes holding the current minority opinion.
+//   - delay-set suppresses every activation of a fixed Budget-node victim
+//     set chosen at start (per-node engines only — the count-collapsed
+//     engines have no node identity to delay).
+//   - late is minority-bias driven by a view of the histogram that refreshes
+//     only every Lag units of parallel time — the late adversary's
+//     observation lag ℓ.
+//
+// State-corruption adversaries rewrite opinions: corrupt flips up to Budget
+// nodes from the plurality opinion toward the minority at every
+// CorruptWindow boundary (every round under the synchronous model). Flips
+// never resurrect an extinct opinion — a corrupted node copies an existing
+// minority holder — so consensus remains absorbing and the survive/fail
+// threshold is the drift-versus-budget race the sweep measures.
+//
+// Byzantine adversaries lie inside the generic Rule sampling path: each
+// sample drawn by any registry protocol (Two-Choices, USD, j-Majority, …)
+// is answered by a liar with probability Budget/n, reporting the minority
+// opinion instead of the sampled node's true color.
+//
+// # Determinism
+//
+// Every adversary draws from its own dedicated RNG stream (Stream), derived
+// from the run seed exactly like the scheduler and rule streams, so runs
+// stay reproducible per seed and an inactive adversary consumes no
+// randomness at all — adversary=none is bit-identical to no adversary.
+package adversary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Stream is the adversary's dedicated RNG stream index under rng.At. The
+// engines consume streams 0 (scheduler) and 1 (rule/core protocol); the
+// experiment harness claims 1<<10 and above. Stream 2 is reserved here so
+// adversary draws never perturb a trial's protocol randomness.
+const Stream = 2
+
+// CorruptWindow is the parallel-time span of one corruption tick-window:
+// the corrupt adversary spends its budget at every CorruptWindow boundary.
+// Three time units give every corrupted node ≈ 1−e⁻³ ≈ 95% probability of
+// activating enough to be repaired by a drift-positive protocol, which
+// places the survive/fail transition of the adversary-threshold sweep
+// between f = n^0.3 and f = 4√n at simulable n.
+const CorruptWindow = 3.0
+
+// BiasWindow is the parallel-time span of one scheduling-bias budget
+// window: biasing adversaries redirect at most Budget activations per
+// BiasWindow.
+const BiasWindow = 1.0
+
+// findAttempts bounds the rejection sampling a per-node engine performs
+// when materializing a color-level decision ("some node holding color c")
+// as a concrete node; an adversary whose target opinion has nearly died out
+// simply loses that redirect.
+const findAttempts = 32
+
+// Family classifies what an adversary is allowed to touch.
+type Family int
+
+const (
+	// FamilyScheduling biases or suppresses activations, never state.
+	FamilyScheduling Family = iota + 1
+	// FamilyCorruption rewrites node opinions under a per-window budget.
+	FamilyCorruption
+	// FamilyByzantine lies inside the sampling path under a node budget.
+	FamilyByzantine
+)
+
+// String names the family for listings and error messages.
+func (f Family) String() string {
+	switch f {
+	case FamilyScheduling:
+		return "scheduling"
+	case FamilyCorruption:
+		return "corruption"
+	case FamilyByzantine:
+		return "byzantine"
+	}
+	return "none"
+}
+
+// Descriptor describes one registered adversary family member: the metadata
+// the listings render plus the capability flags Job.Validate enforces
+// per engine.
+type Descriptor struct {
+	// Name is the canonical registry name, e.g. "corrupt".
+	Name string
+	// Aliases are alternate spellings ByName accepts.
+	Aliases []string
+	// Family classifies the adversary's powers.
+	Family Family
+	// Summary is the one-line behavior for listings and the README table.
+	Summary string
+	// Source is the model the adversary comes from.
+	Source string
+	// NeedsLag marks adversaries parameterized by an observation lag ℓ
+	// ("late"); Spec.Lag is required positive for them and must be zero
+	// for everyone else.
+	NeedsLag bool
+	// PerNode marks adversaries that need node identity (delay-set) and
+	// therefore run only on the per-node engines, never on the
+	// count-collapsed occupancy path.
+	PerNode bool
+}
+
+// registry returns every registered adversary, in presentation order.
+// Registering an adversary here exposes it to WithAdversary, the experiment
+// harness's adversary axis, both CLIs and the README table.
+func registry() []Descriptor {
+	return []Descriptor{
+		{
+			Name:    "minority-bias",
+			Family:  FamilyScheduling,
+			Summary: "redirects up to f activations per unit time onto nodes holding the minority opinion",
+			Source:  "oblivious scheduling adversary (ROADMAP item 2)",
+		},
+		{
+			Name:    "delay-set",
+			Family:  FamilyScheduling,
+			Summary: "suppresses every activation of a fixed f-node victim set chosen at start",
+			Source:  "targeted-delay scheduling adversary (ROADMAP item 2)",
+			PerNode: true,
+		},
+		{
+			Name:     "late",
+			Family:   FamilyScheduling,
+			Summary:  "minority-bias steered by a histogram view refreshed only every ℓ time units",
+			Source:   "late adversary of Robinson, Scheideler & Setzer (DISC '16)",
+			NeedsLag: true,
+		},
+		{
+			Name:    "corrupt",
+			Aliases: []string{"corruption"},
+			Family:  FamilyCorruption,
+			Summary: "flips up to f plurality-opinion nodes toward the minority per tick-window (per round when synchronous)",
+			Source:  "f-bounded state corruption; survives f = o(√n), fails beyond",
+		},
+		{
+			Name:    "byzantine",
+			Aliases: []string{"liar"},
+			Family:  FamilyByzantine,
+			Summary: "each sample is answered by a liar with probability f/n, reporting the minority opinion",
+			Source:  "Byzantine sampling in the generic Rule path",
+		},
+	}
+}
+
+// descriptors is the registry materialized once at init.
+var descriptors = registry()
+
+// Registry returns every registered adversary, in presentation order. The
+// slice is a copy; descriptors themselves are immutable values.
+func Registry() []Descriptor {
+	out := make([]Descriptor, len(descriptors))
+	copy(out, descriptors)
+	return out
+}
+
+// Names returns the canonical names in presentation order.
+func Names() []string {
+	names := make([]string, len(descriptors))
+	for i, d := range descriptors {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// ByName resolves an adversary by canonical name or alias.
+func ByName(name string) (Descriptor, bool) {
+	for _, d := range descriptors {
+		if d.Name == name {
+			return d, true
+		}
+		for _, a := range d.Aliases {
+			if a == name {
+				return d, true
+			}
+		}
+	}
+	return Descriptor{}, false
+}
+
+// Spec is a declarative adversary selection: a registry name, the budget f,
+// and — for lag-parameterized adversaries — the observation lag ℓ. The zero
+// Spec, the name "none" and a zero budget all select no adversary; an
+// inactive spec installs no hooks and consumes no randomness.
+type Spec struct {
+	// Name is the registry name ("corrupt", "late", …); "" and "none"
+	// select no adversary.
+	Name string
+	// Budget is f: flips per window (corruption), redirects per window
+	// (scheduling bias), victim-set size (delay-set) or expected liar
+	// count (byzantine). Zero deactivates the adversary.
+	Budget int64
+	// Lag is the observation lag ℓ in parallel time, required positive for
+	// NeedsLag adversaries ("late") and zero for everyone else.
+	Lag float64
+}
+
+// Parse resolves a textual adversary spec — "name" or "name:<lag>" for
+// lag-parameterized adversaries — into a Spec with no budget; callers
+// supply the budget separately (the -budget flag, the budget axis).
+func Parse(spec string) (Spec, error) {
+	name, param, hasParam := strings.Cut(spec, ":")
+	s := Spec{Name: name}
+	if name == "" || name == "none" {
+		if hasParam {
+			return Spec{}, fmt.Errorf("adversary: %q takes no parameter", name)
+		}
+		return s, nil
+	}
+	d, ok := ByName(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("adversary: unknown adversary %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	if hasParam {
+		if !d.NeedsLag {
+			return Spec{}, fmt.Errorf("adversary: %s takes no lag parameter, got %q", d.Name, param)
+		}
+		lag, err := strconv.ParseFloat(param, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("adversary: bad lag %q: %v", param, err)
+		}
+		s.Lag = lag
+	}
+	s.Name = d.Name // canonicalize aliases
+	return s, nil
+}
+
+// Active reports whether the spec selects a live adversary: a registered
+// name with a positive budget.
+func (s Spec) Active() bool {
+	return s.Name != "" && s.Name != "none" && s.Budget > 0
+}
+
+// Descriptor resolves the spec's registry entry.
+func (s Spec) Descriptor() (Descriptor, bool) {
+	if s.Name == "" || s.Name == "none" {
+		return Descriptor{}, false
+	}
+	return ByName(s.Name)
+}
+
+// Validate checks the spec's internal consistency: the name must resolve,
+// budgets may not be negative, and the lag is required exactly for the
+// lag-parameterized adversaries.
+func (s Spec) Validate() error {
+	if s.Budget < 0 {
+		return fmt.Errorf("adversary: budget %d, want >= 0", s.Budget)
+	}
+	if s.Lag < 0 {
+		return fmt.Errorf("adversary: lag %v, want >= 0", s.Lag)
+	}
+	if s.Name == "" || s.Name == "none" {
+		if s.Lag != 0 {
+			return fmt.Errorf("adversary: lag %v without an adversary", s.Lag)
+		}
+		return nil
+	}
+	d, ok := ByName(s.Name)
+	if !ok {
+		return fmt.Errorf("adversary: unknown adversary %q (registered: %s)",
+			s.Name, strings.Join(Names(), ", "))
+	}
+	if d.NeedsLag && s.Active() && s.Lag == 0 {
+		return fmt.Errorf("adversary: %s needs a positive lag, e.g. %q", d.Name, d.Name+":2")
+	}
+	if !d.NeedsLag && s.Lag != 0 {
+		return fmt.Errorf("adversary: %s takes no lag, got %v", d.Name, s.Lag)
+	}
+	return nil
+}
+
+// Adversary is one run's live adversary instance: the resolved descriptor,
+// the budget-window accounting, the lagged view, and the dedicated RNG
+// stream. Instances are single-run and not safe for concurrent use — every
+// trial constructs its own from the trial seed, exactly like the engines'
+// protocol RNGs.
+type Adversary struct {
+	desc   Descriptor
+	budget int64
+	lag    float64
+	rand   *rng.RNG
+
+	corruptions int64
+	biased      int64
+
+	nextCorruptAt float64
+
+	biasWindow int64
+	biasUsed   int64
+
+	lagCounts []int64
+	lagFresh  bool
+	lagNextAt float64
+
+	victims map[int]struct{}
+}
+
+// New constructs the run instance for spec, drawing all adversary
+// randomness from rng.At(seed, Stream). An inactive spec returns (nil, nil)
+// — the engines install no hooks for a nil adversary.
+func New(spec Spec, seed uint64) (*Adversary, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !spec.Active() {
+		return nil, nil
+	}
+	d, _ := spec.Descriptor()
+	return &Adversary{
+		desc:       d,
+		budget:     spec.Budget,
+		lag:        spec.Lag,
+		rand:       rng.At(seed, Stream),
+		biasWindow: -1,
+	}, nil
+}
+
+// Desc returns the resolved registry descriptor.
+func (a *Adversary) Desc() Descriptor { return a.desc }
+
+// Family returns the adversary's family; FamilyScheduling et al.
+func (a *Adversary) Family() Family { return a.desc.Family }
+
+// Budget returns the configured budget f.
+func (a *Adversary) Budget() int64 { return a.budget }
+
+// Corruptions returns the number of opinions rewritten so far: corruption
+// flips plus Byzantine lies.
+func (a *Adversary) Corruptions() int64 { return a.corruptions }
+
+// Biased returns the number of activations redirected or suppressed so far.
+func (a *Adversary) Biased() int64 { return a.biased }
+
+// NoteCorruptions records n applied opinion rewrites. The engines call it
+// with the flips they actually materialized, which may be fewer than
+// planned when rejection sampling against a near-extinct opinion fails.
+func (a *Adversary) NoteCorruptions(n int64) { a.corruptions += n }
+
+// NoteBias records one redirected or suppressed activation.
+func (a *Adversary) NoteBias() { a.biased++ }
+
+// view returns the histogram the adversary is allowed to see at time now:
+// the live counts, or — for lag-parameterized adversaries — a snapshot
+// refreshed only every Lag time units.
+func (a *Adversary) view(counts []int64, now float64) []int64 {
+	if a.lag <= 0 {
+		return counts
+	}
+	if !a.lagFresh || now >= a.lagNextAt {
+		if a.lagCounts == nil {
+			a.lagCounts = make([]int64, len(counts))
+		}
+		copy(a.lagCounts, counts)
+		a.lagFresh = true
+		a.lagNextAt = now + a.lag
+	}
+	return a.lagCounts
+}
+
+// topBottom locates the plurality color and the least-supported still-alive
+// color distinct from it. ok is false when fewer than two opinions survive —
+// there is no minority to support and the adversary stands down.
+func topBottom(counts []int64) (top, bottom population.Color, ok bool) {
+	top, bottom = -1, -1
+	for c, v := range counts {
+		if v <= 0 {
+			continue
+		}
+		if top < 0 || v > counts[top] {
+			top = population.Color(c)
+		}
+	}
+	if top < 0 {
+		return -1, -1, false
+	}
+	for c, v := range counts {
+		if v <= 0 || population.Color(c) == top {
+			continue
+		}
+		if bottom < 0 || v < counts[bottom] {
+			bottom = population.Color(c)
+		}
+	}
+	return top, bottom, bottom >= 0
+}
+
+// CorruptionDue reports whether a corruption window boundary has been
+// crossed at parallel time now, advancing the boundary when it has. Only
+// the corruption family ever fires.
+func (a *Adversary) CorruptionDue(now float64) bool {
+	if a.desc.Family != FamilyCorruption {
+		return false
+	}
+	if a.nextCorruptAt == 0 {
+		a.nextCorruptAt = CorruptWindow
+	}
+	if now < a.nextCorruptAt {
+		return false
+	}
+	for now >= a.nextCorruptAt {
+		a.nextCorruptAt += CorruptWindow
+	}
+	return true
+}
+
+// PlanFlips plans one corruption window's flips against the (possibly
+// lagged) view of counts: move x = min(Budget, ⌈gap/2⌉) nodes from the
+// plurality opinion to the weakest surviving opinion. Capping at half the
+// gap keeps the adversary from overshooting into instantly handing the
+// minority the win; refusing extinct opinions keeps consensus absorbing.
+// The engines materialize the plan (histogram move or per-node flips) and
+// report the realized count via NoteCorruptions.
+func (a *Adversary) PlanFlips(counts []int64, now float64) (from, to population.Color, x int64) {
+	top, bottom, ok := topBottom(a.view(counts, now))
+	if !ok {
+		return -1, -1, 0
+	}
+	gap := counts[top] - counts[bottom]
+	if gap <= 0 {
+		// A lagged view may disagree with the live histogram; never flip
+		// against the live gap.
+		return -1, -1, 0
+	}
+	x = (gap + 1) / 2
+	if x > a.budget {
+		x = a.budget
+	}
+	return top, bottom, x
+}
+
+// BiasColor decides whether the next activation should be redirected onto a
+// node holding the (possibly lagged) minority opinion, spending one unit of
+// the per-BiasWindow budget. It fires only for the biasing scheduling
+// adversaries; delay-set uses Victim instead. The caller materializes the
+// redirect and reports success via NoteBias.
+func (a *Adversary) BiasColor(counts []int64, now float64) (population.Color, bool) {
+	if a.desc.Family != FamilyScheduling || a.desc.PerNode {
+		return -1, false
+	}
+	if w := int64(now / BiasWindow); w != a.biasWindow {
+		a.biasWindow = w
+		a.biasUsed = 0
+	}
+	if a.biasUsed >= a.budget {
+		return -1, false
+	}
+	_, bottom, ok := topBottom(a.view(counts, now))
+	if !ok {
+		return -1, false
+	}
+	a.biasUsed++
+	return bottom, true
+}
+
+// InitVictims draws the delay-set's fixed victim set: min(Budget, n−1)
+// distinct nodes chosen uniformly from the adversary stream. It is a no-op
+// for every other adversary.
+func (a *Adversary) InitVictims(n int) {
+	if !a.desc.PerNode || a.victims != nil {
+		return
+	}
+	f := a.budget
+	if f > int64(n)-1 {
+		f = int64(n) - 1
+	}
+	a.victims = make(map[int]struct{}, f)
+	for int64(len(a.victims)) < f {
+		a.victims[a.rand.Intn(n)] = struct{}{}
+	}
+}
+
+// Victim reports whether node u's activations are suppressed by the
+// delay-set. The caller records each suppression via NoteBias.
+func (a *Adversary) Victim(u int) bool {
+	if a.victims == nil {
+		return false
+	}
+	_, ok := a.victims[u]
+	return ok
+}
+
+// Lie intercepts one drawn sample for the Byzantine family: with
+// probability Budget/n the sampled node is a liar and reports the current
+// minority opinion instead of the truth. The lie is recorded as a
+// corruption. n is the population size; other families never lie.
+func (a *Adversary) Lie(counts []int64, n int64, now float64) (population.Color, bool) {
+	if a.desc.Family != FamilyByzantine {
+		return -1, false
+	}
+	p := float64(a.budget) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	if !a.rand.Bernoulli(p) {
+		return -1, false
+	}
+	_, bottom, ok := topBottom(a.view(counts, now))
+	if !ok {
+		return -1, false
+	}
+	a.corruptions++
+	return bottom, true
+}
+
+// FindHolder materializes a color-level decision as a concrete node: a
+// uniformly random node with ColorOf(u) == c, found by bounded rejection
+// sampling from the adversary stream. ok is false when findAttempts draws
+// all miss — the adversary loses that action. skip, when non-nil, excludes
+// nodes the engine considers untouchable (halted or crashed).
+func (a *Adversary) FindHolder(pop *population.Population, c population.Color, skip func(int) bool) (int, bool) {
+	n := pop.N()
+	for i := 0; i < findAttempts; i++ {
+		u := a.rand.Intn(n)
+		if pop.ColorOf(u) != c {
+			continue
+		}
+		if skip != nil && skip(u) {
+			continue
+		}
+		return u, true
+	}
+	return -1, false
+}

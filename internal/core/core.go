@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/graph"
 	"plurality/internal/population"
 	"plurality/internal/rng"
@@ -166,6 +167,15 @@ type Config struct {
 	ProbeInterval float64
 	// OnProbe observes periodic synchronization-quality snapshots.
 	OnProbe func(Probe)
+
+	// Adversary, if non-nil, attacks the run: scheduling adversaries
+	// redirect or suppress activations and corruption adversaries flip
+	// live, not-yet-halted nodes' opinions at window boundaries. Byzantine
+	// adversaries are rejected — the protocol's samples carry bits and real
+	// times alongside colors, so there is no single lying channel to
+	// intercept (use the generic Rule engines for Byzantine sampling).
+	// Instances are single-run: construct a fresh one per trial.
+	Adversary *adversary.Adversary
 
 	// Stop, if non-nil, is polled at a coarse stride (every tick batch or
 	// stopCheckStride ticks); returning true abandons the run with
@@ -334,4 +344,9 @@ type Result struct {
 	// MaxJumpAdjustment is the largest |jump target − working time before
 	// jump| observed, a measure of how hard the gadget had to work.
 	MaxJumpAdjustment int64
+	// Corruptions is the number of opinions the adversary rewrote.
+	Corruptions int64
+	// Biased is the number of activations the adversary redirected or
+	// suppressed.
+	Biased int64
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 
+	"plurality/internal/adversary"
 	"plurality/internal/graph"
 	"plurality/internal/population"
 	"plurality/internal/sched"
@@ -82,6 +83,10 @@ func (rn *Runner) Run(pop *population.Population, cfg Config) (Result, error) {
 		// state is otherwise never seen).
 		cfg.OnObserve(st.res.Time, st.res.Ticks)
 	}
+	if adv := cfg.Adversary; adv != nil {
+		st.res.Corruptions = adv.Corruptions()
+		st.res.Biased = adv.Biased()
+	}
 	if st.stopped {
 		if !st.res.Done {
 			st.res.Winner = pop.Plurality()
@@ -125,6 +130,9 @@ func validate(pop *population.Population, cfg Config) error {
 		return fmt.Errorf("core: DesyncFraction set but DesyncSpread = %d", cfg.DesyncSpread)
 	case cfg.DesyncSpread > math.MaxInt32:
 		return fmt.Errorf("core: DesyncSpread = %d does not fit the int32 working-time representation", cfg.DesyncSpread)
+	}
+	if adv := cfg.Adversary; adv != nil && adv.Family() == adversary.FamilyByzantine {
+		return fmt.Errorf("core: the %s adversary has no lying channel here — protocol samples carry bits and real times alongside colors; use the generic rule engines for Byzantine sampling", adv.Desc().Name)
 	}
 	if cfg.CrashFraction > 0 {
 		// Crashed nodes stay visible to sampling, which matches the
@@ -294,6 +302,10 @@ func (st *state) reset(pop *population.Population, cfg Config, spec Spec) error 
 			st.res.Done = true
 			st.res.Winner = population.Color(c)
 		}
+	}
+
+	if cfg.Adversary != nil {
+		cfg.Adversary.InitVictims(n)
 	}
 
 	st.nextProbe = 0
@@ -467,6 +479,12 @@ func (st *state) tick(t sched.Tick) bool {
 // tickFast is the delay- and probe-free activation body shared by both run
 // paths.
 func (st *state) tickFast(u int, now float64) bool {
+	if st.cfg.Adversary != nil {
+		if u = st.adversaryTick(u, now); u < 0 {
+			// The delay-set suppressed the activation.
+			return st.keepGoing()
+		}
+	}
 	if st.flags[u]&(flagHalted|flagCrashed) != 0 {
 		return st.keepGoing()
 	}
@@ -485,6 +503,58 @@ func (st *state) tickFast(u int, now float64) bool {
 	}
 	st.part1Tick(u, w, now)
 	return st.keepGoing()
+}
+
+// adversaryTick applies the adversary's per-activation powers: corruption
+// windows first, then the scheduling families — delay-set suppression
+// (returns -1: the tick is spent idle) or bias redirection onto a node
+// holding the adversary's target opinion. Untouchable (halted or crashed)
+// nodes are never redirect targets or corruption victims: they no longer
+// execute the protocol, so flipping them could make consensus unreachable
+// in a way the corruption model does not intend.
+func (st *state) adversaryTick(u int, now float64) int {
+	adv := st.cfg.Adversary
+	st.corruptTick(now)
+	if adv.Victim(u) {
+		adv.NoteBias()
+		return -1
+	}
+	if c, ok := adv.BiasColor(st.pop.CountsView(), now); ok {
+		if v, found := adv.FindHolder(st.pop, c, st.untouchable); found {
+			u = v
+			adv.NoteBias()
+		}
+	}
+	return u
+}
+
+// corruptTick materializes one corruption window (if due) through adopt, so
+// live-node consensus bookkeeping stays exact.
+func (st *state) corruptTick(now float64) {
+	adv := st.cfg.Adversary
+	if !adv.CorruptionDue(now) {
+		return
+	}
+	from, to, x := adv.PlanFlips(st.pop.CountsView(), now)
+	if x <= 0 {
+		return
+	}
+	var done int64
+	for i := int64(0); i < x; i++ {
+		v, ok := adv.FindHolder(st.pop, from, st.untouchable)
+		if !ok {
+			break
+		}
+		st.adopt(v, to, now)
+		done++
+	}
+	adv.NoteCorruptions(done)
+}
+
+// untouchable reports whether node u is off-limits to the adversary: halted
+// and crashed nodes no longer execute the protocol.
+func (st *state) untouchable(u int) bool {
+	return st.flags[u]&(flagHalted|flagCrashed) != 0
 }
 
 func (st *state) keepGoing() bool {

@@ -83,6 +83,16 @@ type Scenario struct {
 	// on the histogram — which is what lets the scale sweep reach n = 10⁸
 	// and the leap cells go further still.
 	Engine string `json:"engine,omitempty"`
+	// Adversary names a registered adversary ("minority-bias", "delay-set",
+	// "late:<lag>", "corrupt", "byzantine"; plurality.Adversaries lists
+	// them). "" and "none" run adversary-free; so does any name with a zero
+	// Budget, bit-identically to the clean run.
+	Adversary string `json:"adversary,omitempty"`
+	// Budget is the adversary's power f as text: a plain integer, or the
+	// symbolic forms "n^<p>" and "<c>sqrt(n)" which resolve against the
+	// cell's N — threshold sweeps express f in the scaling unit the theory
+	// speaks, exactly as the churn axis's "<coef>/n" form does for rates.
+	Budget string `json:"budget,omitempty"`
 }
 
 // Trial is the outcome of one scenario execution.
@@ -99,6 +109,12 @@ type Trial struct {
 	Win bool
 	// Churns is the number of churn events injected.
 	Churns int64
+	// Corruptions is the number of opinions the adversary rewrote
+	// (corruption flips plus Byzantine lies).
+	Corruptions int64
+	// Biased is the number of activations the adversary redirected or
+	// suppressed.
+	Biased int64
 }
 
 // Validate checks that the scenario names a runnable configuration.
@@ -204,7 +220,106 @@ func (sc Scenario) Validate() error {
 	default:
 		return fmt.Errorf("exp: unknown engine %q", sc.Engine)
 	}
+	if err := sc.validateAdversary(engine); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateAdversary mirrors Job.Validate's adversary capability matrix at
+// declaration time, so a sweep cell that pairs an adversary with an engine
+// that cannot host it fails at Compile rather than mid-grid.
+func (sc Scenario) validateAdversary(engine string) error {
+	spec, err := sc.adversarySpec()
+	if err != nil {
+		return err
+	}
+	if !spec.Active() {
+		return nil
+	}
+	desc, ok := spec.Descriptor()
+	if !ok {
+		return fmt.Errorf("exp: unknown adversary %q", sc.Adversary)
+	}
+	if sc.Protocol == "core" && desc.Family == plurality.AdversaryByzantine {
+		return fmt.Errorf("exp: adversary %s cannot lie to the core protocol (its samples carry bits and real times, not just colors)", desc.Name)
+	}
+	if engine == "leap" {
+		return fmt.Errorf("exp: the leap engine cannot host adversaries (tau-leap batches have no per-event hooks); use engine occupancy or per-node")
+	}
+	if engine == "occupancy" && desc.PerNode {
+		return fmt.Errorf("exp: adversary %s needs per-node identity, which the count-collapsed engine does not track; use engine per-node", desc.Name)
+	}
+	return nil
+}
+
+// adversarySpec resolves the Adversary/Budget pair into a budgeted spec
+// ready for WithAdversary. The inactive spec (no name, or zero budget) is
+// returned for adversary-free scenarios.
+func (sc Scenario) adversarySpec() (plurality.AdversarySpec, error) {
+	spec, err := plurality.ParseAdversary(sc.Adversary)
+	if err != nil {
+		return plurality.AdversarySpec{}, fmt.Errorf("exp: adversary %q: %w", sc.Adversary, err)
+	}
+	budget, err := parseBudget(sc.Budget, sc.N)
+	if err != nil {
+		return plurality.AdversarySpec{}, err
+	}
+	if budget > 0 && (spec.Name == "" || spec.Name == "none") {
+		return plurality.AdversarySpec{}, fmt.Errorf("exp: budget %q set with no adversary to spend it", sc.Budget)
+	}
+	spec.Budget = budget
+	if err := spec.Validate(); err != nil {
+		return plurality.AdversarySpec{}, fmt.Errorf("exp: adversary %q: %w", sc.Adversary, err)
+	}
+	return spec, nil
+}
+
+// parseBudget decodes a Scenario.Budget string into the concrete budget f.
+// Besides plain integers it accepts "n^<p>" and "<c>sqrt(n)" (coefficient
+// optional), both rounded to the nearest integer after resolving against n;
+// "" and "0" mean no budget.
+func parseBudget(s string, n int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	bad := func(why string) error {
+		return fmt.Errorf("exp: budget %q: %s", s, why)
+	}
+	symbolic := func(v float64) (int64, error) {
+		if n <= 0 {
+			return 0, bad("symbolic form needs n set first")
+		}
+		if math.IsNaN(v) || v < 0 {
+			return 0, bad("resolves to a negative or undefined budget")
+		}
+		return int64(math.Round(v)), nil
+	}
+	if p, ok := strings.CutPrefix(s, "n^"); ok {
+		pow, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return 0, bad("bad exponent")
+		}
+		return symbolic(math.Pow(float64(n), pow))
+	}
+	if coef, ok := strings.CutSuffix(s, "sqrt(n)"); ok {
+		coef = strings.TrimSuffix(strings.TrimSpace(coef), "*")
+		c := 1.0
+		if coef != "" {
+			v, err := strconv.ParseFloat(coef, 64)
+			if err != nil {
+				return 0, bad("bad coefficient")
+			}
+			c = v
+		}
+		return symbolic(c * math.Sqrt(float64(n)))
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, bad("want a non-negative integer, \"n^<p>\" or \"<c>sqrt(n)\"")
+	}
+	return v, nil
 }
 
 // engineSpec splits Scenario.Engine into the engine name and — for the
@@ -383,6 +498,11 @@ func RunScenarioCtx(ctx context.Context, sc Scenario, seed uint64) (Trial, error
 	if sc.DelayRate > 0 {
 		opts = append(opts, plurality.WithResponseDelay(sc.DelayRate))
 	}
+	if adv, err := sc.adversarySpec(); err != nil {
+		return Trial{}, err
+	} else if adv.Active() {
+		opts = append(opts, plurality.WithAdversary(adv))
+	}
 	if sc.Engine == "per-node" && sc.Protocol != "core" {
 		// The core protocol always runs per node (Scenario.Validate accepts
 		// the redundant engine spelling for it, as it always has); the
@@ -439,6 +559,11 @@ func runCountsScenario(ctx context.Context, sc Scenario, counts []int64, seed ui
 	if sc.Churn > 0 {
 		opts = append(opts, plurality.WithChurn(sc.Churn))
 	}
+	if adv, err := sc.adversarySpec(); err != nil {
+		return Trial{}, err
+	} else if adv.Active() {
+		opts = append(opts, plurality.WithAdversary(adv))
+	}
 	job, err := plurality.NewJob(sc.Protocol, counts, opts...)
 	if err != nil {
 		return Trial{}, err
@@ -451,21 +576,26 @@ func runCountsScenario(ctx context.Context, sc Scenario, counts []int64, seed ui
 // the convergence-failure sentinels (a timed-out cell is data, not an
 // error) while surfacing cancellation and configuration errors.
 func trialFromReport(sc Scenario, rep plurality.Report, plurColor plurality.Color, err error) (Trial, error) {
-	if err != nil && !errors.Is(err, plurality.ErrNoConsensus) && !errors.Is(err, plurality.ErrTimeLimit) {
-		return Trial{}, err
-	}
 	tr := Trial{
-		Done:   rep.Converged,
-		Time:   rep.Time,
-		Ticks:  rep.Ticks,
-		Win:    rep.Converged && rep.Winner == plurColor,
-		Churns: rep.Churns,
+		Done:        rep.Converged,
+		Time:        rep.Time,
+		Ticks:       rep.Ticks,
+		Win:         rep.Converged && rep.Winner == plurColor,
+		Churns:      rep.Churns,
+		Corruptions: rep.Corruptions,
+		Biased:      rep.Biased,
 	}
 	if sc.Protocol == "core" {
 		// The core protocol reports the consensus instant separately from
 		// the last delivered tick; the harness has always recorded the
 		// former.
 		tr.Time = rep.ConsensusTime
+	}
+	if err != nil && !errors.Is(err, plurality.ErrNoConsensus) && !errors.Is(err, plurality.ErrTimeLimit) {
+		// Even a hard stop (cancellation) returns the partial trial next to
+		// the error: the engines preserve their injection counters on every
+		// exit path, and dropping them here would lose that work.
+		return tr, err
 	}
 	return tr, nil
 }

@@ -25,7 +25,7 @@ type NamedSweep struct {
 
 // Named returns every registered sweep, in presentation order.
 func Named() []NamedSweep {
-	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), leapBudget(), protocolRace(), latencySweep(), churnSweep(), topologySweep()}
+	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), leapBudget(), protocolRace(), latencySweep(), churnSweep(), topologySweep(), adversaryThreshold()}
 }
 
 // NamedByName resolves one registered sweep.
@@ -514,6 +514,95 @@ func topologySweep() NamedSweep {
 			}
 			rep.addGate("clique-fastest", clique.Mean <= torus.Mean,
 				"mean(complete) = %.2f vs mean(torus) = %.2f (want clique <= torus)", clique.Mean, torus.Mean)
+		},
+	}
+}
+
+// adversaryThreshold drives the corruption adversary's budget f across the
+// √n threshold on Two-Choices: with f = n^0.3 flips per window the protocol
+// repairs corrupted nodes faster than the adversary plants them and the
+// plurality survives almost every trial, while f = 4√n re-seeds more minority
+// opinions per window than an endgame can absorb and consensus never closes.
+// Survival is strict — the run converged AND the initial plurality won — so
+// the gates pin the survive/fail phase transition to straddle the √n scaling
+// at every n, with a zero-budget control that must be indistinguishable from
+// a clean run.
+func adversaryThreshold() NamedSweep {
+	survival := func(c *CellResult) float64 {
+		if c.Trials == 0 {
+			return 0
+		}
+		return float64(c.PluralityWins) / float64(c.Trials)
+	}
+	return NamedSweep{
+		Name:        "adversary-threshold",
+		Description: "Two-Choices under the corruption adversary: consensus survival vs budget f across n; gates on the survive/fail transition straddling sqrt(n) (f=n^0.3 survives, f=4sqrt(n) fails) plus a zero-budget control",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			def, maxTime := 20, 120.0
+			if smoke {
+				def, maxTime = 8, 80.0
+			}
+			return Sweep{
+				Name: "adversary-threshold",
+				Base: Scenario{
+					Protocol: "two-choices", K: 2,
+					Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+					Engine:    "occupancy",
+					Adversary: "corrupt",
+					MaxTime:   maxTime,
+				},
+				Axes: []Axis{
+					{Name: "n", Values: []string{"1024", "4096", "16384"}},
+					{Name: "budget", Values: []string{"0", "n^0.3", "4sqrt(n)"}},
+				},
+				Trials: pickTrials(trials, def),
+				Seed:   seed,
+			}
+		},
+		Check: func(rep *Report) {
+			// No all-converged gate here: the f = 4√n cells are supposed to
+			// exhaust their budget — that is the failure side of the
+			// transition the sweep exists to demonstrate.
+			clean, cleanDetail := true, ""
+			survive, surviveDetail := true, ""
+			fail, failDetail := true, ""
+			fired, firedDetail := true, ""
+			for i := range rep.Cells {
+				c := &rep.Cells[i]
+				s := survival(c)
+				switch c.Params["budget"] {
+				case "0":
+					if c.Failures > 0 || c.PluralityWins < c.Trials || c.Corruptions != 0 {
+						clean = false
+						cleanDetail += fmt.Sprintf(" %q: wins %d/%d, failures %d, corruptions %d;",
+							c.Label, c.PluralityWins, c.Trials, c.Failures, c.Corruptions)
+					}
+					continue
+				case "n^0.3":
+					if s < 0.95 {
+						survive = false
+						surviveDetail += fmt.Sprintf(" %q: survival %.2f;", c.Label, s)
+					}
+				case "4sqrt(n)":
+					if s > 0.2 {
+						fail = false
+						failDetail += fmt.Sprintf(" %q: survival %.2f;", c.Label, s)
+					}
+				}
+				if c.Corruptions == 0 {
+					fired = false
+					firedDetail += fmt.Sprintf(" %q injected no corruption;", c.Label)
+				}
+			}
+			rep.addGate("zero-budget-clean", clean,
+				"budget=0 cells converge, win and stay uncorrupted;%s", cleanDetail)
+			rep.addGate("survives-below-threshold", survive,
+				"survival >= 0.95 at f = n^0.3 for every n;%s", surviveDetail)
+			rep.addGate("fails-above-threshold", fail,
+				"survival <= 0.2 at f = 4sqrt(n) for every n;%s", failDetail)
+			rep.addGate("corruption-fires", fired,
+				"every budget>0 cell recorded corruption flips;%s", firedDetail)
 		},
 	}
 }

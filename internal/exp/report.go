@@ -27,12 +27,17 @@ type CellResult struct {
 	Failures      int               `json:"failures"`
 	PluralityWins int               `json:"pluralityWins"`
 	Churns        int64             `json:"churns,omitempty"`
-	Mean          float64           `json:"mean"`
-	Median        float64           `json:"median"`
-	Min           float64           `json:"min"`
-	Q10           float64           `json:"q10"`
-	Q90           float64           `json:"q90"`
-	Max           float64           `json:"max"`
+	// Corruptions and Biased total the adversary's interventions across all
+	// trials (including failed ones): opinions rewritten, and activations
+	// redirected or suppressed. Additive fields, so SchemaVersion holds.
+	Corruptions int64   `json:"corruptions,omitempty"`
+	Biased      int64   `json:"biased,omitempty"`
+	Mean        float64 `json:"mean"`
+	Median      float64 `json:"median"`
+	Min         float64 `json:"min"`
+	Q10         float64 `json:"q10"`
+	Q90         float64 `json:"q90"`
+	Max         float64 `json:"max"`
 	// CILo and CIHi bound the 95% percentile-bootstrap confidence
 	// interval of the mean.
 	CILo float64 `json:"ciLo"`

@@ -19,8 +19,8 @@ import (
 // self-describing.
 type Axis struct {
 	// Name selects the scenario field: "n", "k", "protocol", "bias",
-	// "topology", "model", "engine", "crash", "churn", "latency", "delay"
-	// or "maxtime".
+	// "topology", "model", "engine", "crash", "churn", "latency", "delay",
+	// "maxtime", "adversary" or "budget".
 	Name string `json:"name"`
 	// Values are the grid points, applied textually.
 	Values []string `json:"values"`
@@ -130,6 +130,13 @@ func applyAxis(sc *Scenario, name, value string) error {
 		sc.Churn = v
 	case "latency":
 		sc.Latency = value
+	case "adversary":
+		sc.Adversary = value
+	case "budget":
+		// Symbolic forms ("n^0.3", "4sqrt(n)") resolve against the cell's
+		// final n at Validate/run time, not here, so the budget axis may
+		// precede the n axis; the value is stored textually.
+		sc.Budget = value
 	case "delay":
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
@@ -278,6 +285,8 @@ func summarizeCell(c Cell, trials []Trial, bootRNG *rng.RNG) CellResult {
 	var ticks float64
 	for _, t := range trials {
 		cr.Churns += t.Churns
+		cr.Corruptions += t.Corruptions
+		cr.Biased += t.Biased
 		if !t.Done {
 			cr.Failures++
 			continue

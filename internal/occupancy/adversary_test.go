@@ -1,0 +1,114 @@
+package occupancy
+
+import (
+	"errors"
+	"testing"
+
+	"plurality/internal/adversary"
+	"plurality/internal/rng"
+)
+
+func mkAdv(t *testing.T, spec adversary.Spec, seed uint64) *adversary.Adversary {
+	t.Helper()
+	adv, err := adversary.New(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adv
+}
+
+// TestStopPreservesPartialCounters: a tick-mode run interrupted by its Stop
+// hook must report the churn and adversary interventions it already
+// injected — partial results carry partial counters, they are not zeroed on
+// the ErrStopped exit path.
+func TestStopPreservesPartialCounters(t *testing.T) {
+	counts := []int64{8000, 4000}
+	polls := 0
+	res, err := Run(counts, twoChoicesRule(), Config{
+		Scheduler: mkSched(t, "poisson", 12000, 11),
+		Rand:      rng.At(11, 1),
+		MaxTime:   1e6,
+		Churn:     0.3, // forces tick mode and fires fast
+		Adversary: mkAdv(t, adversary.Spec{Name: "corrupt", Budget: 50}, 11),
+		Stop: func() bool {
+			// Late enough that a few corruption windows (CorruptWindow
+			// apart in parallel time) have fired, early enough that the
+			// high-churn run is nowhere near its MaxTime.
+			polls++
+			return polls > 100
+		},
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if res.Ticks == 0 {
+		t.Fatal("stopped run reports zero ticks; the Stop hook fired before any progress")
+	}
+	if res.Churns == 0 {
+		t.Errorf("stopped run dropped its partial churn counter (ticks = %d)", res.Ticks)
+	}
+	if res.Corruptions == 0 {
+		t.Errorf("stopped run dropped its partial corruption counter (ticks = %d, time = %v)", res.Ticks, res.Time)
+	}
+}
+
+// TestAdversaryRejectsPerNode: the histogram has no node identity, so
+// per-node adversaries (delay-set) must be rejected up front.
+func TestAdversaryRejectsPerNode(t *testing.T) {
+	counts := []int64{800, 400}
+	_, err := Run(counts, twoChoicesRule(), Config{
+		Scheduler: mkSched(t, "poisson", 1200, 3),
+		Rand:      rng.At(3, 1),
+		MaxTime:   100,
+		Adversary: mkAdv(t, adversary.Spec{Name: "delay-set", Budget: 8}, 3),
+	})
+	if err == nil {
+		t.Fatal("count-collapsed engine accepted a per-node adversary")
+	}
+}
+
+// TestCorruptionDelaysConsensus: under a corruption budget the run still
+// converges (small f) but records flips, and the winner remains the
+// plurality — the no-resurrection cap keeps consensus absorbing.
+func TestCorruptionDelaysConsensus(t *testing.T) {
+	counts := []int64{800, 400}
+	res, err := Run(counts, twoChoicesRule(), Config{
+		Scheduler: mkSched(t, "poisson", 1200, 5),
+		Rand:      rng.At(5, 1),
+		MaxTime:   1e4,
+		Adversary: mkAdv(t, adversary.Spec{Name: "corrupt", Budget: 4}, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Winner != 0 {
+		t.Fatalf("res = %+v, want convergence on the plurality", res)
+	}
+	if res.Corruptions == 0 {
+		t.Fatal("corruption adversary ran without recording flips")
+	}
+}
+
+// TestZeroBudgetBitIdentical: an inactive adversary is nil, installs no
+// hooks, draws no randomness — the run is bit-identical to one that never
+// mentioned an adversary.
+func TestZeroBudgetBitIdentical(t *testing.T) {
+	run := func(adv *adversary.Adversary) Result {
+		counts := []int64{800, 400}
+		res, err := Run(counts, twoChoicesRule(), Config{
+			Scheduler: mkSched(t, "poisson", 1200, 9),
+			Rand:      rng.At(9, 1),
+			MaxTime:   1e4,
+			Adversary: adv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	zero := run(mkAdv(t, adversary.Spec{Name: "corrupt", Budget: 0}, 9))
+	if clean != zero {
+		t.Fatalf("zero-budget run diverged from the clean run:\n  clean: %+v\n  zero:  %+v", clean, zero)
+	}
+}

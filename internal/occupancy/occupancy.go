@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math"
 
+	"plurality/internal/adversary"
 	"plurality/internal/population"
 	"plurality/internal/rng"
 	"plurality/internal/sched"
@@ -136,6 +137,14 @@ type Config struct {
 	// ForceTick disables the leap fast path, used by the equivalence tests
 	// to compare the two modes.
 	ForceTick bool
+	// Adversary, if non-nil, attacks the run: scheduling adversaries
+	// redirect activations, corruption adversaries flip opinions at window
+	// boundaries, Byzantine adversaries lie inside the sampling path. An
+	// active adversary forces tick mode — corruption and biased sampling
+	// break the exchangeability-preserving transition law the leap fast
+	// path's geometric skips rely on. Per-node adversaries (delay-set) are
+	// rejected: the histogram has no node identity to delay.
+	Adversary *adversary.Adversary
 	// Stop, if non-nil, is polled at a coarse stride (every batch in tick
 	// mode, every stopCheckStride transitions in leap mode); returning true
 	// abandons the run with ErrStopped and the progress made so far. The
@@ -170,6 +179,11 @@ type Result struct {
 	// Undecided is the number of nodes left undecided when the run ended;
 	// always 0 for rules without an undecided state.
 	Undecided int64
+	// Corruptions is the number of opinions the adversary rewrote:
+	// corruption flips plus Byzantine lies.
+	Corruptions int64
+	// Biased is the number of activations the adversary redirected.
+	Biased int64
 }
 
 // Run executes rule on the histogram until one color holds everything or
@@ -250,7 +264,7 @@ func (rn *Runner) exec(counts []int64, rule Rule, cfg Config, colors int) (Resul
 			return Result{Done: true, Winner: population.Color(c)}, nil
 		}
 	}
-	if !cfg.ForceTick && cfg.Churn == 0 && cfg.OnObserve == nil {
+	if !cfg.ForceTick && cfg.Churn == 0 && cfg.OnObserve == nil && cfg.Adversary == nil {
 		if kr, ok := rule.(Kerneled); ok {
 			switch s := cfg.Scheduler.(type) {
 			case *sched.Sequential:
@@ -309,6 +323,9 @@ func validate(counts []int64, rule Rule, cfg Config) (int64, error) {
 	}
 	if int64(cfg.Scheduler.N()) != n {
 		return 0, fmt.Errorf("occupancy: scheduler has %d nodes, histogram %d", cfg.Scheduler.N(), n)
+	}
+	if cfg.Adversary != nil && cfg.Adversary.Desc().PerNode {
+		return 0, fmt.Errorf("occupancy: adversary %s needs node identity, which the count-collapsed engine does not track", cfg.Adversary.Desc().Name)
 	}
 	return n, nil
 }
@@ -462,6 +479,7 @@ type tickRun struct {
 	churn    float64
 	r        *rng.RNG
 	rule     Rule
+	adv      *adversary.Adversary
 	sampled  []population.Color
 	res      Result
 	done     bool
@@ -528,8 +546,28 @@ func (tr *tickRun) pick(total int64, deduct population.Color) population.Color {
 	return population.Color(tr.k - 1)
 }
 
-// step executes one activation on the histogram.
-func (tr *tickRun) step() {
+// corrupt applies one corruption window's flips to the histogram when the
+// activation at time now crossed a window boundary: up to the budget moves
+// from the plurality opinion to the weakest surviving one. The move is
+// gap-capped, so it can never complete a consensus itself.
+func (tr *tickRun) corrupt(now float64) {
+	if !tr.adv.CorruptionDue(now) {
+		return
+	}
+	from, to, x := tr.adv.PlanFlips(tr.counts[:tr.colors], now)
+	if x <= 0 {
+		return
+	}
+	tr.counts[from] -= x
+	tr.counts[to] += x
+	tr.adv.NoteCorruptions(x)
+}
+
+// step executes one activation on the histogram at parallel time now.
+func (tr *tickRun) step(now float64) {
+	if tr.adv != nil {
+		tr.corrupt(now)
+	}
 	if tr.churning && tr.r.Bernoulli(tr.churn) {
 		// Churn: the activated node (color ~ histogram) is replaced by a
 		// fresh joiner with a uniformly random opinion.
@@ -546,12 +584,33 @@ func (tr *tickRun) step() {
 		}
 		return
 	}
-	own := tr.pick(tr.n, population.None)
+	var own population.Color
+	biased := false
+	if tr.adv != nil {
+		// Scheduling bias: the adversary redirects this activation onto a
+		// node holding its (possibly lagged) minority pick, provided the
+		// opinion is still alive in the live histogram.
+		if c, ok := tr.adv.BiasColor(tr.counts[:tr.colors], now); ok && tr.counts[c] > 0 {
+			own = c
+			biased = true
+			tr.adv.NoteBias()
+		}
+	}
+	if !biased {
+		own = tr.pick(tr.n, population.None)
+	}
 	for i := 0; i < tr.s; i++ {
 		if tr.withSelf {
 			tr.sampled[i] = tr.pick(tr.n, population.None)
 		} else {
 			tr.sampled[i] = tr.pick(tr.n-1, own)
+		}
+		if tr.adv != nil {
+			// Byzantine sampling: with probability budget/n the sampled
+			// node lies, reporting the minority opinion instead.
+			if lie, ok := tr.adv.Lie(tr.counts[:tr.colors], tr.n, now); ok {
+				tr.sampled[i] = lie
+			}
 		}
 	}
 	next := tr.rule.Next(tr.r, own, tr.sampled)
@@ -596,6 +655,7 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 		churn:      cfg.Churn,
 		r:          cfg.Rand,
 		rule:       rule,
+		adv:        cfg.Adversary,
 		sampled:    rn.sampled[:s],
 		observing:  cfg.OnObserve != nil,
 		observeGap: cfg.ObserveInterval,
@@ -609,6 +669,12 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 	finish := func(err error) (Result, error) {
 		tr.res.Ticks = ticks
 		tr.res.Time = last
+		if tr.adv != nil {
+			// Adversary counters survive every exit path — consensus,
+			// timeout and cancellation alike, matching Churns.
+			tr.res.Corruptions = tr.adv.Corruptions()
+			tr.res.Biased = tr.adv.Biased()
+		}
 		tr.finalObserve(last, ticks)
 		if tr.done {
 			tr.res.Done = true
@@ -635,7 +701,7 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 				}
 				ticks++
 				last = now
-				tr.step()
+				tr.step(now)
 				if tr.badNone {
 					return Result{}, badNoneErr(rule)
 				}
@@ -661,7 +727,7 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 				}
 				ticks++
 				last = t.Time
-				tr.step()
+				tr.step(t.Time)
 				if tr.badNone {
 					return Result{}, badNoneErr(rule)
 				}
@@ -688,7 +754,7 @@ func (rn *Runner) runTick(counts []int64, rule Rule, cfg Config, n int64, colors
 			}
 			ticks++
 			last = t.Time
-			tr.step()
+			tr.step(t.Time)
 			if tr.badNone {
 				return Result{}, badNoneErr(rule)
 			}

@@ -137,6 +137,13 @@ func (p *Population) Counts() []int64 {
 	return out
 }
 
+// CountsView returns the live per-color histogram without copying. The
+// slice aliases the population's internal state: callers must treat it as
+// read-only and must not retain it across mutations. It exists for per-tick
+// consumers (the adversary hooks) where Counts' copy would allocate on the
+// hot loop.
+func (p *Population) CountsView() []int64 { return p.counts }
+
 // Fraction returns the fraction of nodes holding color c.
 func (p *Population) Fraction(c Color) float64 {
 	return float64(p.counts[c]) / float64(len(p.colors))

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"plurality/internal/adversary"
 	"plurality/internal/graph"
 	"plurality/internal/occupancy"
 	"plurality/internal/population"
@@ -85,6 +86,11 @@ type SyncConfig struct {
 	// Stop, if non-nil, is polled at every round boundary; returning true
 	// abandons the run with ErrStopped and the rounds completed so far.
 	Stop func() bool
+	// Adversary, if non-nil, attacks the run: corruption adversaries flip
+	// opinions after every committed round, Byzantine adversaries lie
+	// inside the frozen-round sampling. Scheduling adversaries are
+	// rejected — synchronous rounds have no activation order to bias.
+	Adversary *adversary.Adversary
 }
 
 // SyncResult describes a completed synchronous run.
@@ -98,6 +104,12 @@ type SyncResult struct {
 	// Undecided is the number of nodes USD's undecided state holds when
 	// the run ends; always 0 for rules without an undecided state.
 	Undecided int64
+	// Corruptions is the number of opinions the adversary rewrote:
+	// corruption flips plus Byzantine lies.
+	Corruptions int64
+	// Biased is the number of activations the adversary redirected or
+	// suppressed; always 0 for synchronous runs.
+	Biased int64
 }
 
 // RunSync executes the rule in the synchronous model until consensus or
@@ -122,8 +134,15 @@ func (rn *Runner) RunSync(pop *population.Population, rule Rule, cfg SyncConfig)
 		s       = rule.SampleCount()
 		buf     = rn.syncBuffer(pop)
 		sampled = rn.sampleBuffer(s)
+		adv     = cfg.Adversary
 	)
 	res, err := syncsim.RunStop(cfg.MaxRounds, cfg.Stop, func(round int) (bool, error) {
+		// Byzantine lies sample the frozen start-of-round histogram, like
+		// every honest sample this round.
+		var frozen []int64
+		if adv != nil {
+			frozen = rn.snapCounts(pop)
+		}
 		// Stage through the buffer's backing slice directly: one bounds
 		// check instead of a method call per node on the hot loop. Every
 		// node is staged, so the literal CommitAll applies: a staged None
@@ -134,10 +153,18 @@ func (rn *Runner) RunSync(pop *population.Population, rule Rule, cfg SyncConfig)
 		for u := 0; u < n; u++ {
 			for i := 0; i < s; i++ {
 				sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
+				if adv != nil {
+					if lie, ok := adv.Lie(frozen, int64(n), float64(round)); ok {
+						sampled[i] = lie
+					}
+				}
 			}
 			next[u] = rule.Next(cfg.Rand, pop.ColorOf(u), sampled)
 		}
 		buf.CommitAll(pop)
+		if adv != nil {
+			corruptPopulation(adv, pop, float64(round), true, nil)
+		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, pop)
 		}
@@ -148,6 +175,10 @@ func (rn *Runner) RunSync(pop *population.Population, rule Rule, cfg SyncConfig)
 		Done:      res.Done,
 		Winner:    pop.Plurality(),
 		Undecided: pop.Undecided(),
+	}
+	if adv != nil {
+		out.Corruptions = adv.Corruptions()
+		out.Biased = adv.Biased()
 	}
 	if errors.Is(err, syncsim.ErrRoundLimit) {
 		return out, fmt.Errorf("dynamics: %s did not converge in %d rounds: %w", rule.Name(), cfg.MaxRounds, ErrTimeLimit)
@@ -194,7 +225,51 @@ func validateSync(pop *population.Population, rule Rule, cfg SyncConfig) error {
 	case rule.SampleCount() <= 0:
 		return fmt.Errorf("dynamics: rule %s samples %d nodes, want > 0", rule.Name(), rule.SampleCount())
 	}
+	if adv := cfg.Adversary; adv != nil && adv.Family() == adversary.FamilyScheduling {
+		return fmt.Errorf("dynamics: scheduling adversary %s needs asynchronous activations; synchronous rounds have no activation order to bias", adv.Desc().Name)
+	}
 	return validateUndecided(pop, rule)
+}
+
+// snapCounts fills the pooled histogram scratch with pop's current decided
+// counts — the frozen view synchronous Byzantine lies sample.
+func (rn *Runner) snapCounts(pop *population.Population) []int64 {
+	k := pop.K()
+	if cap(rn.snap) < k {
+		rn.snap = make([]int64, k)
+	}
+	buf := rn.snap[:k]
+	copy(buf, pop.CountsView())
+	return buf
+}
+
+// corruptPopulation materializes one corruption window on a per-node
+// population: plan against the decided histogram, then flip concrete
+// plurality holders to the minority opinion. everyRound skips the
+// parallel-time window accounting (synchronous runs corrupt once per
+// committed round). skip, when non-nil, excludes nodes the caller considers
+// untouchable.
+func corruptPopulation(adv *adversary.Adversary, pop *population.Population, now float64, everyRound bool, skip func(int) bool) {
+	if adv.Family() != adversary.FamilyCorruption {
+		return
+	}
+	if !everyRound && !adv.CorruptionDue(now) {
+		return
+	}
+	from, to, x := adv.PlanFlips(pop.CountsView(), now)
+	if x <= 0 {
+		return
+	}
+	var done int64
+	for i := int64(0); i < x; i++ {
+		u, ok := adv.FindHolder(pop, from, skip)
+		if !ok {
+			break
+		}
+		pop.SetColor(u, to)
+		done++
+	}
+	adv.NoteCorruptions(done)
 }
 
 // validateUndecided rejects populations holding undecided (None) nodes
@@ -308,6 +383,15 @@ type AsyncConfig struct {
 	// engine-owned memory and is only valid during the callback.
 	ObserveInterval float64
 	OnSnapshot      func(Snapshot)
+	// Adversary, if non-nil, attacks the run: scheduling adversaries
+	// redirect or suppress activations, corruption adversaries flip
+	// opinions at parallel-time window boundaries, Byzantine adversaries
+	// lie inside the sampling path. Collapsed runs execute it in the
+	// occupancy engine's exact tick mode; the hybrid leap engine cannot
+	// honor it (corruption breaks the exchangeability-preserving flow
+	// laws), so EngineLeap rejects a non-nil adversary and EngineAuto never
+	// escalates adversarial runs past LeapAutoN.
+	Adversary *adversary.Adversary
 }
 
 // AsyncResult describes a completed asynchronous run.
@@ -326,6 +410,12 @@ type AsyncResult struct {
 	// Undecided is the number of nodes USD's undecided state holds when
 	// the run ends; always 0 for rules without an undecided state.
 	Undecided int64
+	// Corruptions is the number of opinions the adversary rewrote:
+	// corruption flips plus Byzantine lies.
+	Corruptions int64
+	// Biased is the number of activations the adversary redirected or
+	// suppressed.
+	Biased int64
 }
 
 // pendingUpdate is a decided but not yet applied opinion change, waiting for
@@ -417,7 +507,7 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 	// itself. (Stop stays compatible with it — one poll per batch — but
 	// snapshot observation needs the per-tick time check of the general
 	// path.)
-	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !blocking && !churning && cfg.OnTick == nil && cfg.OnSnapshot == nil {
+	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !blocking && !churning && cfg.OnTick == nil && cfg.OnSnapshot == nil && cfg.Adversary == nil {
 		var last sched.Tick
 		ran := false
 		batch := make([]sched.Tick, sched.BatchSize)
@@ -465,7 +555,11 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 		lastEmit    int64 = -1 // Seq+1 of the last emitted snapshot (-1 = none)
 		stopCheck   int
 		interrupted bool
+		adv         = cfg.Adversary
 	)
+	if adv != nil {
+		adv.InitVictims(n)
+	}
 	last, stopped := sched.RunBatch(cfg.Scheduler, cfg.MaxTime, func(t sched.Tick) bool {
 		if cfg.Stop != nil {
 			if stopCheck--; stopCheck <= 0 {
@@ -477,7 +571,23 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 			}
 		}
 		u := t.Node
+		suppressed := false
+		if adv != nil {
+			corruptPopulation(adv, pop, t.Time, false, nil)
+			if adv.Victim(u) {
+				adv.NoteBias()
+				suppressed = true
+			} else if c, ok := adv.BiasColor(pop.CountsView(), t.Time); ok {
+				if v, found := adv.FindHolder(pop, c, nil); found {
+					u = v
+					adv.NoteBias()
+				}
+			}
+		}
 		switch {
+		case suppressed:
+			// The delay-set suppressed this activation; the tick is spent
+			// idle, exactly like a tick landing mid-response-wait.
 		case blocking && pending[u].waiting && t.Time >= pending[u].readyAt:
 			// Response has arrived: apply the decided update.
 			apply(u, pending[u].next)
@@ -496,6 +606,11 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 			for i := 0; i < s; i++ {
 				v := cfg.Graph.Sample(cfg.Rand, u)
 				sampled[i] = pop.ColorOf(v)
+				if adv != nil {
+					if lie, ok := adv.Lie(pop.CountsView(), int64(n), t.Time); ok {
+						sampled[i] = lie
+					}
+				}
 				if latent {
 					if l := cfg.Latency.SampleLatency(cfg.Rand, u, v); l > lat {
 						lat = l
@@ -537,6 +652,10 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 	}
 	res.Winner = pop.Plurality()
 	res.Undecided = pop.Undecided()
+	if adv != nil {
+		res.Corruptions = adv.Corruptions()
+		res.Biased = adv.Biased()
+	}
 	if observing && lastEmit != res.Ticks {
 		// Close the stream with the state the run ended in.
 		rn.emitSnapshot(cfg.OnSnapshot, pop, res.Time, res.Ticks)
@@ -586,6 +705,9 @@ func collapseBlocker(cfg AsyncConfig) string {
 			return "response delays need per-node pending state"
 		}
 	}
+	if cfg.Adversary != nil && cfg.Adversary.Desc().PerNode {
+		return fmt.Sprintf("adversary %s targets individual nodes, which the count-collapsed engine does not track", cfg.Adversary.Desc().Name)
+	}
 	return ""
 }
 
@@ -606,6 +728,7 @@ func (rn *Runner) runCollapsed(pop *population.Population, rule Rule, cfg AsyncC
 		Stop:            cfg.Stop,
 		ObserveInterval: cfg.ObserveInterval,
 		OnObserve:       cfg.OnSnapshot,
+		Adversary:       cfg.Adversary,
 	}
 	var (
 		res occupancy.Result
@@ -672,6 +795,14 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 	if cfg.OnTick != nil || cfg.Latency != nil || cfg.Delay != nil {
 		return AsyncResult{}, errors.New("dynamics: counts runs support neither delays, latencies nor OnTick observers (per-node state)")
 	}
+	if adv := cfg.Adversary; adv != nil {
+		if cfg.Engine == EngineLeap {
+			return AsyncResult{}, errLeapAdversary(adv)
+		}
+		if adv.Desc().PerNode {
+			return AsyncResult{}, fmt.Errorf("dynamics: adversary %s targets individual nodes, which counts runs do not track", adv.Desc().Name)
+		}
+	}
 	occCfg := occupancy.Config{
 		WithSelf:        withSelf,
 		Scheduler:       cfg.Scheduler,
@@ -681,6 +812,7 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 		Stop:            cfg.Stop,
 		ObserveInterval: cfg.ObserveInterval,
 		OnObserve:       cfg.OnSnapshot,
+		Adversary:       cfg.Adversary,
 	}
 	if cfg.Engine == EngineLeap || autoLeap(counts, rule, cfg) {
 		lres, err := rn.occ.RunLeap(counts, rule, occCfg, cfg.Leap)
@@ -696,7 +828,7 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 // FlowKernel-ed rule, a Sequential or Poisson scheduler). Sub-threshold or
 // ineligible runs keep the exact engine, so existing behavior is unchanged.
 func autoLeap(counts []int64, rule Rule, cfg AsyncConfig) bool {
-	if cfg.Engine != EngineAuto || cfg.Churn != 0 {
+	if cfg.Engine != EngineAuto || cfg.Churn != 0 || cfg.Adversary != nil {
 		return false
 	}
 	var n int64
@@ -718,12 +850,14 @@ func autoLeap(counts []int64, rule Rule, cfg AsyncConfig) bool {
 // AsyncResult and sentinel conventions.
 func collapsedResult(res occupancy.Result, err error, rule Rule, maxTime float64) (AsyncResult, error) {
 	out := AsyncResult{
-		Time:      res.Time,
-		Ticks:     res.Ticks,
-		Done:      res.Done,
-		Winner:    res.Winner,
-		Churns:    res.Churns,
-		Undecided: res.Undecided,
+		Time:        res.Time,
+		Ticks:       res.Ticks,
+		Done:        res.Done,
+		Winner:      res.Winner,
+		Churns:      res.Churns,
+		Undecided:   res.Undecided,
+		Corruptions: res.Corruptions,
+		Biased:      res.Biased,
 	}
 	if errors.Is(err, occupancy.ErrTimeLimit) {
 		return out, fmt.Errorf("dynamics: %s did not converge by time %v: %w", rule.Name(), maxTime, ErrTimeLimit)
@@ -759,5 +893,15 @@ func validateAsync(pop *population.Population, rule Rule, cfg AsyncConfig) error
 	case cfg.Engine < EngineAuto || cfg.Engine > EngineLeap:
 		return fmt.Errorf("dynamics: unknown engine %d", cfg.Engine)
 	}
+	if cfg.Adversary != nil && cfg.Engine == EngineLeap {
+		return errLeapAdversary(cfg.Adversary)
+	}
 	return validateUndecided(pop, rule)
+}
+
+// errLeapAdversary is the shared rejection for adversarial leap runs: the
+// hybrid engine's flow laws assume an unattacked, exchangeability-preserving
+// trajectory, so adversaries require an exact engine.
+func errLeapAdversary(adv *adversary.Adversary) error {
+	return fmt.Errorf("dynamics: the leap engine cannot honor adversary %s; corruption and bias break its exchangeability-preserving flow laws — use an exact engine", adv.Desc().Name)
 }

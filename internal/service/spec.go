@@ -61,6 +61,16 @@ type JobSpec struct {
 	// ODEThreshold is the leap engine's mean-field handoff threshold
 	// (0 = default; -1 disables the ODE regime).
 	ODEThreshold float64 `json:"odeThreshold,omitempty"`
+	// Adversary names a registered adversary ("minority-bias", "delay-set",
+	// "late", "corrupt", "byzantine" or an alias; "" and "none" mean no
+	// adversary). Budget is its power f per window — a zero budget
+	// deactivates the adversary entirely, so the pair normalizes away and
+	// the run shares its cache entry with the clean spelling. AdversaryLag
+	// is the observation lag ℓ required by the lag-parameterized
+	// adversaries ("late").
+	Adversary    string  `json:"adversary,omitempty"`
+	Budget       int64   `json:"budget,omitempty"`
+	AdversaryLag float64 `json:"adversaryLag,omitempty"`
 	// Trials fans the job out as Job.Trials(ctx, Trials) deterministic
 	// pooled trials (0 and 1 both mean a single Job.Run).
 	Trials int `json:"trials,omitempty"`
@@ -123,6 +133,21 @@ func (sp JobSpec) normalize() (JobSpec, error) {
 	if sp.ObserveInterval < 0 {
 		return sp, fmt.Errorf("observeInterval = %v, want >= 0", sp.ObserveInterval)
 	}
+	spec, err := sp.adversarySpec()
+	if err != nil {
+		return sp, err
+	}
+	if !spec.Active() {
+		// An inactive adversary (no name, "none", or a zero budget) is
+		// bit-identical to the clean run, so all three fields normalize away
+		// and both spellings share one cache entry.
+		sp.Adversary, sp.Budget, sp.AdversaryLag = "", 0, 0
+	} else {
+		// Canonicalize aliases ("liar" → "byzantine") and fold an inline lag
+		// ("late:2") into the field form for the same reason.
+		sp.Adversary = spec.Name
+		sp.AdversaryLag = spec.Lag
+	}
 	if sp.ObserveInterval > 0 && sp.Trials > 1 {
 		return sp, fmt.Errorf("streaming jobs are single-run: observeInterval > 0 needs trials <= 1, got %d", sp.Trials)
 	}
@@ -169,7 +194,35 @@ func (sp JobSpec) options() []plurality.Option {
 		}
 		opts = append(opts, plurality.WithODEThreshold(theta))
 	}
+	if spec, err := sp.adversarySpec(); err == nil && spec.Active() {
+		// normalize already vetted the spec; an error here cannot happen on
+		// a normalized JobSpec.
+		opts = append(opts, plurality.WithAdversary(spec))
+	}
 	return opts
+}
+
+// adversarySpec assembles the spec's adversary fields into a library
+// AdversarySpec, resolving the name against the registry.
+func (sp JobSpec) adversarySpec() (plurality.AdversarySpec, error) {
+	spec, err := plurality.ParseAdversary(sp.Adversary)
+	if err != nil {
+		return plurality.AdversarySpec{}, err
+	}
+	spec.Budget = sp.Budget
+	if sp.AdversaryLag != 0 {
+		if spec.Lag != 0 {
+			return plurality.AdversarySpec{}, fmt.Errorf("adversary %q already carries a lag; drop the adversaryLag field", sp.Adversary)
+		}
+		spec.Lag = sp.AdversaryLag
+	}
+	if err := spec.Validate(); err != nil {
+		return plurality.AdversarySpec{}, err
+	}
+	if sp.Budget > 0 && !spec.Active() {
+		return plurality.AdversarySpec{}, fmt.Errorf("budget = %d set with no adversary to spend it", sp.Budget)
+	}
+	return spec, nil
 }
 
 // compile normalizes the spec and binds it through plurality.NewJob — the

@@ -47,6 +47,8 @@ type ReportBody struct {
 	Ticks         int64   `json:"ticks,omitempty"`
 	Undecided     int64   `json:"undecided,omitempty"`
 	Churns        int64   `json:"churns,omitempty"`
+	Corruptions   int64   `json:"corruptions,omitempty"`
+	Biased        int64   `json:"biased,omitempty"`
 }
 
 // reportBody converts a library report to its wire form.
@@ -62,6 +64,8 @@ func reportBody(rep plurality.Report) ReportBody {
 		Ticks:         rep.Ticks,
 		Undecided:     rep.Undecided,
 		Churns:        rep.Churns,
+		Corruptions:   rep.Corruptions,
+		Biased:        rep.Biased,
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"plurality/internal/adversary"
 	"plurality/internal/core"
 	"plurality/internal/occupancy"
 	"plurality/internal/par"
@@ -116,16 +117,17 @@ var (
 	coreOptMask   = commonOptMask | maskOf(idModel, idMaxTime, idResponseDelay,
 		idEdgeLatency, idChurn, idGraph, idProbe, idDelta, idPhases,
 		idGadgetSamples, idEndgameTicks, idNoSyncGadget, idEndgameOnly,
-		idRunToHalt, idCrashes, idDesync)
+		idRunToHalt, idCrashes, idDesync, idAdversary)
 	asyncOptMask = commonOptMask | maskOf(idModel, idMaxTime, idResponseDelay,
-		idEdgeLatency, idChurn, idGraph, idEngine)
+		idEdgeLatency, idChurn, idGraph, idEngine, idAdversary)
 	countsOptMask = commonOptMask | maskOf(idModel, idMaxTime, idChurn,
-		idGraph, idEngine)
-	// The hybrid leap engine is churn-free by construction, and its two
-	// error-budget knobs apply only to it.
+		idGraph, idEngine, idAdversary)
+	// The hybrid leap engine is churn-free and adversary-free by
+	// construction (both break its flow laws), and its two error-budget
+	// knobs apply only to it.
 	leapOptMask = commonOptMask | maskOf(idModel, idMaxTime, idGraph,
 		idEngine, idLeapEps, idODEThreshold)
-	syncOptMask   = commonOptMask | maskOf(idModel, idMaxRounds, idGraph)
+	syncOptMask   = commonOptMask | maskOf(idModel, idMaxRounds, idGraph, idAdversary)
 	oneBitOptMask = commonOptMask | maskOf(idGraph, idMaxRounds, idMaxPhases,
 		idPropagationRounds, idPhaseObserver)
 )
@@ -186,6 +188,9 @@ func (j *Job) Validate() error {
 	if g := j.o.graph; g != nil && int64(g.N()) != j.total {
 		return fmt.Errorf("plurality: job %s: graph has %d nodes, histogram %d", j.spec, g.N(), j.total)
 	}
+	if err := j.validateAdversary(); err != nil {
+		return err
+	}
 
 	switch j.kind {
 	case KindCore:
@@ -226,6 +231,39 @@ func (j *Job) Validate() error {
 		}
 		if math.IsNaN(j.o.maxTime) {
 			return fmt.Errorf("plurality: job %s: MaxTime is NaN", j.spec)
+		}
+	}
+	return nil
+}
+
+// validateAdversary checks an applied WithAdversary spec against the job's
+// runner family and engine, beyond the optID mask (which already rejects it
+// wholesale on the leap engine and OneExtraBit). The checks mirror the
+// engines' own run-time rejections so a bad combination fails at NewJob.
+func (j *Job) validateAdversary() error {
+	if j.o.set&maskOf(idAdversary) == 0 {
+		return nil
+	}
+	spec := j.o.adversary
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("plurality: job %s: %w", j.spec, err)
+	}
+	if !spec.Active() {
+		return nil
+	}
+	d, _ := spec.Descriptor()
+	switch j.kind {
+	case KindCore:
+		if d.Family == adversary.FamilyByzantine {
+			return fmt.Errorf("plurality: job %s: the %s adversary has no lying channel in the core protocol (samples carry bits and real times alongside colors); use a registry sampling dynamic", j.spec, d.Name)
+		}
+	case KindSyncDynamic:
+		if d.Family == adversary.FamilyScheduling {
+			return fmt.Errorf("plurality: job %s: scheduling adversary %s needs asynchronous activations; synchronous rounds have no activation order to bias", j.spec, d.Name)
+		}
+	case KindDynamic:
+		if d.PerNode && (j.o.engine == EngineOccupancy || j.o.engine == EngineLeap) {
+			return fmt.Errorf("plurality: job %s: adversary %s targets individual nodes, which the count-collapsed engine does not track; use EnginePerNode or EngineAuto", j.spec, d.Name)
 		}
 	}
 	return nil
@@ -458,10 +496,15 @@ func execCore(ctx context.Context, rn *core.Runner, pop *Population, o *options)
 	if err != nil {
 		return CoreResult{}, err
 	}
+	adv, err := o.newAdversary()
+	if err != nil {
+		return CoreResult{}, err
+	}
 	cfg := o.coreConfig(g)
 	cfg.Scheduler = s
 	cfg.Rand = rng.At(o.seed, 1)
 	cfg.Stop = stopFunc(ctx)
+	cfg.Adversary = adv
 	o.coreObserver(&cfg, pop)
 	res, err := rn.Run(pop, cfg)
 	return res, ctxErr(ctx, err)
@@ -486,11 +529,16 @@ func execAsync(ctx context.Context, rn *dynamics.Runner, pop *Population, rule d
 	if o.delayRate > 0 {
 		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
 	}
+	adv, err := o.newAdversary()
+	if err != nil {
+		return AsyncResult{}, err
+	}
 	cfg.Latency = o.latency
 	cfg.Churn = o.churnRate
 	cfg.Engine = o.dynamicsEngine()
 	cfg.Leap = o.leapConfig()
 	cfg.Stop = stopFunc(ctx)
+	cfg.Adversary = adv
 	cfg.ObserveInterval, cfg.OnSnapshot = o.asyncObserver()
 	res, err := rn.RunAsync(pop, rule, cfg)
 	return res, ctxErr(ctx, err)
@@ -502,6 +550,10 @@ func execSync(ctx context.Context, rn *dynamics.Runner, pop *Population, rule dy
 	if err != nil {
 		return SyncResult{}, err
 	}
+	adv, err := o.newAdversary()
+	if err != nil {
+		return SyncResult{}, err
+	}
 	obs := o.newSyncObserver()
 	res, err := rn.RunSync(pop, rule, dynamics.SyncConfig{
 		Graph:     g,
@@ -509,6 +561,7 @@ func execSync(ctx context.Context, rn *dynamics.Runner, pop *Population, rule dy
 		MaxRounds: o.maxRounds,
 		Stop:      stopFunc(ctx),
 		OnRound:   obs.onRound(),
+		Adversary: adv,
 	})
 	if errors.Is(err, dynamics.ErrStopped) {
 		// The engine stops between rounds, where no per-round hook fires;
@@ -543,8 +596,13 @@ func execCounts(ctx context.Context, rn *dynamics.Runner, counts []int64, d prot
 	if o.delayRate > 0 {
 		cfg.Delay = sched.ExpDelay{Rate: o.delayRate}
 	}
+	adv, err := o.newAdversary()
+	if err != nil {
+		return AsyncResult{}, err
+	}
 	cfg.Latency = o.latency
 	cfg.Stop = stopFunc(ctx)
+	cfg.Adversary = adv
 	cfg.ObserveInterval, cfg.OnSnapshot = o.asyncObserver()
 	res, err := rn.RunAsyncCounts(counts, rule, cfg)
 	return res, ctxErr(ctx, err)

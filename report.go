@@ -74,6 +74,12 @@ type Report struct {
 	Undecided int64
 	// Churns is the total number of churn events injected.
 	Churns int64
+	// Corruptions is the number of opinions the adversary rewrote:
+	// corruption flips plus Byzantine lies (WithAdversary; 0 otherwise).
+	Corruptions int64
+	// Biased is the number of activations the adversary redirected or
+	// suppressed (WithAdversary; 0 otherwise).
+	Biased int64
 
 	core   *CoreResult
 	onebit *OneExtraBitResult
@@ -108,6 +114,8 @@ func ReportFromCore(res CoreResult) Report {
 		Time:          res.Time,
 		Ticks:         res.Ticks,
 		Churns:        res.Churns,
+		Corruptions:   res.Corruptions,
+		Biased:        res.Biased,
 		core:          &res,
 	}
 }
@@ -116,13 +124,15 @@ func ReportFromCore(res CoreResult) Report {
 // unified Report.
 func ReportFromAsync(res AsyncResult) Report {
 	rep := Report{
-		Kind:      KindDynamic,
-		Converged: res.Done,
-		Winner:    res.Winner,
-		Time:      res.Time,
-		Ticks:     res.Ticks,
-		Undecided: res.Undecided,
-		Churns:    res.Churns,
+		Kind:        KindDynamic,
+		Converged:   res.Done,
+		Winner:      res.Winner,
+		Time:        res.Time,
+		Ticks:       res.Ticks,
+		Undecided:   res.Undecided,
+		Churns:      res.Churns,
+		Corruptions: res.Corruptions,
+		Biased:      res.Biased,
 	}
 	if res.Done {
 		// The asynchronous dynamics complete consensus on their final tick.
@@ -135,11 +145,13 @@ func ReportFromAsync(res AsyncResult) Report {
 // unified Report.
 func ReportFromSync(res SyncResult) Report {
 	return Report{
-		Kind:      KindSyncDynamic,
-		Converged: res.Done,
-		Winner:    res.Winner,
-		Rounds:    res.Rounds,
-		Undecided: res.Undecided,
+		Kind:        KindSyncDynamic,
+		Converged:   res.Done,
+		Winner:      res.Winner,
+		Rounds:      res.Rounds,
+		Undecided:   res.Undecided,
+		Corruptions: res.Corruptions,
+		Biased:      res.Biased,
 	}
 }
 
