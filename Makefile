@@ -14,7 +14,7 @@ COVER_MIN ?= 85
 	leapbench leap-smoke leap-baseline \
 	servebench serve-smoke serve-baseline \
 	sweep-smoke sweep-baseline sweep-nightly \
-	adv-smoke adv-baseline lint fmt api api-check
+	adv-smoke adv-baseline topo-smoke topo-baseline lint fmt api api-check
 
 build:
 	$(GO) build ./...
@@ -63,8 +63,10 @@ schedbench:
 	$(GO) run ./cmd/experiments -schedbench -schedbench-out BENCH_sched.json
 
 # Regenerate BENCH_scale.json (the engine scaling record: full Two-Choices
-# consensus runs — per-node to n = 1e6, count-collapsed to n = 1e9, hybrid
-# leap to n = 1e12; takes a couple of minutes).
+# consensus runs — per-node to n = 1e6 on the clique and on the quenched
+# random-regular CSR path, occupancy to n = 1e9, the degree-class lumped
+# engine to n = 1e9 on the annealed d=8 family, hybrid leap to n = 1e12;
+# takes a couple of minutes).
 scalebench:
 	$(GO) run ./cmd/experiments -scalebench -scalebench-out BENCH_scale.json
 
@@ -148,6 +150,22 @@ adv-smoke:
 adv-baseline:
 	$(GO) run ./cmd/experiments -sweep adversary-threshold -smoke \
 		-out BENCH_adv_baseline.json
+
+# CI topology harness: the topology-equivalence sweep at smoke size under
+# the race detector — the degree-class lumped engine against the per-node
+# oracle on annealed topologies (and the CSR fast path on the quenched
+# control) — diffed against the committed baseline on machine-portable
+# quantities only. The sweep's own gates pin lumping exactness.
+topo-smoke:
+	$(GO) run -race ./cmd/experiments -sweep topology-equivalence -smoke \
+		-out BENCH_topo.json -baseline BENCH_topo_baseline.json
+
+# Regenerate the committed topology smoke baseline (run after an intentional
+# change to the lumped engine, the CSR hot path or the sweep grid; commit
+# the result).
+topo-baseline:
+	$(GO) run ./cmd/experiments -sweep topology-equivalence -smoke \
+		-out BENCH_topo_baseline.json
 
 # Full-size logn-scaling sweep, the nightly job's workload.
 sweep-nightly:

@@ -285,7 +285,7 @@ func runScaleBench(out io.Writer, smoke bool, seed uint64, jsonPath, baselinePat
 		return err
 	}
 	for _, n := range sortedKeys(rep.SpeedupAtN) {
-		fmt.Fprintf(out, "speedup(occupancy vs per-node) at n=%s: %.1fx\n", n, rep.SpeedupAtN[n])
+		fmt.Fprintf(out, "speedup(count-collapsed vs per-node) at n=%s: %.1fx\n", n, rep.SpeedupAtN[n])
 	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
@@ -409,17 +409,29 @@ func runLeapBench(out io.Writer, smoke bool, seed uint64, jsonPath, baselinePath
 	return nil
 }
 
-// sortedKeys returns the map's keys in numeric order (they are decimal n
-// values).
+// sortedKeys returns the map's keys ordered by graph family then numeric n.
+// Keys are either plain decimal n values (the clique) or "<family>/<n>"
+// (BENCH_scale v2's structured-topology entries); the clique sorts first.
 func sortedKeys(m map[string]float64) []string {
+	split := func(key string) (string, int64) {
+		family, nStr, ok := strings.Cut(key, "/")
+		if !ok {
+			family, nStr = "", key
+		}
+		n, _ := strconv.ParseInt(nStr, 10, 64)
+		return family, n
+	}
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		a, _ := strconv.ParseInt(keys[i], 10, 64)
-		b, _ := strconv.ParseInt(keys[j], 10, 64)
-		return a < b
+		fi, ni := split(keys[i])
+		fj, nj := split(keys[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return ni < nj
 	})
 	return keys
 }

@@ -118,7 +118,7 @@ func TestSweepSmokeRunAndBaseline(t *testing.T) {
 		t.Fatalf("invalid bundle: %v\n%s", err, data)
 	}
 	rep, ok := bundle.Reports["topology"]
-	if !ok || len(rep.Cells) != 4 {
+	if !ok || len(rep.Cells) != 5 {
 		t.Fatalf("bundle: %s", data)
 	}
 

@@ -20,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +41,7 @@ type flags struct {
 	protocol      string
 	model         string
 	engine        string
+	topology      string
 	workload      string
 	listProtocols bool
 	listAdvs      bool
@@ -87,6 +90,8 @@ func parseFlags(args []string) (flags, error) {
 	fs.StringVar(&f.model, "model", "sequential", "async model: sequential | poisson | heap-poisson")
 	fs.StringVar(&f.engine, "engine", "auto",
 		"dynamics execution engine: auto | per-node | occupancy (count-collapsed O(k) state) | leap (hybrid tau-leap/mean-field, n >= 1e10; async dynamics only)")
+	fs.StringVar(&f.topology, "topology", "complete",
+		"communication graph (async dynamics only): complete | cycle | torus | gnp:<p> | random-regular:<d> | annealed:<d> | annealed-gnp:<p>; annealed topologies count-collapse to the degree-class lumped engine")
 	fs.StringVar(&f.workload, "workload", "biased",
 		"initial distribution: biased | gapsqrt | gapsqrtpolylog | tinygap | uniform | zipf")
 	fs.IntVar(&f.n, "n", 100000, "number of nodes")
@@ -132,6 +137,69 @@ func makeCounts(f flags) ([]int64, error) {
 		return plurality.Zipf(f.n, f.k, f.zipfS)
 	default:
 		return nil, fmt.Errorf("unknown workload %q", f.workload)
+	}
+}
+
+// topologyGraph materializes the -topology flag. "" and "complete" return
+// nil so the job keeps its implicit clique default (no O(n) graph object).
+// Randomized topologies derive a deterministic graph seed from -seed on a
+// stream no engine consumes.
+func topologyGraph(f flags) (plurality.Graph, error) {
+	name, param, hasParam := strings.Cut(f.topology, ":")
+	pf := func() (float64, error) {
+		if !hasParam {
+			return 0, fmt.Errorf("topology %q needs a parameter", f.topology)
+		}
+		return strconv.ParseFloat(param, 64)
+	}
+	pd := func() (int, error) {
+		if !hasParam {
+			return 0, fmt.Errorf("topology %q needs a degree", f.topology)
+		}
+		return strconv.Atoi(param)
+	}
+	graphSeed := plurality.TrialSeed(f.seed, 1<<10)
+	switch name {
+	case "", "complete":
+		return nil, nil
+	case "cycle":
+		return plurality.CycleGraph(f.n)
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(f.n))))
+		if side*side != f.n {
+			return nil, fmt.Errorf("topology torus needs a square n, got %d", f.n)
+		}
+		return plurality.TorusGraph(side, side)
+	case "gnp":
+		p, err := pf()
+		if err != nil {
+			return nil, err
+		}
+		return plurality.RandomGraph(f.n, p, graphSeed)
+	case "random-regular":
+		d, err := pd()
+		if err != nil {
+			return nil, err
+		}
+		return plurality.RandomRegularGraph(f.n, d, graphSeed)
+	case "annealed":
+		d, err := pd()
+		if err != nil {
+			return nil, err
+		}
+		return plurality.AnnealedRegularGraph(f.n, d)
+	case "annealed-gnp":
+		p, err := pf()
+		if err != nil {
+			return nil, err
+		}
+		g, err := plurality.RandomGraph(f.n, p, graphSeed)
+		if err != nil {
+			return nil, err
+		}
+		return plurality.AnnealedGraph(g)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", f.topology)
 	}
 }
 
@@ -185,6 +253,11 @@ func jobOptions(f flags, out io.Writer) ([]plurality.Option, error) {
 		opts = append(opts, plurality.WithEngine(plurality.EngineLeap))
 	default:
 		return nil, fmt.Errorf("unknown engine %q", f.engine)
+	}
+	if g, err := topologyGraph(f); err != nil {
+		return nil, err
+	} else if g != nil {
+		opts = append(opts, plurality.WithGraph(g))
 	}
 	if f.explicit["leap-eps"] {
 		opts = append(opts, plurality.WithLeapEpsilon(f.leapEps))

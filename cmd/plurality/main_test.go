@@ -305,6 +305,56 @@ func TestRunCorePerNodeEngineAccepted(t *testing.T) {
 	}
 }
 
+// TestRunTopologyFlag: -topology materializes the communication graph —
+// quenched families run per node, annealed families count-collapse to the
+// degree-class lumped engine (and so compose with -engine occupancy).
+func TestRunTopologyFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "two-choices", "-model", "poisson", "-topology", "random-regular:8",
+		"-n", "1000", "-k", "3", "-workload", "biased", "-bias", "1", "-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "done=true") {
+		t.Fatalf("quenched run output:\n%s", buf.String())
+	}
+	buf.Reset()
+	err = run([]string{
+		"-protocol", "two-choices", "-model", "poisson", "-engine", "occupancy",
+		"-topology", "annealed:8", "-n", "100000", "-k", "4",
+		"-workload", "biased", "-bias", "1", "-seed", "6",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "done=true") {
+		t.Fatalf("lumped run output:\n%s", buf.String())
+	}
+}
+
+func TestRunTopologyErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown topology", args: []string{"-protocol", "voter", "-topology", "hypercube", "-n", "100"}},
+		{name: "gnp without p", args: []string{"-protocol", "voter", "-topology", "gnp", "-n", "100"}},
+		{name: "bad degree", args: []string{"-protocol", "voter", "-topology", "annealed:x", "-n", "100"}},
+		{name: "non-square torus", args: []string{"-protocol", "voter", "-topology", "torus", "-n", "60"}},
+		{name: "occupancy on quenched", args: []string{"-protocol", "voter", "-engine", "occupancy", "-topology", "cycle", "-n", "100"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
 // TestRunWorkersFlagApplied: -workers must be translated into a
 // WithTrialWorkers option (a silently dropped flag cannot be caught by the
 // determinism checks, since results are worker-count independent by

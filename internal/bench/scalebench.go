@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"plurality"
@@ -14,18 +15,22 @@ import (
 )
 
 // ScaleBenchSchema tags BENCH_scale artifacts so comparison refuses files
-// written by an incompatible harness.
-const ScaleBenchSchema = "plurality-scale/v1"
+// written by an incompatible harness. v2 added the topology axis: entries
+// carry a graph-family label and SpeedupAtN keys are family-qualified for
+// non-clique families.
+const ScaleBenchSchema = "plurality-scale/v2"
 
 // ScaleBenchConfig configures the engine-scaling benchmark behind
 // BENCH_scale.json: full Two-Choices consensus runs (biased workload,
-// eps = 1, k = 4, Poisson model) per engine × population size, measuring
-// delivered-tick throughput, allocated bytes per node, and convergence.
+// eps = 1, k = 4, Poisson model) per engine × topology × population size,
+// measuring delivered-tick throughput, allocated bytes per node, and
+// convergence.
 type ScaleBenchConfig struct {
-	// Smoke selects the CI-sized grid: per-node at 1e5, occupancy at 1e5
-	// and 1e7, a few seconds total. The full grid takes the per-node
-	// engine to 1e6, the occupancy engine to 1e9 and the hybrid leap
-	// engine to 1e12.
+	// Smoke selects the CI-sized grid: per-node at 1e5 (clique and
+	// random-regular d=8), occupancy at 1e5 and 1e7, lumped at 1e5 and
+	// 1e7, a few seconds total. The full grid takes the per-node engine to
+	// 1e6, the occupancy engine to 1e9, the lumped engine to 1e9 on the
+	// annealed d=8 family and the hybrid leap engine to 1e12.
 	Smoke bool
 	// Seed roots every trial's randomness; the report is a pure function
 	// of (config, binary).
@@ -36,11 +41,17 @@ type ScaleBenchConfig struct {
 // runs.
 type ScaleBenchEntry struct {
 	// Engine is "per-node" (O(n) state, every activation walked),
-	// "occupancy" (count-collapsed O(k) state, no-ops leapt over) or
-	// "leap" (the hybrid tau-leap/mean-field engine, approximate).
+	// "occupancy" (count-collapsed O(k) state on the clique, no-ops leapt
+	// over), "lumped" (the degree-class count matrix on an annealed
+	// configuration model, O(classes × k) state) or "leap" (the hybrid
+	// tau-leap/mean-field engine, approximate).
 	Engine string `json:"engine"`
-	N      int64  `json:"n"`
-	Trials int    `json:"trials"`
+	// Topology is the graph family: "complete", "regular8" (quenched
+	// random 8-regular on the CSR fast path) or "annealed8" (annealed
+	// 8-regular, the lumped engine's mean-field law).
+	Topology string `json:"topology"`
+	N        int64  `json:"n"`
+	Trials   int    `json:"trials"`
 	// Converged counts trials that reached consensus inside the budget.
 	Converged int `json:"converged"`
 	// MeanConsensusTime is the mean parallel time to consensus.
@@ -77,43 +88,58 @@ type ScaleBenchReport struct {
 	Smoke   bool              `json:"smoke,omitempty"`
 	Seed    uint64            `json:"seed"`
 	Entries []ScaleBenchEntry `json:"entries"`
-	// SpeedupAtN maps "n" to ticksPerSec(occupancy)/ticksPerSec(per-node)
-	// where both engines ran — the headline count-collapse ratio.
+	// SpeedupAtN maps a size key to the count-collapse throughput ratio
+	// where both engines ran: "<n>" is ticksPerSec(occupancy)/
+	// ticksPerSec(per-node) on the clique, "regular8/<n>" is
+	// ticksPerSec(lumped on annealed8)/ticksPerSec(per-node on the
+	// quenched regular8 CSR fast path) — the structured-topology headline.
 	SpeedupAtN map[string]float64 `json:"speedupAtN"`
 }
 
 // scaleCell is one grid point of the benchmark.
 type scaleCell struct {
-	engine string
-	n      int64
-	trials int
+	engine   string
+	topology string
+	n        int64
+	trials   int
 }
 
 func scaleGrid(smoke bool) []scaleCell {
 	if smoke {
 		return []scaleCell{
-			{"per-node", 100_000, 3},
-			{"occupancy", 100_000, 3},
-			{"occupancy", 10_000_000, 2},
+			{"per-node", "complete", 100_000, 3},
+			{"per-node", "regular8", 100_000, 2},
+			{"occupancy", "complete", 100_000, 3},
+			{"occupancy", "complete", 10_000_000, 2},
+			{"lumped", "annealed8", 100_000, 2},
+			{"lumped", "annealed8", 10_000_000, 2},
 		}
 	}
 	return []scaleCell{
-		{"per-node", 10_000, 4},
-		{"per-node", 100_000, 4},
-		{"per-node", 1_000_000, 3},
-		{"occupancy", 10_000, 4},
-		{"occupancy", 100_000, 4},
-		{"occupancy", 1_000_000, 3},
-		{"occupancy", 10_000_000, 3},
-		{"occupancy", 100_000_000, 2},
-		{"occupancy", 1_000_000_000, 1},
-		{"leap", 1_000_000, 3},
-		{"leap", 10_000_000, 3},
-		{"leap", 100_000_000, 2},
-		{"leap", 1_000_000_000, 2},
-		{"leap", 10_000_000_000, 2},
-		{"leap", 100_000_000_000, 2},
-		{"leap", 1_000_000_000_000, 2},
+		{"per-node", "complete", 10_000, 4},
+		{"per-node", "complete", 100_000, 4},
+		{"per-node", "complete", 1_000_000, 3},
+		{"per-node", "regular8", 10_000, 4},
+		{"per-node", "regular8", 100_000, 4},
+		{"per-node", "regular8", 1_000_000, 3},
+		{"occupancy", "complete", 10_000, 4},
+		{"occupancy", "complete", 100_000, 4},
+		{"occupancy", "complete", 1_000_000, 3},
+		{"occupancy", "complete", 10_000_000, 3},
+		{"occupancy", "complete", 100_000_000, 2},
+		{"occupancy", "complete", 1_000_000_000, 1},
+		{"lumped", "annealed8", 100_000, 4},
+		{"lumped", "annealed8", 1_000_000, 3},
+		{"lumped", "annealed8", 10_000_000, 3},
+		{"lumped", "annealed8", 100_000_000, 2},
+		{"lumped", "annealed8", 1_000_000_000, 1},
+		{"leap", "complete", 1_000_000, 3},
+		{"leap", "complete", 10_000_000, 3},
+		{"leap", "complete", 100_000_000, 2},
+		{"leap", "complete", 1_000_000_000, 2},
+		{"leap", "complete", 10_000_000_000, 2},
+		{"leap", "complete", 100_000_000_000, 2},
+		{"leap", "complete", 1_000_000_000_000, 2},
 	}
 }
 
@@ -129,20 +155,24 @@ func RunScaleBench(cfg ScaleBenchConfig, out io.Writer) (ScaleBenchReport, error
 		Seed:       cfg.Seed,
 		SpeedupAtN: map[string]float64{},
 	}
-	rates := map[string]map[string]float64{} // engine -> n -> ticks/sec
+	rates := map[string]map[string]float64{} // engine -> family-qualified n -> ticks/sec
 	for i, cell := range scaleGrid(cfg.Smoke) {
 		entry, err := runScaleCell(cell, rng.At(cfg.Seed, i).Uint64())
 		if err != nil {
-			return rep, fmt.Errorf("bench: scale %s n=%d: %w", cell.engine, cell.n, err)
+			return rep, fmt.Errorf("bench: scale %s %s n=%d: %w", cell.engine, cell.topology, cell.n, err)
 		}
 		rep.Entries = append(rep.Entries, entry)
 		if rates[cell.engine] == nil {
 			rates[cell.engine] = map[string]float64{}
 		}
-		rates[cell.engine][fmt.Sprintf("%d", cell.n)] = entry.TicksPerSec
+		key := fmt.Sprintf("%d", cell.n)
+		if cell.topology != "complete" {
+			key = cell.topology + "/" + key
+		}
+		rates[cell.engine][key] = entry.TicksPerSec
 		if out != nil {
-			fmt.Fprintf(out, "%-10s n=%-11d %8.1f ns/tick %13.0f ticks/s  %7.2f B/node  mean T=%7.2f  rss=%dMB\n",
-				entry.Engine, entry.N, entry.NsPerTick, entry.TicksPerSec,
+			fmt.Fprintf(out, "%-10s %-9s n=%-11d %8.1f ns/tick %13.0f ticks/s  %7.2f B/node  mean T=%7.2f  rss=%dMB\n",
+				entry.Engine, entry.Topology, entry.N, entry.NsPerTick, entry.TicksPerSec,
 				entry.BytesPerNode, entry.MeanConsensusTime, entry.MaxRSSBytes>>20)
 		}
 	}
@@ -151,12 +181,31 @@ func RunScaleBench(cfg ScaleBenchConfig, out io.Writer) (ScaleBenchReport, error
 			rep.SpeedupAtN[nKey] = occ / per
 		}
 	}
+	// The structured-topology headline: the lumped engine's annealed d=8
+	// cells against the per-node CSR fast path on the quenched d=8 family
+	// of the same size (the exact oracle the lumped law is gated against).
+	for nKey, lum := range rates["lumped"] {
+		n, ok := strings.CutPrefix(nKey, "annealed8/")
+		if !ok {
+			continue
+		}
+		if per, ok := rates["per-node"]["regular8/"+n]; ok && per > 0 {
+			rep.SpeedupAtN["regular8/"+n] = lum / per
+		}
+	}
 	return rep, nil
 }
 
-// runScaleCell measures one engine × size cell.
+// scaleGraphStream derives per-trial graph seeds; it matches the harness
+// convention of claiming high stream indices (the runners use 0 and 1).
+const scaleGraphStream = 1 << 10
+
+// runScaleCell measures one engine × topology × size cell. Graph
+// construction happens outside the timed region — ticks/sec measures the
+// dynamics hot loop — but inside the allocation window, so BytesPerNode
+// reports the family's real memory model (the CSR arena for regular8).
 func runScaleCell(cell scaleCell, seedBase uint64) (ScaleBenchEntry, error) {
-	entry := ScaleBenchEntry{Engine: cell.engine, N: cell.n, Trials: cell.trials}
+	entry := ScaleBenchEntry{Engine: cell.engine, Topology: cell.topology, N: cell.n, Trials: cell.trials}
 	counts, err := plurality.Biased(int(cell.n), 4, 1)
 	if err != nil {
 		return entry, err
@@ -182,7 +231,6 @@ func runScaleCell(cell scaleCell, seedBase uint64) (ScaleBenchEntry, error) {
 			res plurality.AsyncResult
 			err error
 		)
-		start := time.Now()
 		switch cell.engine {
 		case "per-node":
 			var pop *plurality.Population
@@ -190,15 +238,37 @@ func runScaleCell(cell scaleCell, seedBase uint64) (ScaleBenchEntry, error) {
 			if err != nil {
 				return entry, err
 			}
-			res, err = plurality.RunTwoChoicesAsync(pop, append(opts, plurality.WithEngine(plurality.EnginePerNode))...)
+			popOpts := append(opts, plurality.WithEngine(plurality.EnginePerNode))
+			if cell.topology == "regular8" {
+				g, gerr := plurality.RandomRegularGraph(int(cell.n), 8, rng.At(seed, scaleGraphStream).Uint64())
+				if gerr != nil {
+					return entry, gerr
+				}
+				popOpts = append(popOpts, plurality.WithGraph(g))
+			}
+			start := time.Now()
+			res, err = plurality.RunTwoChoicesAsync(pop, popOpts...)
+			elapsed += time.Since(start)
+		case "lumped":
+			g, gerr := plurality.AnnealedRegularGraph(int(cell.n), 8)
+			if gerr != nil {
+				return entry, gerr
+			}
+			cs := append([]int64(nil), counts...)
+			start := time.Now()
+			res, err = plurality.RunTwoChoicesCounts(cs, append(opts, plurality.WithGraph(g), plurality.WithEngine(plurality.EngineOccupancy))...)
+			elapsed += time.Since(start)
 		case "leap":
 			cs := append([]int64(nil), counts...)
+			start := time.Now()
 			res, err = plurality.RunTwoChoicesCounts(cs, append(opts, plurality.WithEngine(plurality.EngineLeap))...)
+			elapsed += time.Since(start)
 		default:
 			cs := append([]int64(nil), counts...)
+			start := time.Now()
 			res, err = plurality.RunTwoChoicesCounts(cs, opts...)
+			elapsed += time.Since(start)
 		}
-		elapsed += time.Since(start)
 		if err != nil && !errors.Is(err, plurality.ErrTimeLimit) {
 			return entry, err
 		}
@@ -263,23 +333,23 @@ func CompareScale(cur, base ScaleBenchReport, rel float64) []string {
 	if cur.Smoke != base.Smoke {
 		return []string{fmt.Sprintf("grid mismatch: current smoke=%v vs baseline smoke=%v — compare like against like", cur.Smoke, base.Smoke)}
 	}
-	find := func(engine string, n int64) *ScaleBenchEntry {
+	find := func(engine, topology string, n int64) *ScaleBenchEntry {
 		for i := range cur.Entries {
-			if cur.Entries[i].Engine == engine && cur.Entries[i].N == n {
+			if cur.Entries[i].Engine == engine && cur.Entries[i].Topology == topology && cur.Entries[i].N == n {
 				return &cur.Entries[i]
 			}
 		}
 		return nil
 	}
 	for _, be := range base.Entries {
-		ce := find(be.Engine, be.N)
+		ce := find(be.Engine, be.Topology, be.N)
 		if ce == nil {
-			regressions = append(regressions, fmt.Sprintf("entry %s n=%d: present in baseline, missing from current run", be.Engine, be.N))
+			regressions = append(regressions, fmt.Sprintf("entry %s %s n=%d: present in baseline, missing from current run", be.Engine, be.Topology, be.N))
 			continue
 		}
 		if ce.Trials > 0 && be.Trials > 0 && ce.Converged*be.Trials < be.Converged*ce.Trials {
-			regressions = append(regressions, fmt.Sprintf("entry %s n=%d: %d/%d converged (baseline %d/%d)",
-				be.Engine, be.N, ce.Converged, ce.Trials, be.Converged, be.Trials))
+			regressions = append(regressions, fmt.Sprintf("entry %s %s n=%d: %d/%d converged (baseline %d/%d)",
+				be.Engine, be.Topology, be.N, ce.Converged, ce.Trials, be.Converged, be.Trials))
 		}
 		if be.MeanTicks > 0 {
 			drift := (ce.MeanTicks - be.MeanTicks) / be.MeanTicks
@@ -287,15 +357,15 @@ func CompareScale(cur, base ScaleBenchReport, rel float64) []string {
 				drift = -drift
 			}
 			if drift > rel {
-				regressions = append(regressions, fmt.Sprintf("entry %s n=%d: mean ticks %.0f drifted %.0f%% from baseline %.0f (deterministic seeds: engine behavior changed)",
-					be.Engine, be.N, ce.MeanTicks, drift*100, be.MeanTicks))
+				regressions = append(regressions, fmt.Sprintf("entry %s %s n=%d: mean ticks %.0f drifted %.0f%% from baseline %.0f (deterministic seeds: engine behavior changed)",
+					be.Engine, be.Topology, be.N, ce.MeanTicks, drift*100, be.MeanTicks))
 			}
 		}
 		// One spare byte per node of slack keeps allocator noise on the
 		// nearly-zero occupancy figures from flagging.
 		if ce.BytesPerNode > be.BytesPerNode*(1+rel)+1 {
-			regressions = append(regressions, fmt.Sprintf("entry %s n=%d: %.2f B/node exceeds baseline %.2f by more than %.0f%%",
-				be.Engine, be.N, ce.BytesPerNode, be.BytesPerNode, rel*100))
+			regressions = append(regressions, fmt.Sprintf("entry %s %s n=%d: %.2f B/node exceeds baseline %.2f by more than %.0f%%",
+				be.Engine, be.Topology, be.N, ce.BytesPerNode, be.BytesPerNode, rel*100))
 		}
 	}
 	for nKey, baseRatio := range base.SpeedupAtN {

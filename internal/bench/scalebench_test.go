@@ -13,10 +13,12 @@ func scaleFixture() ScaleBenchReport {
 		Smoke:  true,
 		Seed:   1,
 		Entries: []ScaleBenchEntry{
-			{Engine: "per-node", N: 100_000, Trials: 3, Converged: 3, MeanTicks: 1.5e6, TicksPerSec: 2e7, BytesPerNode: 4.2},
-			{Engine: "occupancy", N: 100_000, Trials: 3, Converged: 3, MeanTicks: 1.5e6, TicksPerSec: 2.4e8, BytesPerNode: 0.01},
+			{Engine: "per-node", Topology: "complete", N: 100_000, Trials: 3, Converged: 3, MeanTicks: 1.5e6, TicksPerSec: 2e7, BytesPerNode: 4.2},
+			{Engine: "occupancy", Topology: "complete", N: 100_000, Trials: 3, Converged: 3, MeanTicks: 1.5e6, TicksPerSec: 2.4e8, BytesPerNode: 0.01},
+			{Engine: "per-node", Topology: "regular8", N: 100_000, Trials: 2, Converged: 2, MeanTicks: 2.1e6, TicksPerSec: 1.4e7, BytesPerNode: 72},
+			{Engine: "lumped", Topology: "annealed8", N: 100_000, Trials: 2, Converged: 2, MeanTicks: 2.1e6, TicksPerSec: 2.1e8, BytesPerNode: 0.02},
 		},
-		SpeedupAtN: map[string]float64{"100000": 12},
+		SpeedupAtN: map[string]float64{"100000": 12, "regular8/100000": 15},
 	}
 }
 
@@ -55,6 +57,14 @@ func TestCompareScaleRegressions(t *testing.T) {
 	wrongGrid := scaleFixture()
 	wrongGrid.Smoke = false
 
+	// Same engine and n but a different family must not satisfy the
+	// baseline's regular8 entry.
+	wrongFamily := scaleFixture()
+	wrongFamily.Entries[2].Topology = "complete"
+
+	famSlowdown := scaleFixture()
+	famSlowdown.SpeedupAtN["regular8/100000"] = 3
+
 	cases := map[string]ScaleBenchReport{
 		"missing-entry":    missing,
 		"lost-convergence": lostConvergence,
@@ -62,6 +72,8 @@ func TestCompareScaleRegressions(t *testing.T) {
 		"memory-blowup":    memBlowup,
 		"speedup-loss":     slowdown,
 		"grid-mismatch":    wrongGrid,
+		"wrong-family":     wrongFamily,
+		"family-slowdown":  famSlowdown,
 	}
 	for name, cur := range cases {
 		if regs := CompareScale(cur, base, 0.5); len(regs) == 0 {
@@ -87,7 +99,7 @@ func TestScaleBenchRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Schema != ScaleBenchSchema || len(got.Entries) != 2 || got.SpeedupAtN["100000"] != 12 {
+	if got.Schema != ScaleBenchSchema || len(got.Entries) != 4 || got.SpeedupAtN["regular8/100000"] != 15 {
 		t.Fatalf("round trip mangled the report: %+v", got)
 	}
 

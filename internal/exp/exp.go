@@ -52,7 +52,13 @@ type Scenario struct {
 	Bias      string  `json:"bias"`
 	BiasParam float64 `json:"biasParam,omitempty"`
 	// Topology names the communication graph: "complete", "cycle",
-	// "torus" (requires square N) or "gnp" with TopologyParam = p.
+	// "torus" (requires square N), "gnp" with TopologyParam = p,
+	// "random-regular" with TopologyParam = d (a quenched configuration-model
+	// sample per trial), or the annealed mean-field counterparts "annealed"
+	// (d-regular, TopologyParam = d) and "annealed-gnp" (the
+	// degree-partitioned annealed G(n,p), TopologyParam = p). Annealed
+	// topologies report their degree-class symmetry, so dynamics cells on
+	// them collapse to the O(classes × colors) lumped engine.
 	Topology      string  `json:"topology"`
 	TopologyParam float64 `json:"topologyParam,omitempty"`
 	// Model selects the scheduler engine: "sequential", "poisson" or
@@ -74,8 +80,10 @@ type Scenario struct {
 	MaxTime float64 `json:"maxTime,omitempty"`
 	// Engine selects the dynamics execution engine: "" or "auto"
 	// (count-collapse whenever possible), "per-node" (force the O(n)
-	// simulation), "occupancy" (require the O(k) count-collapsed engine;
-	// complete topology, no latency/delay, dynamics protocols only), or
+	// simulation), "occupancy" (require a count-collapsed engine: O(k)
+	// occupancy on the complete topology, the O(classes × colors) lumped
+	// engine on annealed topologies; no latency/delay, dynamics protocols
+	// only), or
 	// "leap" / "leap:<eps>" (the hybrid tau-leap/mean-field engine with an
 	// optional explicit per-step error budget; occupancy's constraints plus
 	// no churn and a flow-law protocol). With "occupancy" and "leap" the
@@ -151,9 +159,29 @@ func (sc Scenario) Validate() error {
 		if side*side != sc.N {
 			return fmt.Errorf("exp: torus topology needs a square n, got %d", sc.N)
 		}
-	case "gnp":
+	case "gnp", "annealed-gnp":
 		if sc.TopologyParam <= 0 || sc.TopologyParam > 1 {
-			return fmt.Errorf("exp: gnp topology needs p in (0, 1], got %v", sc.TopologyParam)
+			return fmt.Errorf("exp: %s topology needs p in (0, 1], got %v", sc.Topology, sc.TopologyParam)
+		}
+		// NewGNP patches isolated nodes with one extra uniform edge so the
+		// sampling contract (Degree >= 1) holds. Below (n-1)p = 1 those
+		// patch edges dominate the graph and the cell no longer measures
+		// G(n,p); reject at declaration time, mirroring the crash-injection
+		// guard above.
+		if float64(sc.N-1)*sc.TopologyParam < 1 {
+			return fmt.Errorf("exp: %s topology with (n-1)p = %.3f < 1 is mostly isolated-node patch edges, not G(n,p); raise p or n",
+				sc.Topology, float64(sc.N-1)*sc.TopologyParam)
+		}
+	case "random-regular", "annealed":
+		d := int(sc.TopologyParam)
+		if float64(d) != sc.TopologyParam || d < 1 {
+			return fmt.Errorf("exp: %s topology needs an integer degree d >= 1, got %v", sc.Topology, sc.TopologyParam)
+		}
+		if d >= sc.N {
+			return fmt.Errorf("exp: %s topology needs d < n, got d=%d n=%d", sc.Topology, d, sc.N)
+		}
+		if sc.Topology == "random-regular" && sc.N*d%2 != 0 {
+			return fmt.Errorf("exp: random-regular topology needs n·d even, got n=%d d=%d", sc.N, d)
 		}
 	default:
 		return fmt.Errorf("exp: unknown topology %q", sc.Topology)
@@ -202,8 +230,13 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("exp: engine %s is undefined for the core protocol (its working-time schedule is per-node state)", engine)
 		case sc.Model == "heap-poisson":
 			return fmt.Errorf("exp: engine %s with the heap-poisson scheduler would allocate O(n) event state; use poisson (the same process)", engine)
-		case sc.Topology != "complete":
-			return fmt.Errorf("exp: engine %s requires the complete topology, not %q", engine, sc.Topology)
+		case engine == "leap" && sc.Topology != "complete":
+			return fmt.Errorf("exp: engine leap requires the complete topology, not %q", sc.Topology)
+		case sc.Topology != "complete" && sc.Topology != "annealed" && sc.Topology != "annealed-gnp":
+			// Quenched topologies carry per-node wiring that no count
+			// collapse can represent; only the clique (occupancy engine) and
+			// the annealed configuration models (lumped engine) collapse.
+			return fmt.Errorf("exp: engine %s requires a count-collapsible topology (complete, annealed, annealed-gnp), not %q", engine, sc.Topology)
 		case sc.Latency != "" && sc.Latency != "none":
 			return fmt.Errorf("exp: engine %s cannot model edge latencies (per-node pending state)", engine)
 		case sc.DelayRate > 0:
@@ -249,6 +282,9 @@ func (sc Scenario) validateAdversary(engine string) error {
 	}
 	if engine == "occupancy" && desc.PerNode {
 		return fmt.Errorf("exp: adversary %s needs per-node identity, which the count-collapsed engine does not track; use engine per-node", desc.Name)
+	}
+	if engine == "occupancy" && sc.Topology != "complete" {
+		return fmt.Errorf("exp: adversary %s cannot run on the degree-class lumped engine (topology %q); use engine per-node", desc.Name, sc.Topology)
 	}
 	return nil
 }
@@ -400,6 +436,18 @@ func (sc Scenario) graph(seed uint64) (plurality.Graph, error) {
 		return plurality.TorusGraph(side, side)
 	case "gnp":
 		return plurality.RandomGraph(sc.N, sc.TopologyParam, rng.At(seed, graphStream).Uint64())
+	case "random-regular":
+		return plurality.RandomRegularGraph(sc.N, int(sc.TopologyParam), rng.At(seed, graphStream).Uint64())
+	case "annealed":
+		// The annealed regular model has no quenched wiring to sample, so
+		// the graph is seed-free and identical across trials.
+		return plurality.AnnealedRegularGraph(sc.N, int(sc.TopologyParam))
+	case "annealed-gnp":
+		g, err := plurality.RandomGraph(sc.N, sc.TopologyParam, rng.At(seed, graphStream).Uint64())
+		if err != nil {
+			return nil, err
+		}
+		return plurality.AnnealedGraph(g)
 	default:
 		return nil, fmt.Errorf("exp: unknown topology %q", sc.Topology)
 	}
@@ -549,6 +597,16 @@ func runCountsScenario(ctx context.Context, sc Scenario, counts []int64, seed ui
 		plurality.WithSeed(seed),
 		plurality.WithModel(m),
 		plurality.WithEngine(engOpt),
+	}
+	if sc.Topology != "complete" {
+		// Annealed topologies collapse to the degree-class lumped engine;
+		// the counts run needs the graph to read the class structure, but
+		// still no per-node population.
+		g, err := sc.graph(seed)
+		if err != nil {
+			return Trial{}, err
+		}
+		opts = append(opts, plurality.WithGraph(g))
 	}
 	if leapEps > 0 {
 		opts = append(opts, plurality.WithLeapEpsilon(leapEps))

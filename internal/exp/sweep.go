@@ -91,7 +91,8 @@ func applyAxis(sc *Scenario, name, value string) error {
 			sc.BiasParam = v
 		}
 	case "topology":
-		// "complete" | "cycle" | "torus" | "gnp:<p>".
+		// "complete" | "cycle" | "torus" | "gnp:<p>" | "random-regular:<d>"
+		// | "annealed:<d>" | "annealed-gnp:<p>".
 		topo, param, has := strings.Cut(value, ":")
 		sc.Topology = topo
 		sc.TopologyParam = 0

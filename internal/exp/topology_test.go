@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestScenarioTopologyValidation pins the declaration-time rules of the new
+// topology families: integer degrees, the configuration model's parity
+// constraint, the G(n,p) isolated-node guard, and which topologies each
+// count-collapsed engine admits.
+func TestScenarioTopologyValidation(t *testing.T) {
+	base := Scenario{
+		Protocol: "two-choices", N: 1000, K: 3,
+		Bias: "biased", BiasParam: 1,
+		Topology: "complete", Model: "poisson",
+	}
+	ok := []Scenario{
+		func() Scenario { s := base; s.Topology = "random-regular"; s.TopologyParam = 8; return s }(),
+		func() Scenario { s := base; s.Topology = "annealed"; s.TopologyParam = 3; return s }(),
+		func() Scenario { s := base; s.Topology = "annealed-gnp"; s.TopologyParam = 0.05; return s }(),
+		func() Scenario {
+			s := base
+			s.Topology, s.TopologyParam, s.Engine = "annealed", 4, "occupancy"
+			return s
+		}(),
+		func() Scenario {
+			s := base
+			s.Topology, s.TopologyParam, s.Engine = "annealed-gnp", 0.05, "occupancy"
+			return s
+		}(),
+	}
+	for i, s := range ok {
+		if err := s.Validate(); err != nil {
+			t.Errorf("scenario %d rejected: %v (%+v)", i, err, s)
+		}
+	}
+	bad := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"fractional degree", func(s *Scenario) { s.Topology = "random-regular"; s.TopologyParam = 2.5 }, "integer degree"},
+		{"zero degree", func(s *Scenario) { s.Topology = "annealed"; s.TopologyParam = 0 }, "integer degree"},
+		{"degree >= n", func(s *Scenario) { s.Topology = "annealed"; s.TopologyParam = 1000 }, "d < n"},
+		{"odd n*d", func(s *Scenario) { s.N = 999; s.Topology = "random-regular"; s.TopologyParam = 3 }, "even"},
+		{"sparse gnp", func(s *Scenario) { s.Topology = "gnp"; s.TopologyParam = 0.0001 }, "isolated-node"},
+		{"sparse annealed-gnp", func(s *Scenario) { s.Topology = "annealed-gnp"; s.TopologyParam = 0.0001 }, "isolated-node"},
+		{"occupancy on quenched regular", func(s *Scenario) {
+			s.Topology, s.TopologyParam, s.Engine = "random-regular", 8, "occupancy"
+		}, "count-collapsible"},
+		{"leap on annealed", func(s *Scenario) {
+			s.Topology, s.TopologyParam, s.Engine = "annealed", 4, "leap"
+		}, "complete topology"},
+		{"adversary on lumped", func(s *Scenario) {
+			s.Topology, s.TopologyParam, s.Engine = "annealed", 4, "occupancy"
+			s.Adversary, s.Budget = "corrupt", "5"
+		}, "lumped"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base
+			tc.mutate(&sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatalf("scenario %+v should be invalid", sc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunScenarioAnnealedCountsPath: an annealed cell under engine occupancy
+// runs count-collapsed on the lumped engine (no population), deterministically,
+// and lands on the same time scale as the per-node simulation of the same law.
+func TestRunScenarioAnnealedCountsPath(t *testing.T) {
+	sc := Scenario{
+		Protocol: "two-choices", N: 2000, K: 3,
+		Bias: "biased", BiasParam: 1,
+		Topology: "annealed", TopologyParam: 8,
+		Model:  "poisson",
+		Engine: "occupancy",
+	}
+	lumped, err := RunScenario(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lumped.Done || !lumped.Win || lumped.Ticks <= 0 || lumped.Time <= 0 {
+		t.Fatalf("lumped trial = %+v", lumped)
+	}
+	again, err := RunScenario(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lumped != again {
+		t.Fatalf("same seed diverged: %+v vs %+v", lumped, again)
+	}
+	sc.Engine = "per-node"
+	per, err := RunScenario(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !per.Done {
+		t.Fatalf("per-node trial = %+v", per)
+	}
+	if rel := math.Abs(per.Time-lumped.Time) / per.Time; rel > 0.5 {
+		t.Fatalf("per-node time %.2f vs lumped %.2f (rel %.2f)", per.Time, lumped.Time, rel)
+	}
+
+	// The multi-class lumped path: annealed G(n,p) partitions nodes by
+	// degree, and churn must thread through the matrix engine.
+	sc = Scenario{
+		Protocol: "two-choices", N: 1500, K: 3,
+		Bias: "biased", BiasParam: 1,
+		Topology: "annealed-gnp", TopologyParam: 0.01,
+		Model:  "poisson",
+		Engine: "occupancy",
+		Churn:  0.3 / 1500,
+	}
+	tr, err := RunScenario(sc, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Churns == 0 {
+		t.Fatalf("annealed-gnp churned trial = %+v", tr)
+	}
+}
+
+// TestRunScenarioQuenchedRegular: the quenched configuration-model topology
+// runs per node with a fresh graph sample per trial seed.
+func TestRunScenarioQuenchedRegular(t *testing.T) {
+	sc := Scenario{
+		Protocol: "two-choices", N: 512, K: 3,
+		Bias: "biased", BiasParam: 2,
+		Topology: "random-regular", TopologyParam: 8,
+		Model: "sequential",
+	}
+	tr, err := RunScenario(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done {
+		t.Fatalf("trial = %+v, want Done", tr)
+	}
+	again, err := RunScenario(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != again {
+		t.Fatalf("same seed diverged: %+v vs %+v", tr, again)
+	}
+}
+
+// TestTopologyEquivalenceSweepGates executes the topology-equivalence sweep
+// at smoke scale so its gate logic is covered: on a healthy engine every gate
+// must be present and passing.
+func TestTopologyEquivalenceSweepGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	ns, ok := NamedByName("topology-equivalence")
+	if !ok {
+		t.Fatal("missing named sweep topology-equivalence")
+	}
+	sw := ns.Build(true, 1, 4)
+	rep, err := sw.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.Check(rep)
+	seen := map[string]bool{}
+	for _, g := range rep.Gates {
+		seen[g.Name] = true
+		if !g.Pass {
+			t.Errorf("gate %s failed: %s", g.Name, g.Detail)
+		}
+	}
+	for _, g := range []string{"all-converged", "lumping-exact", "mean-field-approx"} {
+		if !seen[g] {
+			t.Errorf("gate %s never ran", g)
+		}
+	}
+}
+
+// TestTopologyEquivalenceGateCatchesDivergence feeds the check a doctored
+// report to prove the lumping-exact and mean-field gates bite.
+func TestTopologyEquivalenceGateCatchesDivergence(t *testing.T) {
+	ns, _ := NamedByName("topology-equivalence")
+	rep := &Report{
+		Schema: SchemaVersion,
+		Cells: []CellResult{
+			{Label: "a", Params: map[string]string{"topology": "annealed:2", "engine": "per-node"},
+				N: 100, Trials: 4, Mean: 10, CILo: 9, CIHi: 11},
+			{Label: "b", Params: map[string]string{"topology": "annealed:2", "engine": "auto"},
+				N: 100, Trials: 4, Mean: 30, CILo: 28, CIHi: 32},
+		},
+	}
+	ns.Check(rep)
+	exact, meanField := true, true
+	for _, g := range rep.Gates {
+		switch g.Name {
+		case "lumping-exact":
+			exact = g.Pass
+		case "mean-field-approx":
+			meanField = g.Pass
+		}
+	}
+	if exact {
+		t.Fatal("lumping-exact passed on a 3x divergence with disjoint CIs")
+	}
+	if meanField {
+		t.Fatal("mean-field-approx passed with no quenched cell in the report")
+	}
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"plurality/internal/rng"
+)
+
+// Class describes one degree class of a Classed topology: Count nodes, each
+// with Degree half-edges.
+type Class struct {
+	Degree int
+	Count  int64
+}
+
+// Classed is the capability interface of topologies whose dynamics are
+// exchangeable within degree classes, so engines can collapse a run to a
+// (degree-class × color) count matrix instead of n nodes. The contract is
+// annealed sampling: Sample(u) must draw a fresh degree-biased neighbor on
+// every call (any node v ≠ u with probability proportional to v's degree),
+// never a fixed edge — quenched topologies like Cycle, Torus and Adjacency
+// deliberately do not implement it. Nodes of class i occupy the contiguous
+// index range [Σ_{j<i} Count_j, Σ_{j<=i} Count_j).
+type Classed interface {
+	Graph
+	// Classes returns the degree-class partition in node-index order. The
+	// returned slice is shared engine state; callers must not mutate it.
+	Classes() []Class
+}
+
+// Annealed is the annealed (mean-field) configuration model over a degree
+// sequence: Sample(u) follows a uniformly random half-edge of u to a
+// freshly drawn partner, i.e. returns node v ≠ u with probability
+// deg(v) / (Σ_w deg(w) − deg(u)). This is the standard degree-class
+// mean-field treatment of the quenched topologies (the
+// Fountoulakis–Panagiotou-style analysis of majority dynamics on random
+// graphs): exact for dynamics on the configuration model with fresh
+// pairings per activation, and the expander approximation of a fixed
+// random regular graph that the topology-equivalence sweep gates. Because
+// every activation re-pairs, nodes are exchangeable within a degree class,
+// which is the symmetry the lumped engine exploits via Classes.
+//
+// A single class of degree d (the annealed form of cycles d=2, tori d=4
+// and random d-regular graphs) degenerates to uniform sampling over the
+// n−1 other nodes — the clique law — independently of d.
+type Annealed struct {
+	classes []Class
+	bounds  []int64 // cumulative node counts; class i spans [bounds[i], bounds[i+1])
+	n       int64
+	totalW  int64 // Σ degree·count, the half-edge mass
+}
+
+// NewAnnealed returns the annealed configuration model over the given
+// degree classes (each Degree >= 1, Count >= 1, at least 2 nodes total).
+func NewAnnealed(classes []Class) (*Annealed, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("graph: annealed graph needs at least one degree class")
+	}
+	var n, w int64
+	for i, c := range classes {
+		if c.Degree < 1 {
+			return nil, fmt.Errorf("graph: annealed class %d has degree %d, want >= 1", i, c.Degree)
+		}
+		if c.Count < 1 {
+			return nil, fmt.Errorf("graph: annealed class %d has count %d, want >= 1", i, c.Count)
+		}
+		if c.Count > math.MaxInt64-n || int64(c.Degree)*c.Count > math.MaxInt64-w {
+			return nil, fmt.Errorf("graph: annealed classes overflow the node or half-edge totals")
+		}
+		n += c.Count
+		w += int64(c.Degree) * c.Count
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("graph: annealed graph needs n >= 2, got %d", n)
+	}
+	if n > math.MaxInt {
+		return nil, fmt.Errorf("graph: annealed graph with %d nodes overflows int", n)
+	}
+	cls := make([]Class, len(classes))
+	copy(cls, classes)
+	bounds := make([]int64, len(cls)+1)
+	for i, c := range cls {
+		bounds[i+1] = bounds[i] + c.Count
+	}
+	return &Annealed{classes: cls, bounds: bounds, n: n, totalW: w}, nil
+}
+
+// NewAnnealedRegular returns the single-class annealed d-regular model on n
+// nodes: the lumped form of every vertex-transitive d-regular topology.
+func NewAnnealedRegular(n, d int) (*Annealed, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: annealed regular graph needs n >= 2, got %d", n)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("graph: annealed regular graph needs d >= 1, got %d", d)
+	}
+	return NewAnnealed([]Class{{Degree: d, Count: int64(n)}})
+}
+
+// AnnealedOf lumps g's degree sequence into its annealed configuration
+// model: one class per distinct degree, in ascending degree order. Node
+// identities are relabeled so classes occupy contiguous index ranges;
+// under annealed sampling nodes are exchangeable within a class, so the
+// relabeling is distribution-preserving for any initial condition assigned
+// by class. Note the annealed model always samples neighbors other than
+// the activated node, so lumping a Complete graph with WithSelf set drops
+// the self-sample.
+func AnnealedOf(g Graph) (*Annealed, error) {
+	if a, ok := g.(*Annealed); ok {
+		return a, nil
+	}
+	n := g.N()
+	hist := make(map[int]int64)
+	for u := 0; u < n; u++ {
+		hist[g.Degree(u)]++
+	}
+	degs := make([]int, 0, len(hist))
+	for d := range hist {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	classes := make([]Class, len(degs))
+	for i, d := range degs {
+		classes[i] = Class{Degree: d, Count: hist[d]}
+	}
+	return NewAnnealed(classes)
+}
+
+// N implements Graph.
+func (g *Annealed) N() int { return int(g.n) }
+
+// Classes implements Classed.
+func (g *Annealed) Classes() []Class { return g.classes }
+
+// classOf returns the index of the class whose range contains node u.
+func (g *Annealed) classOf(u int) int {
+	return sort.Search(len(g.classes), func(i int) bool { return g.bounds[i+1] > int64(u) })
+}
+
+// Degree implements Graph.
+func (g *Annealed) Degree(u int) int { return g.classes[g.classOf(u)].Degree }
+
+// Sample implements Graph: node v ≠ u with probability
+// deg(v) / (totalW − deg(u)), drawn by walking the per-class half-edge
+// masses with u's own mass deducted from its class.
+func (g *Annealed) Sample(r *rng.RNG, u int) int {
+	a := g.classOf(u)
+	du := int64(g.classes[a].Degree)
+	x := int64(r.Uint64n(uint64(g.totalW - du)))
+	for c := range g.classes {
+		cl := &g.classes[c]
+		mass := int64(cl.Degree) * cl.Count
+		if c == a {
+			mass -= du
+		}
+		if x < mass {
+			v := g.bounds[c] + x/int64(cl.Degree)
+			if c == a && v >= int64(u) {
+				v++ // skip the activated node inside its own class
+			}
+			return int(v)
+		}
+		x -= mass
+	}
+	// Unreachable: the class masses sum exactly to the draw range.
+	return int(g.n - 1)
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+)
+
+func TestNewAnnealedValidation(t *testing.T) {
+	if _, err := NewAnnealed(nil); err == nil {
+		t.Error("no classes should fail")
+	}
+	if _, err := NewAnnealed([]Class{{Degree: 0, Count: 5}}); err == nil {
+		t.Error("degree 0 should fail")
+	}
+	if _, err := NewAnnealed([]Class{{Degree: 2, Count: 0}}); err == nil {
+		t.Error("count 0 should fail")
+	}
+	if _, err := NewAnnealed([]Class{{Degree: 2, Count: 1}}); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := NewAnnealedRegular(1, 2); err == nil {
+		t.Error("regular n=1 should fail")
+	}
+	if _, err := NewAnnealedRegular(10, 0); err == nil {
+		t.Error("regular d=0 should fail")
+	}
+}
+
+func TestAnnealedClassLayout(t *testing.T) {
+	g, err := NewAnnealed([]Class{{Degree: 2, Count: 3}, {Degree: 5, Count: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 {
+		t.Fatalf("N = %d, want 7", g.N())
+	}
+	wantDeg := []int{2, 2, 2, 5, 5, 5, 5}
+	for u, want := range wantDeg {
+		if g.Degree(u) != want {
+			t.Fatalf("Degree(%d) = %d, want %d", u, g.Degree(u), want)
+		}
+	}
+	cls := g.Classes()
+	if len(cls) != 2 || cls[0] != (Class{Degree: 2, Count: 3}) || cls[1] != (Class{Degree: 5, Count: 4}) {
+		t.Fatalf("Classes() = %v", cls)
+	}
+}
+
+// TestAnnealedSampleDegreeBiasedChiSquare: Sample(u) must return each node
+// v ≠ u with probability deg(v) / (W − deg(u)) — the half-edge law of the
+// annealed configuration model. Tested from nodes in both classes of a
+// two-class graph via chi-square against the exact law.
+func TestAnnealedSampleDegreeBiasedChiSquare(t *testing.T) {
+	g, err := NewAnnealed([]Class{{Degree: 2, Count: 5}, {Degree: 6, Count: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	totalW := 2*5 + 6*5
+	r := rng.New(314)
+	for _, u := range []int{0, 4, 5, 9} {
+		const draws = 120000
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			v := g.Sample(r, u)
+			if v == u {
+				t.Fatalf("node %d sampled itself", u)
+			}
+			counts[v]++
+		}
+		if counts[u] != 0 {
+			t.Fatalf("node %d sampled itself %d times", u, counts[u])
+		}
+		pool := float64(totalW - g.Degree(u))
+		expected := make([]float64, 0, n-1)
+		observed := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			observed = append(observed, counts[v])
+			expected = append(expected, draws*float64(g.Degree(v))/pool)
+		}
+		stat := stats.ChiSquare(observed, expected)
+		crit := stats.ChiSquareCritical95(len(observed) - 1)
+		if stat > crit {
+			t.Errorf("node %d: chi-square %.1f exceeds 95%% critical value %.1f", u, stat, crit)
+		}
+	}
+}
+
+// TestAnnealedRegularMatchesCompleteLaw: a single degree class degenerates
+// to the clique's uniform-except-self law independently of d — the identity
+// the lumped engine's single-class delegation to the occupancy engine rests
+// on.
+func TestAnnealedRegularMatchesCompleteLaw(t *testing.T) {
+	for _, d := range []int{2, 4, 9} {
+		g, err := NewAnnealedRegular(12, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(55 + d))
+		const draws = 60000
+		counts := make([]int, 12)
+		for i := 0; i < draws; i++ {
+			counts[g.Sample(r, 3)]++
+		}
+		if counts[3] != 0 {
+			t.Fatalf("d=%d: sampled self %d times", d, counts[3])
+		}
+		observed := append(append([]int{}, counts[:3]...), counts[4:]...)
+		chiSquareUniform(t, fmt.Sprintf("annealed regular d=%d", d), observed, draws)
+	}
+}
+
+// TestAnnealedOf lumps a quenched graph's degree sequence: class counts
+// must reproduce the degree histogram in ascending degree order, and
+// lumping an already annealed graph is the identity.
+func TestAnnealedOf(t *testing.T) {
+	q, err := NewAdjacency([][]int32{{1, 2}, {0}, {0, 3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnnealedOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := a.Classes()
+	if len(cls) != 2 || cls[0] != (Class{Degree: 1, Count: 2}) || cls[1] != (Class{Degree: 2, Count: 2}) {
+		t.Fatalf("Classes() = %v", cls)
+	}
+	again, err := AnnealedOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != a {
+		t.Fatal("AnnealedOf of an Annealed graph should be the identity")
+	}
+
+	c, err := NewCycle(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := AnnealedOf(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls := ac.Classes(); len(cls) != 1 || cls[0] != (Class{Degree: 2, Count: 9}) {
+		t.Fatalf("annealed cycle classes = %v", cls)
+	}
+}
+
+// TestQuenchedGraphsAreNotClassed pins the fallback contract: the quenched
+// topologies must not advertise the lumpable symmetry (their dynamics are
+// not exchangeable within a degree class), so per-node runs on them stay
+// bit-identical under engine auto-selection.
+func TestQuenchedGraphsAreNotClassed(t *testing.T) {
+	quenched := []Graph{Cycle{Nodes: 5}, Torus{W: 3, H: 3}, &Adjacency{}, Complete{Nodes: 4}}
+	for _, g := range quenched {
+		if _, ok := g.(Classed); ok {
+			t.Errorf("%T must not implement Classed", g)
+		}
+	}
+	var g Graph = &Annealed{}
+	if _, ok := g.(Classed); !ok {
+		t.Error("*Annealed must implement Classed")
+	}
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/rng"
+)
+
+// randomJagged generates a random connected-enough adjacency structure
+// (every node gets at least one neighbor) from a seed, returning the jagged
+// reference representation.
+func randomJagged(seed uint64) [][]int32 {
+	r := rng.New(seed)
+	n := 2 + r.Intn(40)
+	adj := make([][]int32, n)
+	edges := n + r.Intn(3*n)
+	for i := 0; i < edges; i++ {
+		u := r.Intn(n)
+		v := r.IntnExcept(n, u)
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+	}
+	for u := range adj {
+		if len(adj[u]) == 0 {
+			v := r.IntnExcept(n, u)
+			adj[u] = append(adj[u], int32(v))
+			adj[v] = append(adj[v], int32(u))
+		}
+	}
+	return adj
+}
+
+// TestCSRMatchesJaggedProperty: over random graphs, the CSR representation
+// must agree with the jagged reference on N, Degree and Neighbors, and
+// Sample must be distribution-identical — it consumes the RNG exactly as
+// the jagged form did (one Intn(degree) draw indexing the neighbor list),
+// so identically seeded draws must return identical nodes.
+func TestCSRMatchesJaggedProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		adj := randomJagged(seed)
+		g, err := NewAdjacency(adj)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.N() != len(adj) {
+			return false
+		}
+		for u, nbrs := range adj {
+			if g.Degree(u) != len(nbrs) {
+				return false
+			}
+			row := g.Neighbors(u)
+			for i := range nbrs {
+				if row[i] != nbrs[i] {
+					return false
+				}
+			}
+		}
+		// Identical RNG streams must produce identical samples: the CSR
+		// draw is nbrs[r.Intn(deg)] exactly like the jagged draw.
+		ra, rb := rng.New(seed^0x9e3779b97f4a7c15), rng.New(seed^0x9e3779b97f4a7c15)
+		for trial := 0; trial < 200; trial++ {
+			u := int(ra.Uint64n(uint64(len(adj))))
+			if int(rb.Uint64n(uint64(len(adj)))) != u {
+				return false
+			}
+			want := int(adj[u][ra.Intn(len(adj[u]))])
+			if g.Sample(rb, u) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSRSampleZeroAllocs guards the sampling hot path: steady-state
+// neighbor draws on the CSR representation must not allocate.
+func TestCSRSampleZeroAllocs(t *testing.T) {
+	g, err := NewGNP(500, 0.05, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	u := 0
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += g.Sample(r, u)
+		u++
+		if u == g.N() {
+			u = 0
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %.1f per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestGNPIsolatedNodePatchRegression: even at p small enough that most
+// nodes draw no Batagelj-Brandes edge, every node must come out with
+// degree >= 1 (the patch edge) and Sample must be total — the regression
+// the degree-0 panic fix pins down.
+func TestGNPIsolatedNodePatchRegression(t *testing.T) {
+	g, err := NewGNP(300, 1e-6, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) < 1 {
+			t.Fatalf("node %d isolated after patching", u)
+		}
+		if v := g.Sample(r, u); v < 0 || v >= g.N() || v == u {
+			t.Fatalf("node %d sampled invalid neighbor %d", u, v)
+		}
+	}
+}

@@ -124,19 +124,27 @@ func (g Torus) Sample(r *rng.RNG, u int) int {
 	return y*g.W + x
 }
 
-// Adjacency is an explicit adjacency-list graph, used for G(n,p) and any
-// custom topology.
+// Adjacency is an explicit-edge graph in compressed sparse row (CSR) form,
+// used for G(n,p), random regular graphs and any custom topology: all
+// neighbor lists live in one contiguous int32 arena with per-node row
+// offsets, so the sampling hot path is two sequential loads from
+// cache-packed arrays instead of chasing a jagged [][]int32. Every node has
+// at least one neighbor (enforced by the constructors), which is what keeps
+// Sample total.
 type Adjacency struct {
-	adj [][]int32
+	arena []int32
+	off   []uint32
 }
 
-// NewAdjacency wraps the given adjacency lists. Every node must have at
-// least one neighbor and all entries must be valid node indices.
+// NewAdjacency packs the given adjacency lists into CSR form. Every node
+// must have at least one neighbor — a degree-0 node would have no defined
+// Sample — and all entries must be valid node indices.
 func NewAdjacency(adj [][]int32) (*Adjacency, error) {
 	n := len(adj)
 	if n == 0 {
 		return nil, fmt.Errorf("graph: empty adjacency")
 	}
+	var total uint64
 	for u, nbrs := range adj {
 		if len(nbrs) == 0 {
 			return nil, fmt.Errorf("graph: node %d has no neighbors", u)
@@ -146,13 +154,55 @@ func NewAdjacency(adj [][]int32) (*Adjacency, error) {
 				return nil, fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
 			}
 		}
+		total += uint64(len(nbrs))
 	}
-	return &Adjacency{adj: adj}, nil
+	if total > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: %d half-edges overflow the 32-bit CSR offsets", total)
+	}
+	g := &Adjacency{arena: make([]int32, 0, total), off: make([]uint32, n+1)}
+	for u, nbrs := range adj {
+		g.arena = append(g.arena, nbrs...)
+		g.off[u+1] = uint32(len(g.arena))
+	}
+	return g, nil
 }
 
-// NewGNP samples an Erdős–Rényi graph G(n, p), retrying isolated nodes by
+// newCSRFromPairs assembles the CSR arrays from a flat list of undirected
+// edges (pairs[2i], pairs[2i+1]) via one counting pass and one fill pass.
+// Every node must end up with degree >= 1.
+func newCSRFromPairs(n int, pairs []int32) (*Adjacency, error) {
+	if uint64(len(pairs)) > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: %d half-edges overflow the 32-bit CSR offsets", len(pairs))
+	}
+	off := make([]uint32, n+1)
+	for _, v := range pairs {
+		off[v+1]++
+	}
+	for u := 0; u < n; u++ {
+		if off[u+1] == 0 {
+			return nil, fmt.Errorf("graph: node %d has no neighbors", u)
+		}
+		off[u+1] += off[u]
+	}
+	arena := make([]int32, len(pairs))
+	cur := make([]uint32, n)
+	copy(cur, off[:n])
+	for i := 0; i < len(pairs); i += 2 {
+		a, b := pairs[i], pairs[i+1]
+		arena[cur[a]] = b
+		cur[a]++
+		arena[cur[b]] = a
+		cur[b]++
+	}
+	return &Adjacency{arena: arena, off: off}, nil
+}
+
+// NewGNP samples an Erdős–Rényi graph G(n, p), patching isolated nodes by
 // attaching them to a random other node so the graph is usable by sampling
-// protocols. The construction is deterministic given r.
+// protocols (Sample requires degree >= 1). The patch distorts G(n,p) only
+// in the regime where isolated nodes are common — expected degree (n-1)p
+// below 1 — which the sweep compiler rejects; above it the patch is a
+// vanishing perturbation. The construction is deterministic given r.
 func NewGNP(n int, p float64, r *rng.RNG) (*Adjacency, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("graph: G(n,p) needs n >= 2, got %d", n)
@@ -160,7 +210,8 @@ func NewGNP(n int, p float64, r *rng.RNG) (*Adjacency, error) {
 	if p <= 0 || p > 1 {
 		return nil, fmt.Errorf("graph: G(n,p) needs p in (0,1], got %v", p)
 	}
-	adj := make([][]int32, n)
+	deg := make([]int32, n)
+	var pairs []int32
 	// Batagelj-Brandes geometric skipping over the n(n-1)/2 candidate
 	// edges (v, w) with 0 <= w < v < n.
 	g := geometricSkip{p: p}
@@ -172,18 +223,20 @@ func NewGNP(n int, p float64, r *rng.RNG) (*Adjacency, error) {
 			v++
 		}
 		if v < n {
-			adj[v] = append(adj[v], int32(w))
-			adj[w] = append(adj[w], int32(v))
+			pairs = append(pairs, int32(v), int32(w))
+			deg[v]++
+			deg[w]++
 		}
 	}
-	for u := range adj {
-		if len(adj[u]) == 0 {
-			v := r.IntnExcept(n, u)
-			adj[u] = append(adj[u], int32(v))
-			adj[v] = append(adj[v], int32(u))
+	for u := 0; u < n; u++ {
+		if deg[u] == 0 {
+			x := r.IntnExcept(n, u)
+			pairs = append(pairs, int32(u), int32(x))
+			deg[u]++
+			deg[x]++
 		}
 	}
-	return NewAdjacency(adj)
+	return newCSRFromPairs(n, pairs)
 }
 
 type geometricSkip struct{ p float64 }
@@ -201,17 +254,20 @@ func (g geometricSkip) next(r *rng.RNG) int {
 }
 
 // N implements Graph.
-func (g *Adjacency) N() int { return len(g.adj) }
+func (g *Adjacency) N() int { return len(g.off) - 1 }
 
 // Degree implements Graph.
-func (g *Adjacency) Degree(u int) int { return len(g.adj[u]) }
+func (g *Adjacency) Degree(u int) int { return int(g.off[u+1] - g.off[u]) }
 
-// Sample implements Graph.
+// Sample implements Graph. It is allocation-free and draws exactly as the
+// jagged representation did (same RNG consumption), so trajectories are
+// bit-identical across the CSR conversion.
 func (g *Adjacency) Sample(r *rng.RNG, u int) int {
-	nbrs := g.adj[u]
-	return int(nbrs[r.Intn(len(nbrs))])
+	o := g.off[u]
+	d := int(g.off[u+1] - o)
+	return int(g.arena[o+uint32(r.Intn(d))])
 }
 
-// Neighbors returns node u's adjacency list (not a copy; callers must not
-// mutate it).
-func (g *Adjacency) Neighbors(u int) []int32 { return g.adj[u] }
+// Neighbors returns node u's adjacency row (a view into the CSR arena, not
+// a copy; callers must not mutate it).
+func (g *Adjacency) Neighbors(u int) []int32 { return g.arena[g.off[u]:g.off[u+1]] }

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/rng"
+)
+
+// maxRepairPasses bounds the pairing-repair loop in NewRandomRegular. The
+// defect count shrinks geometrically per pass (each re-pairing is a fresh
+// uniform matching over a pool that is mostly clean stubs), so real runs
+// finish in a handful of passes; the cap only guards degenerate inputs like
+// d close to n.
+const maxRepairPasses = 200
+
+// NewRandomRegular samples a simple random d-regular graph on n nodes via
+// the configuration model: the n·d half-edge stubs are paired uniformly at
+// random, then pairings containing self-loops or multi-edges are repaired
+// by re-matching the offending pairs together with an equal number of
+// randomly chosen clean pairs until the graph is simple. (Plain rejection
+// of non-simple pairings needs about e^((d²-1)/4) attempts — already one in
+// ~42 at d = 4 and hopeless by d = 8 — while repair touches only the defect
+// set; mixing clean pairs into each re-match is what guarantees progress,
+// since e.g. two parallel (a,b) pairs can never untangle among themselves.)
+// The construction is deterministic given r.
+func NewRandomRegular(n, d int, r *rng.RNG) (*Adjacency, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: random regular graph needs n >= 2, got %d", n)
+	}
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("graph: random regular graph needs 1 <= d < n, got d = %d with n = %d", d, n)
+	}
+	if n%2 != 0 && d%2 != 0 {
+		return nil, fmt.Errorf("graph: random %d-regular graph on %d nodes needs n·d even", d, n)
+	}
+	if int64(n)*int64(d) > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: %d-regular graph on %d nodes overflows the 32-bit CSR offsets", d, n)
+	}
+	stubs := make([]int32, n*d)
+	for i := range stubs {
+		stubs[i] = int32(i / d)
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	if err := repairPairing(stubs, n, d, r); err != nil {
+		return nil, err
+	}
+	return newCSRFromPairs(n, stubs)
+}
+
+// repairPairing rewires the stub pairing (stubs[2i], stubs[2i+1]) in place
+// until it encodes a simple graph. Each pass scans every node's d
+// incidences (a tiny insertion sort makes duplicates adjacent), pools the
+// defective pairs — self-loops and all-but-one of each duplicate-edge
+// group — with an equal number of random clean pairs, and re-matches the
+// pooled stubs with a fresh shuffle.
+func repairPairing(stubs []int32, n, d int, r *rng.RNG) error {
+	m := len(stubs) / 2
+	var (
+		nbrAll = make([]int32, len(stubs)) // node u's incidences at [u*d, (u+1)*d)
+		pidAll = make([]int32, len(stubs)) // pair index of each incidence
+		fill   = make([]int32, n)
+		inPool = make([]bool, m)
+		pool   []int32 // pair indices queued for re-matching
+		loose  []int32 // their stubs
+	)
+	for pass := 0; pass < maxRepairPasses; pass++ {
+		for i := range fill {
+			fill[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			a, b := stubs[2*i], stubs[2*i+1]
+			nbrAll[int(a)*d+int(fill[a])] = b
+			pidAll[int(a)*d+int(fill[a])] = int32(i)
+			fill[a]++
+			nbrAll[int(b)*d+int(fill[b])] = a
+			pidAll[int(b)*d+int(fill[b])] = int32(i)
+			fill[b]++
+		}
+		pool = pool[:0]
+		for u := 0; u < n; u++ {
+			base := u * d
+			for i := 1; i < d; i++ {
+				for j := base + i; j > base && nbrAll[j] < nbrAll[j-1]; j-- {
+					nbrAll[j], nbrAll[j-1] = nbrAll[j-1], nbrAll[j]
+					pidAll[j], pidAll[j-1] = pidAll[j-1], pidAll[j]
+				}
+			}
+			for i := 0; i < d; i++ {
+				p := pidAll[base+i]
+				bad := int(nbrAll[base+i]) == u ||
+					(i > 0 && nbrAll[base+i] == nbrAll[base+i-1])
+				if bad && !inPool[p] {
+					inPool[p] = true
+					pool = append(pool, p)
+				}
+			}
+		}
+		if len(pool) == 0 {
+			return nil
+		}
+		// Mix in as many random clean pairs as defective ones. The defect
+		// fraction is O(d/n), so rejection sampling against the pool flag
+		// terminates immediately in practice.
+		for extra := len(pool); extra > 0 && len(pool) < m; {
+			p := int32(r.Intn(m))
+			if !inPool[p] {
+				inPool[p] = true
+				pool = append(pool, p)
+				extra--
+			}
+		}
+		loose = loose[:0]
+		for _, p := range pool {
+			loose = append(loose, stubs[2*p], stubs[2*p+1])
+		}
+		r.Shuffle(len(loose), func(i, j int) { loose[i], loose[j] = loose[j], loose[i] })
+		for j, p := range pool {
+			stubs[2*p] = loose[2*j]
+			stubs[2*p+1] = loose[2*j+1]
+			inPool[p] = false
+		}
+	}
+	return fmt.Errorf("graph: random %d-regular pairing on %d nodes failed to simplify after %d repair passes", d, n, maxRepairPasses)
+}

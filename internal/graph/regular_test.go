@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestNewRandomRegularValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewRandomRegular(1, 1, r); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := NewRandomRegular(10, 0, r); err == nil {
+		t.Error("d=0 should fail")
+	}
+	if _, err := NewRandomRegular(10, 10, r); err == nil {
+		t.Error("d=n should fail")
+	}
+	if _, err := NewRandomRegular(7, 3, r); err == nil {
+		t.Error("odd n·d should fail")
+	}
+}
+
+// TestRandomRegularSimple: the configuration-model sampler must deliver a
+// simple d-regular graph — exact degrees, no self-loops, no multi-edges,
+// symmetric adjacency — across degrees that force the repair path (plain
+// rejection at d = 8 would need ~e^16 attempts).
+func TestRandomRegularSimple(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{100, 2}, {101, 4}, {500, 8}, {64, 3}} {
+		g, err := NewRandomRegular(tc.n, tc.d, rng.New(uint64(1000+tc.n)))
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("N = %d, want %d", g.N(), tc.n)
+		}
+		for u := 0; u < tc.n; u++ {
+			nbrs := g.Neighbors(u)
+			if len(nbrs) != tc.d {
+				t.Fatalf("n=%d d=%d: node %d has degree %d", tc.n, tc.d, u, len(nbrs))
+			}
+			seen := make(map[int32]bool, tc.d)
+			for _, v := range nbrs {
+				if int(v) == u {
+					t.Fatalf("n=%d d=%d: self-loop at %d", tc.n, tc.d, u)
+				}
+				if seen[v] {
+					t.Fatalf("n=%d d=%d: multi-edge %d-%d", tc.n, tc.d, u, v)
+				}
+				seen[v] = true
+				back := false
+				for _, w := range g.Neighbors(int(v)) {
+					if int(w) == u {
+						back = true
+						break
+					}
+				}
+				if !back {
+					t.Fatalf("n=%d d=%d: edge %d-%d not symmetric", tc.n, tc.d, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomRegularSampleUniformChiSquare mirrors the GNP/Cycle/Torus
+// sampling tests: Sample must draw each of a node's d neighbors with equal
+// probability.
+func TestRandomRegularSampleUniformChiSquare(t *testing.T) {
+	for _, d := range []int{3, 4, 8} {
+		g, err := NewRandomRegular(200, d, rng.New(uint64(77+d)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(7 + d))
+		for _, u := range []int{0, 111, 199} {
+			nbrs := g.Neighbors(u)
+			index := make(map[int32]int, d)
+			for i, v := range nbrs {
+				index[v] = i
+			}
+			draws := 15000 * d
+			counts := make([]int, d)
+			for i := 0; i < draws; i++ {
+				v := int32(g.Sample(r, u))
+				slot, ok := index[v]
+				if !ok {
+					t.Fatalf("d=%d node %d: sampled non-neighbor %d", d, u, v)
+				}
+				counts[slot]++
+			}
+			chiSquareUniform(t, fmt.Sprintf("random-regular d=%d node %d", d, u), counts, draws)
+		}
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := NewRandomRegular(128, 4, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomRegular(128, 4, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 128; u++ {
+		av, bv := a.Neighbors(u), b.Neighbors(u)
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d adjacency differs between identically seeded graphs", u)
+			}
+		}
+	}
+}
+
+// TestRandomRegularEdgeDiversity guards against a degenerate repair loop:
+// across seeds, the sampled graphs must actually differ (the pairing is
+// random, not a fixed canonical matching).
+func TestRandomRegularEdgeDiversity(t *testing.T) {
+	a, err := NewRandomRegular(100, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomRegular(100, 4, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for u := 0; u < 100 && same; u++ {
+		av, bv := a.Neighbors(u), b.Neighbors(u)
+		for i := range av {
+			if av[i] != bv[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("two differently seeded random regular graphs are identical")
+	}
+}

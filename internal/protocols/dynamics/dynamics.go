@@ -19,6 +19,7 @@ import (
 
 	"plurality/internal/adversary"
 	"plurality/internal/graph"
+	"plurality/internal/lumped"
 	"plurality/internal/occupancy"
 	"plurality/internal/population"
 	"plurality/internal/rng"
@@ -53,6 +54,9 @@ type Runner struct {
 	buf     *syncsim.Buffer
 	snap    []int64
 	occ     occupancy.Runner
+	lum     lumped.Runner
+	lumpM   []int64
+	lumpU   []int64
 }
 
 // Rule is one sampling dynamic. Implementations must be stateless: the
@@ -289,17 +293,22 @@ func validateUndecided(pop *population.Population, rule Rule) error {
 type Engine int
 
 const (
-	// EngineAuto (the default) picks the count-collapsed occupancy engine
-	// whenever the run is collapsible — complete graph, no response
-	// delays, no edge latencies, no per-tick observer — and the per-node
-	// engine otherwise. The two engines are distributionally equivalent
-	// (the collapse is exact) but consume the RNG differently, so
-	// fixed-seed trajectories differ between them.
+	// EngineAuto (the default) picks a count-collapsed engine whenever the
+	// run is collapsible — the occupancy engine on the complete graph, the
+	// degree-class lumped engine on annealed configuration-model topologies
+	// (graph.Classed); both additionally need no response delays, no edge
+	// latencies, no per-tick observer (and the lumped engine no adversary) —
+	// and the per-node engine otherwise. The collapsed engines are
+	// distributionally equivalent to the per-node engine (the collapses are
+	// exact) but consume the RNG differently, so fixed-seed trajectories
+	// differ between them.
 	EngineAuto Engine = iota
 	// EnginePerNode forces the per-node simulation.
 	EnginePerNode
-	// EngineOccupancy requires the count-collapsed engine; RunAsync fails
-	// with a descriptive error if the configuration is not collapsible.
+	// EngineOccupancy requires count-collapsed execution — the occupancy
+	// engine on the clique or the lumped engine on a graph.Classed topology;
+	// RunAsync fails with a descriptive error if the configuration is not
+	// collapsible.
 	EngineOccupancy
 	// EngineLeap requires the hybrid tau-leap/mean-field engine: the
 	// count-collapsed histogram advanced many transitions per step, with
@@ -451,16 +460,25 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 		return AsyncResult{Done: true, Winner: pop.Plurality()}, nil
 	}
 
-	// Count-collapsed fast path: on the clique with a memoryless rule the
-	// configuration is the color histogram, so the run can execute on k
-	// counts instead of n nodes (O(k) state, and kerneled rules leap over
-	// no-op activations entirely). The collapse is exact; see the
-	// occupancy package's equivalence gates.
+	// Count-collapsed fast paths. On the clique the configuration is the
+	// color histogram, so the run executes on k counts instead of n nodes
+	// (O(k) state, and kerneled rules leap over no-op activations entirely).
+	// On annealed configuration-model topologies (graph.Classed) the
+	// configuration is the (degree-class × color) count matrix, so the run
+	// executes on D·k counts in the lumped engine. Both collapses are exact;
+	// see the occupancy and lumped packages' equivalence gates.
 	if cfg.Engine != EnginePerNode {
-		if blocker := collapseBlocker(cfg); blocker == "" {
+		blocker := collapseBlocker(cfg)
+		if blocker == "" {
 			return rn.runCollapsed(pop, rule, cfg)
-		} else if cfg.Engine == EngineOccupancy || cfg.Engine == EngineLeap {
+		}
+		if cfg.Engine == EngineLeap {
 			return AsyncResult{}, fmt.Errorf("dynamics: the %s engine needs a count-collapsible run, but %s", cfg.Engine, blocker)
+		}
+		if lumpedBlocker := lumpBlocker(cfg); lumpedBlocker == "" {
+			return rn.runLumped(pop, rule, cfg)
+		} else if cfg.Engine == EngineOccupancy {
+			return AsyncResult{}, fmt.Errorf("dynamics: the %s engine needs a count-collapsed run, but %s, and %s", cfg.Engine, blocker, lumpedBlocker)
 		}
 	}
 	var (
@@ -508,6 +526,10 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 	// snapshot observation needs the per-tick time check of the general
 	// path.)
 	if bs, ok := cfg.Scheduler.(sched.BatchScheduler); ok && !blocking && !churning && cfg.OnTick == nil && cfg.OnSnapshot == nil && cfg.Adversary == nil {
+		// Devirtualize the dominant topology: a concrete *graph.Adjacency
+		// receiver lets the CSR Sample inline into the loop, removing the
+		// interface dispatch per neighbor draw. Same draws, same results.
+		csr, _ := cfg.Graph.(*graph.Adjacency)
 		var last sched.Tick
 		ran := false
 		batch := make([]sched.Tick, sched.BatchSize)
@@ -532,8 +554,14 @@ func (rn *Runner) RunAsync(pop *population.Population, rule Rule, cfg AsyncConfi
 				}
 				last = t
 				u := t.Node
-				for i := 0; i < s; i++ {
-					sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
+				if csr != nil {
+					for i := 0; i < s; i++ {
+						sampled[i] = pop.ColorOf(csr.Sample(cfg.Rand, u))
+					}
+				} else {
+					for i := 0; i < s; i++ {
+						sampled[i] = pop.ColorOf(cfg.Graph.Sample(cfg.Rand, u))
+					}
 				}
 				apply(u, rule.Next(cfg.Rand, pop.ColorOf(u), sampled))
 				if res.Done {
@@ -753,6 +781,103 @@ func (rn *Runner) runCollapsed(pop *population.Population, rule Rule, cfg AsyncC
 	return collapsedResult(res, err, rule, cfg.MaxTime)
 }
 
+// lumpBlocker reports why the run cannot execute degree-class lumped; ""
+// means it can. The lumped collapse needs a topology that reports a lumpable
+// symmetry (graph.Classed — annealed configuration models, where nodes are
+// exchangeable within a degree class) and, like the clique collapse, no
+// per-node pending state or per-tick observer. Adversaries additionally
+// block it outright: bias and corruption target concrete nodes or exploit
+// the clique histogram, neither of which the class matrix represents.
+func lumpBlocker(cfg AsyncConfig) string {
+	if _, ok := cfg.Graph.(graph.Classed); !ok {
+		return fmt.Sprintf("topology %T does not report a lumpable degree-class symmetry (graph.Classed)", cfg.Graph)
+	}
+	if cfg.OnTick != nil {
+		return "an OnTick observer needs the per-node population"
+	}
+	if cfg.Latency != nil {
+		return "edge latencies need per-node pending state"
+	}
+	if cfg.Delay != nil {
+		if _, zero := cfg.Delay.(sched.ZeroDelay); !zero {
+			return "response delays need per-node pending state"
+		}
+	}
+	if cfg.Adversary != nil {
+		return fmt.Sprintf("adversary %s needs the per-node engine on non-complete topologies", cfg.Adversary.Desc().Name)
+	}
+	return ""
+}
+
+// runLumped executes the run on the (degree-class × color) count matrix of a
+// graph.Classed topology and writes the final matrix back into pop. Annealed
+// sampling makes nodes exchangeable within a degree class, so which node of a
+// class holds which color carries no information; the write-back lays each
+// class range out color-major (decided colors ascending, undecided last),
+// mirroring population.FromCounts's block convention.
+func (rn *Runner) runLumped(pop *population.Population, rule Rule, cfg AsyncConfig) (AsyncResult, error) {
+	classes := cfg.Graph.(graph.Classed).Classes()
+	D := len(classes)
+	k := pop.K()
+	if cap(rn.lumpM) < D*k {
+		rn.lumpM = make([]int64, D*k)
+	}
+	m := rn.lumpM[:D*k]
+	clear(m)
+	var und []int64
+	if _, ok := rule.(occupancy.Undecided); ok {
+		if cap(rn.lumpU) < D {
+			rn.lumpU = make([]int64, D)
+		}
+		und = rn.lumpU[:D]
+		clear(und)
+	}
+	u := 0
+	for a, cl := range classes {
+		for i := int64(0); i < cl.Count; i++ {
+			// validateAsync already rejected undecided holders under rules
+			// without an undecided state, so c == None implies und != nil.
+			if c := pop.ColorOf(u); c == population.None {
+				und[a]++
+			} else {
+				m[a*k+int(c)]++
+			}
+			u++
+		}
+	}
+	res, err := rn.lum.Run(m, und, rule, lumped.Config{
+		Classes:         classes,
+		Scheduler:       cfg.Scheduler,
+		Rand:            cfg.Rand,
+		MaxTime:         cfg.MaxTime,
+		Churn:           cfg.Churn,
+		Stop:            cfg.Stop,
+		ObserveInterval: cfg.ObserveInterval,
+		OnObserve:       cfg.OnSnapshot,
+	})
+	if err != nil && !errors.Is(err, occupancy.ErrTimeLimit) && !errors.Is(err, occupancy.ErrStopped) {
+		// A hard error means the run never executed: surface it and leave
+		// the population untouched.
+		return AsyncResult{}, err
+	}
+	u = 0
+	for a := range classes {
+		for c := 0; c < k; c++ {
+			for i := int64(0); i < m[a*k+c]; i++ {
+				pop.SetColor(u, population.Color(c))
+				u++
+			}
+		}
+		if und != nil {
+			for i := int64(0); i < und[a]; i++ {
+				pop.SetColor(u, population.None)
+				u++
+			}
+		}
+	}
+	return collapsedResult(res, err, rule, cfg.MaxTime)
+}
+
 // RunAsyncCounts executes rule directly on a color histogram with the
 // count-collapsed occupancy engine — the O(k)-memory entry point for
 // populations too large to materialize per node (n = 10⁸–10⁹). counts is
@@ -779,9 +904,12 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 	}
 	withSelf := false
 	if cfg.Graph != nil {
+		if cl, ok := cfg.Graph.(graph.Classed); ok {
+			return rn.runLumpedCounts(counts, rule, cfg, cl)
+		}
 		g, ok := cfg.Graph.(graph.Complete)
 		if !ok {
-			return AsyncResult{}, fmt.Errorf("dynamics: counts runs need the complete graph, got %T", cfg.Graph)
+			return AsyncResult{}, fmt.Errorf("dynamics: counts runs need the complete graph or a degree-class lumpable (graph.Classed) topology, got %T", cfg.Graph)
 		}
 		var n int64
 		for _, v := range counts {
@@ -819,6 +947,81 @@ func (rn *Runner) RunAsyncCounts(counts []int64, rule Rule, cfg AsyncConfig) (As
 		return collapsedResult(lres.Result, err, rule, cfg.MaxTime)
 	}
 	res, err := rn.occ.Run(counts, rule, occCfg)
+	return collapsedResult(res, err, rule, cfg.MaxTime)
+}
+
+// runLumpedCounts executes a counts run on a graph.Classed topology: the
+// histogram is split into the (degree-class × color) matrix along the
+// canonical color-major node layout (population.FromCounts's blocks
+// intersected with the contiguous class ranges), run in the lumped engine,
+// and the final matrix folded back into counts. Always exact — the hybrid
+// leap engine's flow laws are clique-only, so EngineLeap is rejected and
+// EngineAuto never escalates lumped runs past LeapAutoN.
+func (rn *Runner) runLumpedCounts(counts []int64, rule Rule, cfg AsyncConfig, g graph.Classed) (AsyncResult, error) {
+	if cfg.Engine == EngineLeap {
+		return AsyncResult{}, fmt.Errorf("dynamics: the leap engine needs the complete graph, got %T", cfg.Graph)
+	}
+	if cfg.OnTick != nil || cfg.Latency != nil || cfg.Delay != nil {
+		return AsyncResult{}, errors.New("dynamics: counts runs support neither delays, latencies nor OnTick observers (per-node state)")
+	}
+	if adv := cfg.Adversary; adv != nil {
+		return AsyncResult{}, fmt.Errorf("dynamics: adversary %s needs the per-node or clique-collapsed engine; the lumped engine cannot honor adversaries", adv.Desc().Name)
+	}
+	var n int64
+	for c, v := range counts {
+		if v < 0 {
+			return AsyncResult{}, fmt.Errorf("dynamics: negative count %d for color %d", v, c)
+		}
+		n += v
+	}
+	if int64(g.N()) != n {
+		return AsyncResult{}, fmt.Errorf("dynamics: graph has %d nodes, histogram %d", g.N(), n)
+	}
+	classes := g.Classes()
+	D := len(classes)
+	k := len(counts)
+	if cap(rn.lumpM) < D*k {
+		rn.lumpM = make([]int64, D*k)
+	}
+	m := rn.lumpM[:D*k]
+	clear(m)
+	// Color c's block covers nodes [cStart, cStart+counts[c]); class a's
+	// range covers [aStart, aStart+classes[a].Count); each matrix cell is
+	// the overlap of the two intervals.
+	var cStart int64
+	for c, v := range counts {
+		cEnd := cStart + v
+		var aStart int64
+		for a, cl := range classes {
+			aEnd := aStart + cl.Count
+			if o := min(cEnd, aEnd) - max(cStart, aStart); o > 0 {
+				m[a*k+c] = o
+			}
+			aStart = aEnd
+		}
+		cStart = cEnd
+	}
+	res, err := rn.lum.Run(m, nil, rule, lumped.Config{
+		Classes:         classes,
+		Scheduler:       cfg.Scheduler,
+		Rand:            cfg.Rand,
+		MaxTime:         cfg.MaxTime,
+		Churn:           cfg.Churn,
+		Stop:            cfg.Stop,
+		ObserveInterval: cfg.ObserveInterval,
+		OnObserve:       cfg.OnSnapshot,
+	})
+	if err != nil && !errors.Is(err, occupancy.ErrTimeLimit) && !errors.Is(err, occupancy.ErrStopped) {
+		return AsyncResult{}, err
+	}
+	for c := range counts {
+		counts[c] = 0
+	}
+	for a := 0; a < D; a++ {
+		for c := 0; c < k; c++ {
+			counts[c] += m[a*k+c]
+		}
+	}
 	return collapsedResult(res, err, rule, cfg.MaxTime)
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"plurality/internal/adversary"
 	"plurality/internal/core"
+	"plurality/internal/graph"
 	"plurality/internal/occupancy"
 	"plurality/internal/par"
 	"plurality/internal/protocols"
@@ -204,6 +205,21 @@ func (j *Job) Validate() error {
 		if j.o.engine == EngineOccupancy || j.o.engine == EngineLeap {
 			if _, err := j.desc.ValidateCounts(j.counts, j.o.model == HeapPoisson); err != nil {
 				return err
+			}
+			// Counts runs execute count-collapsed by definition: the clique
+			// collapses to the color histogram, a degree-class lumpable
+			// (graph.Classed) topology to the class × color matrix. Quenched
+			// non-complete topologies have neither symmetry, and the leap
+			// engine's flow laws are clique-only.
+			if g := j.o.graph; g != nil {
+				_, complete := g.(graph.Complete)
+				_, classed := g.(graph.Classed)
+				if j.o.engine == EngineLeap && !complete {
+					return fmt.Errorf("plurality: job %s: the leap engine needs the complete graph, got %T", j.spec, g)
+				}
+				if !complete && !classed {
+					return fmt.Errorf("plurality: job %s: a counts job needs the complete graph or a degree-class lumpable topology (AnnealedRegularGraph, AnnealedGraph), got %T", j.spec, g)
+				}
 			}
 		}
 		if j.o.engine == EngineLeap {

@@ -183,6 +183,31 @@ func RandomGraph(n int, p float64, seed uint64) (Graph, error) {
 	return graph.NewGNP(n, p, rng.New(seed))
 }
 
+// RandomRegularGraph returns a deterministic simple random d-regular graph
+// on n nodes sampled from seed via the configuration model (n·d must be
+// even). Like every quenched topology it runs per node; see
+// AnnealedRegularGraph for the lumpable mean-field counterpart.
+func RandomRegularGraph(n, d int, seed uint64) (Graph, error) {
+	return graph.NewRandomRegular(n, d, rng.New(seed))
+}
+
+// AnnealedRegularGraph returns the annealed (mean-field) d-regular
+// configuration model on n nodes: every neighbor sample draws a fresh
+// uniformly random partner half-edge instead of following fixed wiring.
+// Annealed topologies report their degree-class symmetry, so dynamics runs
+// on them collapse to the O(classes × colors) lumped engine.
+func AnnealedRegularGraph(n, d int) (Graph, error) {
+	return graph.NewAnnealedRegular(n, d)
+}
+
+// AnnealedGraph returns the annealed configuration model with g's degree
+// sequence: the degree-class lumped mean-field counterpart of any quenched
+// topology (for an Erdős–Rényi graph, the degree-partitioned annealed
+// G(n, p)).
+func AnnealedGraph(g Graph) (Graph, error) {
+	return graph.AnnealedOf(g)
+}
+
 // PlanCore resolves the core protocol's working-time schedule (block length
 // ∆, phase count, gadget length, endgame budget) for n nodes under the
 // given options, without running anything.
