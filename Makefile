@@ -14,7 +14,8 @@ COVER_MIN ?= 85
 	leapbench leap-smoke leap-baseline \
 	servebench serve-smoke serve-baseline \
 	sweep-smoke sweep-baseline sweep-nightly \
-	adv-smoke adv-baseline topo-smoke topo-baseline lint fmt api api-check
+	adv-smoke adv-baseline topo-smoke topo-baseline \
+	net-smoke net-baseline lint fmt api api-check
 
 build:
 	$(GO) build ./...
@@ -166,6 +167,25 @@ topo-smoke:
 topo-baseline:
 	$(GO) run ./cmd/experiments -sweep topology-equivalence -smoke \
 		-out BENCH_topo_baseline.json
+
+# CI node-runtime harness: the net-equivalence sweep at smoke size under
+# the race detector (the runtime is goroutines exchanging messages, so the
+# oracle gate doubles as a race gate), diffed against the committed
+# baseline on machine-portable quantities only (simulated consensus times,
+# deterministic message counts — never wall clock), then the README
+# two-process TCP cluster quickstart end to end. The sweep's own KS gate
+# pins the networked consensus-time distribution to the simulator's.
+net-smoke:
+	$(GO) run -race ./cmd/experiments -sweep net-equivalence -smoke \
+		-out BENCH_net.json -baseline BENCH_net_baseline.json
+	./scripts/net_quickstart.sh
+
+# Regenerate the committed node-runtime smoke baseline (run after an
+# intentional change to the node runtime, a protocol rule or the sweep
+# grid; commit the result).
+net-baseline:
+	$(GO) run ./cmd/experiments -sweep net-equivalence -smoke \
+		-out BENCH_net_baseline.json
 
 # Full-size logn-scaling sweep, the nightly job's workload.
 sweep-nightly:

@@ -27,6 +27,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"plurality"
 	"plurality/internal/rng"
@@ -101,6 +102,15 @@ type Scenario struct {
 	// cell's N — threshold sweeps express f in the scaling unit the theory
 	// speaks, exactly as the churn axis's "<coef>/n" form does for rates.
 	Budget string `json:"budget,omitempty"`
+	// Runtime selects the execution substrate: "" or "sim" (the simulator
+	// engines, the default), "node" (the networked node runtime on the
+	// deterministic in-process transport: one goroutine per node, local
+	// Poisson clocks, pull messages), or "node-tcp" (the same runtime over
+	// real loopback TCP sockets). The node runtimes execute registered
+	// dynamics on the clique under the poisson model only — every
+	// simulator-side injection axis is rejected at Validate; see
+	// validateRuntime.
+	Runtime string `json:"runtime,omitempty"`
 }
 
 // Trial is the outcome of one scenario execution.
@@ -123,6 +133,10 @@ type Trial struct {
 	// Biased is the number of activations the adversary redirected or
 	// suppressed.
 	Biased int64
+	// Messages is the number of pull requests exchanged when the trial ran
+	// on the node runtime; 0 for simulator trials (the engines deliver
+	// samples without materializing messages).
+	Messages int64
 }
 
 // Validate checks that the scenario names a runnable configuration.
@@ -191,6 +205,9 @@ func (sc Scenario) Validate() error {
 	default:
 		return fmt.Errorf("exp: unknown model %q", sc.Model)
 	}
+	if err := sc.validateRuntime(); err != nil {
+		return err
+	}
 	if sc.Crash > 0 {
 		// Mirror the core engine's rule at declaration time so a sweep
 		// cell cannot silently sample crashed neighbors: crash injection
@@ -255,6 +272,58 @@ func (sc Scenario) Validate() error {
 	}
 	if err := sc.validateAdversary(engine); err != nil {
 		return err
+	}
+	return nil
+}
+
+// nodeRuntime reports whether the scenario runs on the networked node
+// runtime rather than a simulator engine.
+func (sc Scenario) nodeRuntime() bool {
+	return sc.Runtime == "node" || sc.Runtime == "node-tcp"
+}
+
+// validateRuntime mirrors Job.Validate's node-runtime option mapping at
+// declaration time: real node processes execute registered dynamics on the
+// clique under per-node Poisson clocks and nothing else, so every
+// simulator-side injection axis fails the cell at Compile rather than
+// mid-grid.
+func (sc Scenario) validateRuntime() error {
+	switch sc.Runtime {
+	case "", "sim":
+		return nil
+	case "node", "node-tcp":
+	default:
+		return fmt.Errorf("exp: unknown runtime %q (want sim, node or node-tcp)", sc.Runtime)
+	}
+	if sc.Protocol == "core" {
+		return fmt.Errorf("exp: runtime %s cannot execute the core protocol (its bit phases are not a registered message dynamic)", sc.Runtime)
+	}
+	if sc.Topology != "complete" {
+		return fmt.Errorf("exp: runtime %s requires the complete topology, not %q (live nodes sample peers uniformly)", sc.Runtime, sc.Topology)
+	}
+	if sc.Model != "poisson" {
+		return fmt.Errorf("exp: runtime %s requires the poisson model, not %q (each node runs a local Exp(1) clock)", sc.Runtime, sc.Model)
+	}
+	if sc.Engine != "" && sc.Engine != "auto" {
+		return fmt.Errorf("exp: runtime %s runs one process per node; engine %q does not apply", sc.Runtime, sc.Engine)
+	}
+	switch {
+	case sc.Crash > 0:
+		return fmt.Errorf("exp: runtime %s does not support crash injection", sc.Runtime)
+	case sc.Churn > 0:
+		return fmt.Errorf("exp: runtime %s does not support churn", sc.Runtime)
+	case sc.DelayRate > 0:
+		return fmt.Errorf("exp: runtime %s does not support response delays (use the transport's own fault injection)", sc.Runtime)
+	case sc.Latency != "" && sc.Latency != "none":
+		return fmt.Errorf("exp: runtime %s does not support edge latencies (use the transport's own fault injection)", sc.Runtime)
+	case sc.Adversary != "" && sc.Adversary != "none":
+		return fmt.Errorf("exp: runtime %s does not support adversaries", sc.Runtime)
+	}
+	// One goroutine (plus timers and message events) per node: bound n so a
+	// mistyped axis cannot ask the scheduler for millions of processes.
+	const maxNodes = 1 << 16
+	if sc.N > maxNodes {
+		return fmt.Errorf("exp: runtime %s runs one process per node; n = %d exceeds the %d-node bound", sc.Runtime, sc.N, maxNodes)
 	}
 	return nil
 }
@@ -494,6 +563,13 @@ func RunScenarioCtx(ctx context.Context, sc Scenario, seed uint64) (Trial, error
 	if err != nil {
 		return Trial{}, err
 	}
+	if sc.nodeRuntime() {
+		// Networked cells run real node processes through the public
+		// Cluster path; like the counts path they never shuffle a
+		// population (the clique is exchangeable, so block placement is
+		// statistically irrelevant).
+		return runNodeScenario(ctx, sc, counts, seed)
+	}
 	if engine, _, _ := sc.engineSpec(); engine == "occupancy" || engine == "leap" {
 		// The count-collapsed cells never materialize a population: O(k)
 		// memory regardless of n, so a 10⁸-node cell costs as much as a
@@ -570,6 +646,48 @@ func RunScenarioCtx(ctx context.Context, sc Scenario, seed uint64) (Trial, error
 	return trialFromReport(sc, rep, plurColor, err)
 }
 
+// nodeTCPUnit is the simulated-time unit for runtime=node-tcp cells: 2ms of
+// wall clock per time unit keeps a smoke cell inside CI budgets while still
+// exercising real sockets end to end.
+const nodeTCPUnit = 2 * time.Millisecond
+
+// runNodeScenario executes one trial on the networked node runtime: one
+// goroutine-backed process per node, pulling opinions over the scenario's
+// transport ("node" = the deterministic in-process fabric, "node-tcp" =
+// loopback TCP). The trial's Time is the cluster's consensus instant — the
+// same observable the simulator reports — not the longer halting tail the
+// termination gadget adds after it.
+func runNodeScenario(ctx context.Context, sc Scenario, counts []int64, seed uint64) (Trial, error) {
+	// The workloads designate the most frequent color (lowest index on
+	// ties) as the plurality, same rule as Population.Plurality.
+	plurColor := plurality.Color(0)
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > counts[plurColor] {
+			plurColor = plurality.Color(c)
+		}
+	}
+	var transport plurality.Transport
+	if sc.Runtime == "node-tcp" {
+		transport = plurality.NewTCPTransport(nodeTCPUnit)
+	} else {
+		transport = plurality.NewChanTransport()
+	}
+	opts := []plurality.Option{
+		plurality.WithSeed(seed),
+		plurality.WithModel(plurality.Poisson),
+		plurality.WithTransport(transport),
+	}
+	if sc.MaxTime > 0 {
+		opts = append(opts, plurality.WithMaxTime(sc.MaxTime))
+	}
+	job, err := plurality.NewJob(sc.Protocol, counts, opts...)
+	if err != nil {
+		return Trial{}, err
+	}
+	rep, err := job.Run(ctx)
+	return trialFromReport(sc, rep, plurColor, err)
+}
+
 // runCountsScenario executes one count-collapsed trial (occupancy or leap
 // engine) directly on the color histogram.
 func runCountsScenario(ctx context.Context, sc Scenario, counts []int64, seed uint64) (Trial, error) {
@@ -642,11 +760,13 @@ func trialFromReport(sc Scenario, rep plurality.Report, plurColor plurality.Colo
 		Churns:      rep.Churns,
 		Corruptions: rep.Corruptions,
 		Biased:      rep.Biased,
+		Messages:    rep.Messages,
 	}
-	if sc.Protocol == "core" {
-		// The core protocol reports the consensus instant separately from
-		// the last delivered tick; the harness has always recorded the
-		// former.
+	if sc.Protocol == "core" || sc.nodeRuntime() {
+		// The core protocol and the node runtime report the consensus
+		// instant separately from the run's total time (the node runtime's
+		// total includes the termination gadget's halting tail); the
+		// harness has always recorded the former.
 		tr.Time = rep.ConsensusTime
 	}
 	if err != nil && !errors.Is(err, plurality.ErrNoConsensus) && !errors.Is(err, plurality.ErrTimeLimit) {

@@ -25,7 +25,7 @@ type NamedSweep struct {
 
 // Named returns every registered sweep, in presentation order.
 func Named() []NamedSweep {
-	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), leapBudget(), protocolRace(), latencySweep(), churnSweep(), topologySweep(), topologyEquivalence(), adversaryThreshold()}
+	return []NamedSweep{lognScaling(), engineEquivalence(), scaleSweep(), leapBudget(), protocolRace(), latencySweep(), churnSweep(), topologySweep(), topologyEquivalence(), adversaryThreshold(), netEquivalence()}
 }
 
 // NamedByName resolves one registered sweep.
@@ -687,6 +687,92 @@ func adversaryThreshold() NamedSweep {
 				"survival <= 0.2 at f = 4sqrt(n) for every n;%s", failDetail)
 			rep.addGate("corruption-fires", fired,
 				"every budget>0 cell recorded corruption flips;%s", firedDetail)
+		},
+	}
+}
+
+// netEquivalence is the oracle gate for the networked node runtime: the
+// same (protocol, n) instance on the simulator's Poisson engine versus real
+// goroutine-backed node processes exchanging pull messages over the
+// deterministic in-process transport. Per-node Exp(1) clocks superpose to
+// the simulator's rate-n Poisson process with a uniformly random activating
+// node, and zero-fault message delivery reproduces the simulator's
+// atomic-sample semantics, so the two consensus-time distributions are
+// draws from the same law — the gate requires the two-sample KS statistic
+// below the alpha = 0.01 rejection threshold for every (protocol, n) pair.
+// Fixed-seed CI runs are deterministic on both sides, so the gate cannot
+// flake. TCP cells stay out of the grid (wall-clock sockets would serialize
+// the sweep); the tcp runtime is covered by its own unit tests and the
+// quickstart script.
+func netEquivalence() NamedSweep {
+	return NamedSweep{
+		Name:        "net-equivalence",
+		Description: "Two-Choices and USD on the simulator vs the networked node runtime (one process per node, pull messages); gates on convergence, per-(protocol, n) KS agreement of the consensus-time distributions, and message flow",
+		Build: func(smoke bool, seed uint64, trials int) Sweep {
+			ns, def := []string{"256", "1024", "4096"}, 48
+			if smoke {
+				ns, def = []string{"256", "1024"}, 30
+			}
+			return Sweep{
+				Name: "net-equivalence",
+				Base: Scenario{
+					K: 2, Bias: "biased", BiasParam: 1,
+					Topology: "complete", Model: "poisson",
+				},
+				Axes: []Axis{
+					{Name: "protocol", Values: []string{"two-choices", "usd"}},
+					{Name: "n", Values: ns},
+					{Name: "runtime", Values: []string{"sim", "node"}},
+				},
+				Trials:    pickTrials(trials, def),
+				Seed:      seed,
+				KeepTimes: true,
+			}
+		},
+		Check: func(rep *Report) {
+			gateAllConverged(rep)
+			simCell := func(protocol, n string) *CellResult {
+				for i := range rep.Cells {
+					c := &rep.Cells[i]
+					if c.Params["runtime"] == "sim" && c.Params["protocol"] == protocol && c.Params["n"] == n {
+						return c
+					}
+				}
+				return nil
+			}
+			match, matchDetail := true, ""
+			flow, flowDetail := true, ""
+			for i := range rep.Cells {
+				c := &rep.Cells[i]
+				if c.Params["runtime"] != "node" {
+					continue
+				}
+				if c.Messages == 0 {
+					flow = false
+					flowDetail += fmt.Sprintf(" %q exchanged no messages;", c.Label)
+				}
+				sim := simCell(c.Params["protocol"], c.Params["n"])
+				if sim == nil || len(sim.Times) == 0 || len(c.Times) == 0 {
+					match = false
+					matchDetail += fmt.Sprintf(" %q: missing sim sibling or no recorded times;", c.Label)
+					continue
+				}
+				// KSStatistic sorts in place; hand it copies so the
+				// report's recorded samples stay untouched.
+				a := append([]float64(nil), sim.Times...)
+				b := append([]float64(nil), c.Times...)
+				d := stats.KSStatistic(a, b)
+				thr := stats.KSThreshold(0.01, len(a), len(b))
+				if d > thr {
+					match = false
+					matchDetail += fmt.Sprintf(" %s n=%s: KS %.3f > threshold %.3f (sim mean %.2f vs node mean %.2f);",
+						c.Params["protocol"], c.Params["n"], d, thr, sim.Mean, c.Mean)
+				}
+			}
+			rep.addGate("distribution-match", match,
+				"node consensus-time distribution KS-matches the simulator for every (protocol, n);%s", matchDetail)
+			rep.addGate("messages-flow", flow,
+				"every node cell exchanged pull messages;%s", flowDetail)
 		},
 	}
 }

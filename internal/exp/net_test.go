@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func nodeScenario() Scenario {
+	return Scenario{
+		Protocol: "two-choices", N: 64, K: 2,
+		Bias: "biased", BiasParam: 1,
+		Topology: "complete", Model: "poisson",
+		Runtime: "node",
+	}
+}
+
+func TestScenarioValidateRuntime(t *testing.T) {
+	if err := nodeScenario().Validate(); err != nil {
+		t.Fatalf("baseline node scenario invalid: %v", err)
+	}
+	for _, rt := range []string{"", "sim"} {
+		sc := nodeScenario()
+		sc.Runtime = rt
+		if err := sc.Validate(); err != nil {
+			t.Errorf("runtime %q: %v", rt, err)
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"unknown", func(sc *Scenario) { sc.Runtime = "cloud" }, "unknown runtime"},
+		{"core", func(sc *Scenario) { sc.Protocol = "core" }, "core protocol"},
+		{"topology", func(sc *Scenario) { sc.Topology = "cycle" }, "complete topology"},
+		{"model", func(sc *Scenario) { sc.Model = "sequential" }, "poisson model"},
+		{"engine", func(sc *Scenario) { sc.Engine = "occupancy" }, "does not apply"},
+		{"churn", func(sc *Scenario) { sc.Churn = 0.001 }, "churn"},
+		{"delay", func(sc *Scenario) { sc.DelayRate = 0.5 }, "response delays"},
+		{"latency", func(sc *Scenario) { sc.Latency = "exp:0.1" }, "edge latencies"},
+		{"adversary", func(sc *Scenario) { sc.Adversary = "corrupt" }, "adversaries"},
+		{"too-big", func(sc *Scenario) { sc.N = 1 << 17 }, "bound"},
+	}
+	for _, tc := range cases {
+		sc := nodeScenario()
+		tc.mut(&sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Crash pairs only with the core protocol, which the runtime rejects
+	// first — exercise the crash arm via the tcp runtime name too.
+	sc := nodeScenario()
+	sc.Runtime = "node-tcp"
+	sc.Crash = 0.1
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "crash") {
+		t.Errorf("crash on node-tcp: got %v", err)
+	}
+}
+
+func TestApplyAxisRuntime(t *testing.T) {
+	sc := nodeScenario()
+	if err := applyAxis(&sc, "runtime", "sim"); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Runtime != "sim" {
+		t.Fatalf("runtime = %q", sc.Runtime)
+	}
+}
+
+func TestRunScenarioNodeRuntime(t *testing.T) {
+	a, err := RunScenario(nodeScenario(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done || !a.Win {
+		t.Fatalf("node trial: done=%v win=%v", a.Done, a.Win)
+	}
+	if a.Time <= 0 || a.Ticks <= 0 {
+		t.Fatalf("node trial: time=%v ticks=%d", a.Time, a.Ticks)
+	}
+	if a.Messages == 0 {
+		t.Fatal("node trial exchanged no messages")
+	}
+	b, err := RunScenario(nodeScenario(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("node trial drifted under a fixed seed:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunScenarioNodeTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets and wall-clock timers")
+	}
+	sc := nodeScenario()
+	sc.Runtime = "node-tcp"
+	sc.N = 32
+	sc.MaxTime = 2000
+	tr, err := RunScenario(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Messages == 0 {
+		t.Fatalf("node-tcp trial: done=%v messages=%d", tr.Done, tr.Messages)
+	}
+}
+
+// TestSweepKeepTimes pins the KeepTimes contract: the per-trial consensus
+// times land on the cell sorted ascending, and stay absent otherwise.
+func TestSweepKeepTimes(t *testing.T) {
+	base := Scenario{
+		Protocol: "two-choices", N: 128, K: 2,
+		Bias: "biased", BiasParam: 1,
+		Topology: "complete", Model: "poisson",
+	}
+	sw := Sweep{Name: "kt", Base: base, Trials: 4, Seed: 9, KeepTimes: true}
+	rep, err := sw.Run(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if len(c.Times) != c.Trials-c.Failures {
+		t.Fatalf("kept %d times for %d converged trials", len(c.Times), c.Trials-c.Failures)
+	}
+	for i := 1; i < len(c.Times); i++ {
+		if c.Times[i] < c.Times[i-1] {
+			t.Fatalf("times not sorted: %v", c.Times)
+		}
+	}
+	sw.KeepTimes = false
+	rep, err = sw.Run(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].Times != nil {
+		t.Fatalf("times recorded without KeepTimes: %v", rep.Cells[0].Times)
+	}
+}
+
+// synthetic net-equivalence report: one sim/node pair per protocol at one n.
+func synthNetReport(nodeTimes []float64, nodeMessages int64) *Report {
+	simTimes := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	rep := &Report{Schema: SchemaVersion, Sweep: "net-equivalence"}
+	mk := func(runtime string, times []float64, msgs int64) CellResult {
+		c := synthCell(256, map[string]string{
+			"protocol": "two-choices", "n": "256", "runtime": runtime,
+		}, 4)
+		c.Label = "protocol=two-choices,n=256,runtime=" + runtime
+		c.Times = times
+		c.Messages = msgs
+		return c
+	}
+	rep.Cells = append(rep.Cells, mk("sim", simTimes, 0), mk("node", nodeTimes, nodeMessages))
+	return rep
+}
+
+func TestNetEquivalenceGatesOnSyntheticReports(t *testing.T) {
+	ns, ok := NamedByName("net-equivalence")
+	if !ok {
+		t.Fatal("net-equivalence not registered")
+	}
+	gate := func(rep *Report, name string) Gate {
+		t.Helper()
+		for _, g := range rep.Gates {
+			if g.Name == name {
+				return g
+			}
+		}
+		t.Fatalf("gate %q missing (have %v)", name, rep.Gates)
+		return Gate{}
+	}
+
+	// Same distribution, messages flowing: both gates pass.
+	rep := synthNetReport([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4096)
+	ns.Check(rep)
+	if g := gate(rep, "distribution-match"); !g.Pass {
+		t.Errorf("identical samples rejected: %s", g.Detail)
+	}
+	if g := gate(rep, "messages-flow"); !g.Pass {
+		t.Errorf("messages-flow failed with messages set: %s", g.Detail)
+	}
+
+	// A grossly shifted node distribution must fail the KS gate.
+	rep = synthNetReport([]float64{101, 102, 103, 104, 105, 106, 107, 108}, 4096)
+	ns.Check(rep)
+	if g := gate(rep, "distribution-match"); g.Pass {
+		t.Error("shifted distribution passed the KS gate")
+	}
+
+	// No recorded times (KeepTimes lost) must fail loudly, not silently pass.
+	rep = synthNetReport(nil, 4096)
+	ns.Check(rep)
+	if g := gate(rep, "distribution-match"); g.Pass {
+		t.Error("missing times passed the KS gate")
+	}
+
+	// A node cell with zero messages fails the flow gate.
+	rep = synthNetReport([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+	ns.Check(rep)
+	if g := gate(rep, "messages-flow"); g.Pass {
+		t.Error("zero-message node cell passed the flow gate")
+	}
+}

@@ -45,6 +45,15 @@ type CellResult struct {
 	// MeanTicks is the mean number of delivered activations, the
 	// simulation-cost counterpart of Mean.
 	MeanTicks float64 `json:"meanTicks"`
+	// Times, present when the sweep sets KeepTimes, lists every converged
+	// trial's consensus time in ascending order — the raw sample behind
+	// the distributional (KS) gates. Additive field, so SchemaVersion
+	// holds.
+	Times []float64 `json:"times,omitempty"`
+	// Messages totals the pull requests exchanged across all trials of a
+	// node-runtime cell (runtime = node / node-tcp); 0, and absent, for
+	// simulator cells. Additive field, so SchemaVersion holds.
+	Messages int64 `json:"messages,omitempty"`
 }
 
 // Gate is one named statistical check a sweep ran over its own results.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -20,7 +21,7 @@ import (
 type Axis struct {
 	// Name selects the scenario field: "n", "k", "protocol", "bias",
 	// "topology", "model", "engine", "crash", "churn", "latency", "delay",
-	// "maxtime", "adversary" or "budget".
+	// "maxtime", "adversary", "budget" or "runtime".
 	Name string `json:"name"`
 	// Values are the grid points, applied textually.
 	Values []string `json:"values"`
@@ -41,6 +42,11 @@ type Sweep struct {
 	Trials int `json:"trials"`
 	// Seed is the root of every random stream the sweep consumes.
 	Seed uint64 `json:"seed"`
+	// KeepTimes records every converged trial's consensus time (sorted
+	// ascending) on its CellResult, so distributional gates — the
+	// net-equivalence KS test — can run on the report instead of
+	// re-executing cells. Off by default to keep artifacts small.
+	KeepTimes bool `json:"keepTimes,omitempty"`
 }
 
 // Cell is one grid point of a compiled sweep.
@@ -133,6 +139,8 @@ func applyAxis(sc *Scenario, name, value string) error {
 		sc.Latency = value
 	case "adversary":
 		sc.Adversary = value
+	case "runtime":
+		sc.Runtime = value
 	case "budget":
 		// Symbolic forms ("n^0.3", "4sqrt(n)") resolve against the cell's
 		// final n at Validate/run time, not here, so the budget axis may
@@ -258,7 +266,7 @@ func (s Sweep) Run(opt Options) (*Report, error) {
 		Cells:  make([]CellResult, len(cells)),
 	}
 	for i, c := range cells {
-		rep.Cells[i] = summarizeCell(c, trials[i], rng.At(s.Seed, bootstrapStream+i))
+		rep.Cells[i] = summarizeCell(c, trials[i], s.KeepTimes, rng.At(s.Seed, bootstrapStream+i))
 		if opt.Log != nil {
 			cr := rep.Cells[i]
 			fmt.Fprintf(opt.Log, "  %-40s mean=%9.2f  ci=[%.2f, %.2f]  median=%9.2f  fail=%d/%d\n",
@@ -274,8 +282,9 @@ const bootstrapStream = 1 << 20
 
 // summarizeCell aggregates one cell's trials. Statistics cover converged
 // trials only; a cell whose every trial timed out reports zeros with
-// Failures == Trials.
-func summarizeCell(c Cell, trials []Trial, bootRNG *rng.RNG) CellResult {
+// Failures == Trials. keepTimes additionally records the converged times,
+// sorted ascending, on the result.
+func summarizeCell(c Cell, trials []Trial, keepTimes bool, bootRNG *rng.RNG) CellResult {
 	cr := CellResult{
 		Label:  c.Label,
 		Params: c.Params,
@@ -288,6 +297,7 @@ func summarizeCell(c Cell, trials []Trial, bootRNG *rng.RNG) CellResult {
 		cr.Churns += t.Churns
 		cr.Corruptions += t.Corruptions
 		cr.Biased += t.Biased
+		cr.Messages += t.Messages
 		if !t.Done {
 			cr.Failures++
 			continue
@@ -308,6 +318,11 @@ func summarizeCell(c Cell, trials []Trial, bootRNG *rng.RNG) CellResult {
 	lo, hi, err := stats.BootstrapMeanCI(times, 0.95, bootstrapResamples, bootRNG)
 	if err == nil {
 		cr.CILo, cr.CIHi = lo, hi
+	}
+	if keepTimes {
+		sorted := append([]float64(nil), times...)
+		sort.Float64s(sorted)
+		cr.Times = sorted
 	}
 	return cr
 }

@@ -1,0 +1,107 @@
+package node
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format: a 4-byte big-endian length prefix followed by a fixed
+// 22-byte payload — kind(1) to(4) from(4) seq(8) opinion(4) decided(1).
+// Requests and replies share the layout so the codec is a single fixed
+// frame; the length prefix exists to keep the stream self-describing and
+// to let decode reject malformed frames instead of silently desyncing.
+const (
+	payloadLen = 22
+	// MaxFrame is the largest frame length Decode accepts; anything larger
+	// is a protocol violation (or a desynced stream) and is rejected before
+	// allocation.
+	MaxFrame = 64
+)
+
+// Codec errors, returned by DecodeMessage and ReadMessage. Wrapped errors
+// carry the offending length so logs pinpoint the desync.
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFrame.
+	ErrFrameTooLarge = errors.New("node: frame exceeds MaxFrame")
+	// ErrFrameTruncated reports a payload shorter than the fixed layout.
+	ErrFrameTruncated = errors.New("node: truncated frame")
+	// ErrFrameTrailing reports extra bytes after the fixed layout.
+	ErrFrameTrailing = errors.New("node: trailing bytes in frame")
+	// ErrBadKind reports an unknown message kind byte.
+	ErrBadKind = errors.New("node: unknown message kind")
+)
+
+// AppendMessage appends m's frame (length prefix + payload) to dst and
+// returns the extended slice.
+func AppendMessage(dst []byte, m Message) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, payloadLen)
+	dst = append(dst, m.Kind)
+	dst = binary.BigEndian.AppendUint32(dst, m.To)
+	dst = binary.BigEndian.AppendUint32(dst, m.From)
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Opinion))
+	if m.Decided {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// DecodeMessage parses one frame payload (the bytes after the length
+// prefix). It rejects truncated or oversized payloads, unknown kinds, and
+// trailing bytes; it never panics on arbitrary input.
+func DecodeMessage(payload []byte) (Message, error) {
+	if len(payload) < payloadLen {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrFrameTruncated, len(payload))
+	}
+	if len(payload) > payloadLen {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrFrameTrailing, len(payload))
+	}
+	m := Message{
+		Kind:    payload[0],
+		To:      binary.BigEndian.Uint32(payload[1:5]),
+		From:    binary.BigEndian.Uint32(payload[5:9]),
+		Seq:     binary.BigEndian.Uint64(payload[9:17]),
+		Opinion: int32(binary.BigEndian.Uint32(payload[17:21])),
+	}
+	switch payload[21] {
+	case 0:
+	case 1:
+		m.Decided = true
+	default:
+		return Message{}, fmt.Errorf("node: bad decided byte %d", payload[21])
+	}
+	if m.Kind != KindPull && m.Kind != KindReply {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
+	}
+	return m, nil
+}
+
+// ReadMessage reads one length-prefixed frame from r. The length prefix is
+// validated against MaxFrame before any payload allocation, so a desynced
+// or hostile stream cannot force a large read.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, err
+	}
+	return DecodeMessage(payload)
+}
+
+// WriteMessage writes m as one length-prefixed frame to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf := AppendMessage(make([]byte, 0, 4+payloadLen), m)
+	_, err := w.Write(buf)
+	return err
+}

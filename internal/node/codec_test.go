@@ -1,0 +1,95 @@
+package node
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Kind: KindPull, To: 3, From: 7, Seq: 1},
+		{Kind: KindReply, To: 7, From: 3, Seq: 1, Opinion: 2, Decided: true},
+		{Kind: KindReply, To: 0, From: 255, Seq: 1 << 60, Opinion: -1},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want EOF", err)
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	valid := AppendMessage(nil, Message{Kind: KindReply, To: 1, From: 2, Seq: 3, Opinion: 4})
+
+	// Truncated payload.
+	if _, err := DecodeMessage(valid[4 : len(valid)-1]); !errors.Is(err, ErrFrameTruncated) {
+		t.Errorf("truncated: got %v, want ErrFrameTruncated", err)
+	}
+	// Trailing bytes.
+	if _, err := DecodeMessage(append(append([]byte(nil), valid[4:]...), 0)); !errors.Is(err, ErrFrameTrailing) {
+		t.Errorf("trailing: got %v, want ErrFrameTrailing", err)
+	}
+	// Unknown kind.
+	bad := append([]byte(nil), valid[4:]...)
+	bad[0] = 99
+	if _, err := DecodeMessage(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("bad kind: got %v, want ErrBadKind", err)
+	}
+	// Bad decided byte.
+	bad = append([]byte(nil), valid[4:]...)
+	bad[21] = 7
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Error("bad decided byte: decode accepted it")
+	}
+	// Oversized length prefix is rejected before any allocation.
+	big := binary.BigEndian.AppendUint32(nil, MaxFrame+1)
+	if _, err := ReadMessage(bytes.NewReader(big)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized: got %v, want ErrFrameTooLarge", err)
+	}
+	// Truncated stream (prefix promises more than is there).
+	short := AppendMessage(nil, Message{Kind: KindPull})[:10]
+	if _, err := ReadMessage(bytes.NewReader(short)); err == nil {
+		t.Error("short stream: read accepted it")
+	}
+}
+
+// FuzzWireCodec drives the decoder with arbitrary frames: it must never
+// panic, and everything it accepts must re-encode byte-identically
+// (round-trip closure).
+func FuzzWireCodec(f *testing.F) {
+	f.Add(AppendMessage(nil, Message{Kind: KindPull, To: 1, From: 2, Seq: 3}))
+	f.Add(AppendMessage(nil, Message{Kind: KindReply, To: 2, From: 1, Seq: 3, Opinion: -1, Decided: true}))
+	f.Add([]byte{0, 0, 0, 22})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		re := AppendMessage(nil, m)
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("round trip drifted: decoded %+v, re-encoded % x, input % x", m, re, data[:len(re)])
+		}
+		m2, err := DecodeMessage(re[4:])
+		if err != nil || m2 != m {
+			t.Fatalf("re-decode: %+v, %v", m2, err)
+		}
+	})
+}

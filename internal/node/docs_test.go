@@ -1,0 +1,42 @@
+package node
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestREADMENetQuickstartInSync: the README's "Running a real cluster"
+// snippet is the command block scripts/net_quickstart.sh actually proves in
+// CI (with $PORT1/$PORT2 standing in for the documented 9001/9002).
+// Documented commands nobody runs rot; this test makes the README snippet
+// executable by construction — the node-runtime counterpart of the serving
+// quickstart gate in internal/service.
+func TestREADMENetQuickstartInSync(t *testing.T) {
+	script, err := os.ReadFile("../../scripts/net_quickstart.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin = "# --- quickstart begin ---\n"
+	const end = "# --- quickstart end ---"
+	s := string(script)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("net_quickstart.sh lacks the quickstart markers %q … %q", begin, end)
+	}
+	block := s[i+len(begin) : j]
+	block = strings.ReplaceAll(block, "$PORT1", "9001")
+	block = strings.ReplaceAll(block, "$PORT2", "9002")
+	block = regexp.MustCompile(`(?m)^\s+`).ReplaceAllString(block, "")
+
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), block) {
+		t.Errorf("README.md cluster quickstart is out of sync with scripts/net_quickstart.sh; paste this into the \"Running a real cluster\" code block:\n%s",
+			block)
+	}
+}

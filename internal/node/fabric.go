@@ -1,0 +1,374 @@
+package node
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Faults configures message-level fault injection on the in-process
+// fabric. All draws come from the fabric's own seeded stream, so a faulty
+// cluster is exactly as deterministic as a clean one.
+type Faults struct {
+	// Latency is the mean of the exponential per-message delay, in
+	// parallel-time units, applied independently to each request and each
+	// reply. Zero means instant delivery (the oracle-equivalent setting).
+	Latency float64
+	// Drop is the probability a message (request or reply) is lost.
+	Drop float64
+	// Reorder is the probability a message draws a second independent
+	// exponential delay on top of Latency, shuffling it behind later
+	// traffic.
+	Reorder float64
+}
+
+// errStall reports a fabric where every live node blocked with no pending
+// event — a runtime bug by construction (every Sleep and every Pull
+// schedules a wake), surfaced loudly instead of deadlocking.
+var errStall = errors.New("node: fabric stalled with no pending events")
+
+// event is one scheduled occurrence on the virtual timeline.
+type event struct {
+	at   float64
+	seq  int64 // tiebreaker: schedule order
+	fire func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+
+// Fabric is the in-process transport: a conservative virtual-time event
+// coordinator. Node goroutines only ever block inside Sleep or Pull; the
+// coordinator waits until every live node is blocked (running == 0), pops
+// the earliest pending event — ties broken by schedule order — advances
+// the shared clock, and fires it. Exactly one goroutine is ever runnable,
+// so execution is globally sequential and bit-deterministic for a fixed
+// seed, while the nodes still communicate exclusively through messages.
+type Fabric struct {
+	n      int
+	faults Faults
+	frng   *rng.RNG
+
+	mu      sync.Mutex
+	cond    *sync.Cond // coordinator waits here for running == 0
+	events  eventHeap
+	seq     int64
+	now     float64
+	running int // node goroutines not blocked in Sleep/Pull
+	live    int // node goroutines that have not called Done
+	closed  bool
+	started bool
+	err     error
+	done    chan struct{} // coordinator exited
+
+	handlers []Handler
+	bound    int
+	stats    Stats
+}
+
+// NewFabric creates an in-process fabric for n nodes. The fault stream is
+// seeded independently of every node stream, so enabling faults does not
+// shift the nodes' own random draws.
+func NewFabric(n int, seed uint64, f Faults) *Fabric {
+	fb := &Fabric{
+		n:        n,
+		faults:   f,
+		frng:     rng.At(seed, faultStream),
+		handlers: make([]Handler, n),
+		done:     make(chan struct{}),
+	}
+	fb.cond = sync.NewCond(&fb.mu)
+	return fb
+}
+
+// Bind implements Network.
+func (f *Fabric) Bind(id int, h Handler) (Conn, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return nil, errors.New("node: Bind after Start")
+	}
+	if id < 0 || id >= f.n {
+		return nil, fmt.Errorf("node: Bind id %d out of range [0,%d)", id, f.n)
+	}
+	if f.handlers[id] != nil {
+		return nil, fmt.Errorf("node: node %d already bound", id)
+	}
+	f.handlers[id] = h
+	f.bound++
+	return fabConn{f: f, id: id}, nil
+}
+
+// Clock implements Network. The fabric's clocks are all views of the one
+// shared virtual timeline.
+func (f *Fabric) Clock(id int) Clock {
+	return fabClock{f: f}
+}
+
+// Start implements Network: it arms the running/live counters to the
+// bound-node count and launches the coordinator. The cluster must start
+// exactly one goroutine per bound node after Start; each counts as running
+// until its first Sleep.
+func (f *Fabric) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return errors.New("node: fabric started twice")
+	}
+	f.started = true
+	f.running = f.bound
+	f.live = f.bound
+	go f.dispatch()
+	return nil
+}
+
+// Close implements Network: it marks the fabric closed, releases every
+// blocked node (their Sleep/Pull calls return with ok=false / missing
+// replies), and waits for the coordinator to exit. Idempotent.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	if !f.started {
+		f.closed = true
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.cond.Signal()
+	f.mu.Unlock()
+	<-f.done
+	return nil
+}
+
+// Stats implements Network.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Err reports a coordinator-detected runtime bug (stall), nil otherwise.
+func (f *Fabric) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// schedule enqueues fire at virtual time at. Caller holds f.mu.
+func (f *Fabric) schedule(at float64, fire func()) {
+	heap.Push(&f.events, event{at: at, seq: f.seq, fire: fire})
+	f.seq++
+}
+
+// dispatch is the coordinator: pop-advance-fire, one event at a time,
+// only while every live node is blocked.
+func (f *Fabric) dispatch() {
+	f.mu.Lock()
+	for {
+		for f.running > 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if f.closed {
+			f.drain()
+			break
+		}
+		if f.live == 0 {
+			break
+		}
+		if len(f.events) == 0 {
+			// Unreachable by construction; fail loudly, not silently.
+			f.err = errStall
+			f.closed = true
+			f.drain()
+			break
+		}
+		ev := heap.Pop(&f.events).(event)
+		f.now = ev.at
+		ev.fire()
+	}
+	f.mu.Unlock()
+	close(f.done)
+}
+
+// drain fires every remaining event under closed state so that blocked
+// nodes are released: wake and timeout closures run their release path,
+// delivery closures no-op. Caller holds f.mu.
+func (f *Fabric) drain() {
+	for len(f.events) > 0 {
+		ev := heap.Pop(&f.events).(event)
+		ev.fire()
+	}
+}
+
+// delay draws one message delay from the fault stream. Caller holds f.mu.
+func (f *Fabric) delay() float64 {
+	if f.faults.Latency <= 0 && f.faults.Reorder <= 0 {
+		return 0
+	}
+	mean := f.faults.Latency
+	if mean <= 0 {
+		mean = reorderBaseDelay
+	}
+	var d float64
+	if f.faults.Latency > 0 {
+		d = f.frng.ExpFloat64() * f.faults.Latency
+	}
+	if f.faults.Reorder > 0 && f.frng.Bernoulli(f.faults.Reorder) {
+		d += f.frng.ExpFloat64() * mean
+	}
+	return d
+}
+
+// reorderBaseDelay is the mean of the extra reorder delay when no base
+// latency is configured (pure-reorder fault injection still needs a
+// timescale to shuffle messages across).
+const reorderBaseDelay = 0.5
+
+// drop draws one drop decision from the fault stream. Caller holds f.mu.
+func (f *Fabric) drop() bool {
+	return f.faults.Drop > 0 && f.frng.Bernoulli(f.faults.Drop)
+}
+
+// fabClock is a node's view of the fabric's shared virtual timeline.
+type fabClock struct {
+	f *Fabric
+}
+
+// Sleep implements Clock: it schedules a wake event d units ahead, parks
+// the caller, and lets the coordinator run.
+func (c fabClock) Sleep(d float64) (float64, bool) {
+	f := c.f
+	f.mu.Lock()
+	if f.closed {
+		now := f.now
+		f.mu.Unlock()
+		return now, false
+	}
+	ch := make(chan struct{})
+	f.schedule(f.now+d, func() {
+		// Fires under f.mu: the sleeper becomes the one running goroutine.
+		f.running++
+		close(ch)
+	})
+	f.running--
+	f.cond.Signal()
+	f.mu.Unlock()
+	<-ch
+	f.mu.Lock()
+	now := f.now
+	ok := !f.closed
+	f.mu.Unlock()
+	return now, ok
+}
+
+// Done implements Clock: the node goroutine is finished for good.
+func (c fabClock) Done() {
+	f := c.f
+	f.mu.Lock()
+	f.running--
+	f.live--
+	f.cond.Signal()
+	f.mu.Unlock()
+}
+
+// fabConn is node id's endpoint on the fabric.
+type fabConn struct {
+	f  *Fabric
+	id int
+}
+
+// pullWait tracks one in-flight Pull: filled reply slots, the count still
+// missing, and a latch so late replies and the stale timeout are no-ops.
+type pullWait struct {
+	replies   []PullReply
+	remaining int
+	done      bool
+	ch        chan struct{}
+}
+
+// Pull implements Conn. Each request is delivered to the responder's
+// handler after its (possibly zero) latency draw; the reply travels back
+// with an independent draw. The requester wakes when all replies landed or
+// at the timeout — a timeout event is always scheduled, which doubles as
+// the release path when replies were dropped or the fabric closes.
+func (c fabConn) Pull(peers []int, timeout float64) []PullReply {
+	f := c.f
+	f.mu.Lock()
+	replies := make([]PullReply, len(peers))
+	if f.closed {
+		f.mu.Unlock()
+		return replies
+	}
+	pw := &pullWait{replies: replies, remaining: len(peers), ch: make(chan struct{})}
+	for i, p := range peers {
+		f.stats.Requests++
+		if f.drop() {
+			// Lost request: the slot stays !OK and the requester waits out
+			// the timeout — it has no way to know the message vanished.
+			f.stats.Dropped++
+			continue
+		}
+		i, p := i, p
+		f.schedule(f.now+f.delay(), func() {
+			// Request delivery. The handler is the responder's
+			// always-responsive network layer: it reads atomically
+			// published state, so invoking it here never wakes or blocks
+			// the responder's protocol goroutine.
+			if f.closed {
+				return
+			}
+			resp := f.handlers[p](Message{Kind: KindPull, To: uint32(p), From: uint32(c.id)})
+			if f.drop() {
+				f.stats.Dropped++
+				return
+			}
+			f.schedule(f.now+f.delay(), func() {
+				// Reply delivery back to the requester.
+				if f.closed || pw.done {
+					return
+				}
+				f.stats.Responses++
+				pw.replies[i] = PullReply{
+					Opinion: population.Color(resp.Opinion),
+					Decided: resp.Decided,
+					OK:      true,
+				}
+				pw.remaining--
+				if pw.remaining == 0 {
+					pw.done = true
+					f.running++
+					close(pw.ch)
+				}
+			})
+		})
+	}
+	// The timeout always exists: it wakes the requester when replies were
+	// dropped, and it is the release valve during close-drain. When all
+	// replies arrived first it fires as a stale no-op.
+	f.schedule(f.now+timeout, func() {
+		if pw.done {
+			return
+		}
+		pw.done = true
+		f.running++
+		close(pw.ch)
+	})
+	f.running--
+	f.cond.Signal()
+	f.mu.Unlock()
+	<-pw.ch
+	return replies
+}

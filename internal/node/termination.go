@@ -1,0 +1,81 @@
+package node
+
+import "math/bits"
+
+// The termination gadget gives each node a purely local quiescence test,
+// so a cluster can stop without any global view. It runs in two phases on
+// top of the protocol's own samples (no extra messages):
+//
+//  1. decide — a "quiet" activation is one where the node kept its
+//     opinion and every sampled peer answered with that same opinion.
+//     stableTarget consecutive quiet activations flip the node's decided
+//     flag (piggybacked on every reply it serves). Any loud activation —
+//     an opinion change, a disagreeing sample, an undecided own state —
+//     resets the run and revokes the flag.
+//  2. confirm — once decided, confirmTarget further consecutive quiet
+//     activations in which every sampled peer also reports decided let
+//     the node halt for good.
+//
+// Soundness: while disagreement persists, a minority node's chance of a
+// quiet run of length L decays like q^(sL) (s samples per activation, q
+// the majority share), so with L = Θ(log n) premature halts are vanishing;
+// once the cluster is unanimous, quiet runs are the only possibility and
+// every rule fixes the unanimous color, so halting is absorbing. The
+// cluster-level consensus measurement does not depend on the gadget — the
+// collector observes opinion changes directly — so the gadget can only
+// cost tail time, never bias the gated consensus-time distribution.
+type gadget struct {
+	stableTarget  int
+	confirmTarget int
+
+	stable  int
+	confirm int
+	decided bool
+}
+
+// defaultStableTarget scales the quiet-run requirement with log n so the
+// premature-halt probability stays vanishing as clusters grow.
+func defaultStableTarget(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	return 3*bits.Len(uint(n)) + 10
+}
+
+// defaultConfirmTarget is the decided-peers confirmation run; it only
+// bounds the shutdown tail, not safety, so a small constant suffices.
+const defaultConfirmTarget = 8
+
+// observe processes one completed activation. quiet reports an activation
+// with no opinion change and unanimous agreeing samples; allDecided
+// additionally reports that every sampled peer carried the decided flag.
+// It returns the node's (possibly updated) decided flag and whether the
+// node may halt.
+func (g *gadget) observe(quiet, allDecided bool) (decided, halt bool) {
+	if !quiet {
+		g.stable, g.confirm, g.decided = 0, 0, false
+		return false, false
+	}
+	g.stable++
+	if g.stable >= g.stableTarget {
+		g.decided = true
+	}
+	if g.decided && allDecided {
+		g.confirm++
+		if g.confirm >= g.confirmTarget {
+			return true, true
+		}
+	} else {
+		g.confirm = 0
+	}
+	return g.decided, false
+}
+
+// miss records an activation whose pull came back incomplete (drop or
+// timeout). A missing reply carries no information either way — it is
+// neither agreement (so it must not advance the counters) nor
+// disagreement (so it must not reset them; under a d% drop rate a full
+// reset would make a quiet run of Θ(log n) complete activations
+// exponentially rare and stall termination). The activation is simply not
+// counted.
+func (g *gadget) miss() {}

@@ -131,7 +131,31 @@ var (
 	syncOptMask   = commonOptMask | maskOf(idModel, idMaxRounds, idGraph, idAdversary)
 	oneBitOptMask = commonOptMask | maskOf(idGraph, idMaxRounds, idMaxPhases,
 		idPropagationRounds, idPhaseObserver)
+	// The node runtime (WithTransport) executes registry dynamics as live
+	// message-passing processes; it consumes only the options a real
+	// cluster can honor — note idObserver is out (no global tick stream to
+	// snapshot from).
+	nodeOptMask = maskOf(idSeed, idTrialWorkers, idModel, idMaxTime, idTransport)
 )
+
+// nodeOptReasons maps each simulator-only option to why the node runtime
+// cannot honor it, mirroring the leap engine's optID-mask rejections but
+// with per-option explanations: a live cluster has no global scheduler,
+// no global view, and owns its delay model through the transport.
+var nodeOptReasons = map[optID]string{
+	idMaxRounds:     "rounds are a synchronous-model notion; live nodes run on local Poisson clocks",
+	idResponseDelay: "response delays are a transport property on the node runtime; inject latency with NewLossyChanTransport",
+	idEdgeLatency:   "edge latencies are a transport property on the node runtime; inject latency with NewLossyChanTransport",
+	idChurn:         "churn rewrites the simulator's engine state mid-run; a live node cannot be re-randomized from outside",
+	idEngine:        "engines select simulator execution strategies; the node runtime is its own execution path",
+	idGraph:         "the node runtime samples the complete graph (every peer addressable); topologies are simulator-only",
+	idObserver:      "snapshot observation rides the simulator's global tick hook (OnTick); a live cluster has no global view to sample",
+	idCrashes:       "crash schedules are applied by the simulator's scheduler, which the node runtime replaces",
+	idDesync:        "desynchronized starts are a core-protocol scheduler feature, not a cluster one",
+	idLeapEps:       "the leap engine's error budget does not apply off the simulator",
+	idODEThreshold:  "the leap engine's ODE handoff does not apply off the simulator",
+	idAdversary:     "adversaries instrument the simulator's global scheduler and engine state, which live nodes do not share",
+}
 
 // Validate checks the job end to end without running anything: the counts
 // (shape, totals, per-engine limits), the protocol parameters, the graph
@@ -139,15 +163,22 @@ var (
 // options their runner does not consume — that every applied option is one
 // the selected runner/engine actually uses.
 func (j *Job) Validate() error {
+	if j.o.set&maskOf(idTransport) != 0 {
+		if err := j.validateNodeRuntime(); err != nil {
+			return err
+		}
+	}
 	var allowed uint32
 	switch j.kind {
 	case KindCore:
 		allowed = coreOptMask
 	case KindDynamic:
-		switch j.o.engine {
-		case EngineOccupancy:
+		switch {
+		case j.o.set&maskOf(idTransport) != 0:
+			allowed = nodeOptMask
+		case j.o.engine == EngineOccupancy:
 			allowed = countsOptMask
-		case EngineLeap:
+		case j.o.engine == EngineLeap:
 			allowed = leapOptMask
 		default:
 			allowed = asyncOptMask
@@ -252,6 +283,39 @@ func (j *Job) Validate() error {
 	return nil
 }
 
+// validateNodeRuntime checks a WithTransport job beyond the optID mask:
+// only registry sampling dynamics can run as live clusters, the implied
+// communication model is per-node Poisson clocks, and every simulator-only
+// option is rejected with its mapped reason so the caller learns why the
+// node runtime cannot honor it instead of getting a bare mask error.
+func (j *Job) validateNodeRuntime() error {
+	if j.o.transport == nil {
+		return fmt.Errorf("plurality: job %s: WithTransport(nil); the node runtime needs a transport (NewChanTransport, NewLossyChanTransport, NewTCPTransport)", j.spec)
+	}
+	if j.kind != KindDynamic {
+		return fmt.Errorf("plurality: job %s: the node runtime (WithTransport) runs asynchronous registry sampling dynamics only (two-choices, voter, 3-majority, usd, j-majority); a %s job executes on the simulator", j.spec, j.kind)
+	}
+	if bad := j.o.set &^ nodeOptMask; bad != 0 {
+		var parts []string
+		for id := optID(0); id < numOptIDs; id++ {
+			if bad&(1<<id) == 0 {
+				continue
+			}
+			reason := nodeOptReasons[id]
+			if reason == "" {
+				reason = "it configures a simulator-only feature"
+			}
+			parts = append(parts, fmt.Sprintf("%s (%s)", optNames[id], reason))
+		}
+		return fmt.Errorf("plurality: job %s: the node runtime does not support %s",
+			j.spec, strings.Join(parts, "; "))
+	}
+	if j.o.set&maskOf(idModel) != 0 && j.o.model != Poisson {
+		return fmt.Errorf("plurality: job %s: the node runtime's clocks are per-node Poisson processes; WithModel selects a simulator schedule — use WithModel(Poisson) or omit the option", j.spec)
+	}
+	return nil
+}
+
 // validateAdversary checks an applied WithAdversary spec against the job's
 // runner family and engine, beyond the optID mask (which already rejects it
 // wholesale on the leap engine and OneExtraBit). The checks mirror the
@@ -311,6 +375,9 @@ func (j *Job) RunOn(ctx context.Context, pop *Population) (Report, error) {
 	if pop == nil {
 		return Report{}, fmt.Errorf("plurality: job %s: nil population", j.spec)
 	}
+	if j.o.transport != nil {
+		return Report{}, fmt.Errorf("plurality: job %s: the node runtime builds its cluster from the job's counts; RunOn's caller-supplied population is a simulator entry point", j.spec)
+	}
 	return j.runOn(ctx, j.o, nil, pop)
 }
 
@@ -318,6 +385,12 @@ func (j *Job) RunOn(ctx context.Context, pop *Population) (Report, error) {
 // copy of the job's options), reusing pooled trial state when st is
 // non-nil.
 func (j *Job) run(ctx context.Context, o *options, st *trialState) (Report, error) {
+	if o.transport != nil {
+		// Node-runtime path: live goroutine-backed nodes over the
+		// configured transport. No pooled state applies — each run builds
+		// a fresh transport instance and fresh nodes.
+		return execCluster(ctx, j, o, 0)
+	}
 	if j.countsPath() {
 		var counts []int64
 		var rn *dynamics.Runner
@@ -445,7 +518,7 @@ func (j *Job) Trials(ctx context.Context, trials int) ([]Report, error) {
 		return nil, fmt.Errorf("plurality: trials = %d, want > 0", trials)
 	}
 	var base *Population
-	if !j.countsPath() {
+	if !j.countsPath() && j.o.transport == nil {
 		var err error
 		if base, err = NewPopulation(j.counts); err != nil {
 			return nil, err

@@ -80,6 +80,10 @@ type Report struct {
 	// Biased is the number of activations the adversary redirected or
 	// suppressed (WithAdversary; 0 otherwise).
 	Biased int64
+	// Messages is the number of pull requests exchanged by a node-runtime
+	// run (WithTransport / Cluster); 0 for simulator runs, which do not
+	// pass messages at all. Deterministic on the in-process transport.
+	Messages int64
 
 	core   *CoreResult
 	onebit *OneExtraBitResult

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# net_quickstart.sh — builds pluralitynode and runs the README "Running a
+# real cluster" quickstart: two OS processes, each hosting half of one
+# 64-node cluster, exchanging pull messages over loopback TCP until both
+# halves report consensus. Verifies the documented behavior end to end:
+# both processes print a consensus line and agree on the winner.
+#
+# The commands between the "quickstart begin/end" markers are the README
+# snippet verbatim (with $PORT1/$PORT2 standing in for the documented
+# 9001/9002, so CI cannot collide on fixed ports, and pluralitynode
+# standing in for the built binary); a drift test compares the two, so the
+# README cannot document commands this script does not prove.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -t pluralitynode.XXXXXX)
+LOG=$(mktemp -t pluralitynode.log.XXXXXX)
+trap 'rm -f "$BIN" "$LOG"' EXIT
+
+go build -o "$BIN" ./cmd/pluralitynode
+
+# Reserve two concrete loopback ports (bind-then-close; listeners set
+# SO_REUSEADDR, so the immediate rebind by pluralitynode succeeds).
+reserve() {
+    "$BIN" -reserve-port
+}
+PORT1=$(reserve)
+PORT2=$(reserve)
+
+pluralitynode() { "$BIN" "$@" 2>&1 | tee -a "$LOG"; }
+
+# --- quickstart begin ---
+# one 64-node cluster as two real processes: each hosts half the node
+# ids and serves its peers' pull requests over loopback TCP; identical
+# -peers/-n/-seed on both sides derive the same deterministic instance
+pluralitynode -listen 127.0.0.1:$PORT1 -peers 127.0.0.1:$PORT1,127.0.0.1:$PORT2 -n 64 -seed 7 &
+pluralitynode -listen 127.0.0.1:$PORT2 -peers 127.0.0.1:$PORT1,127.0.0.1:$PORT2 -n 64 -seed 7
+wait
+# --- quickstart end ---
+
+# Verify what the quickstart claims.
+fail() { echo "net_quickstart: $1" >&2; cat "$LOG" >&2; exit 1; }
+
+LINES=$(grep -c 'consensus winner=' "$LOG" || true)
+[ "$LINES" = 2 ] || fail "expected 2 consensus lines, got $LINES"
+WINNERS=$(sed -n 's/.*consensus winner=\([0-9-]*\).*/\1/p' "$LOG" | sort -u)
+[ "$(printf '%s\n' "$WINNERS" | wc -l)" = 1 ] || fail "processes disagree on the winner: $WINNERS"
+[ "$WINNERS" = 0 ] || fail "winner $WINNERS, want majority color 0"
+
+echo "net_quickstart: OK (ports $PORT1/$PORT2, winner $WINNERS)"
